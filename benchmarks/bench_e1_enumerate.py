@@ -1,0 +1,48 @@
+"""E1 (Figure 2): basic candidate recommendation via Enumerate Indexes mode.
+
+Reproduces the first demo panel: for every workload query, the XPath
+patterns the optimizer enumerates as basic candidate indexes, plus the
+query's estimated cost with no indexes and with the universal ``//*``
+virtual index.  The benchmark measures the cost of one Enumerate Indexes
+pass over the whole workload (this is the advisor's first phase).
+"""
+
+from __future__ import annotations
+
+from conftest import print_section
+
+from repro.optimizer.explain import enumerate_indexes
+from repro.optimizer.optimizer import Optimizer
+from repro.tools.report import enumerate_report
+from repro.xquery.normalizer import normalize_workload
+
+
+def _enumerate_all(database, workload):
+    optimizer = Optimizer(database)
+    queries = [q for q in normalize_workload(workload) if not q.is_update]
+    return [enumerate_indexes(query, database, optimizer) for query in queries]
+
+
+def test_e1_enumerate_xmark(benchmark, xmark_db, xmark_train):
+    results = benchmark.pedantic(_enumerate_all, args=(xmark_db, xmark_train),
+                                 rounds=3, iterations=1)
+    total_candidates = sum(len(r.candidates) for r in results)
+    queries_with_candidates = sum(1 for r in results if r.candidates)
+    print_section(
+        "E1 / Figure 2 - basic candidate recommendation (XMark workload)",
+        enumerate_report(results)
+        + f"\n\nqueries: {len(results)}, queries with candidates: "
+          f"{queries_with_candidates}, total basic candidates: {total_candidates}")
+    assert queries_with_candidates >= 0.8 * len(results)
+    assert total_candidates >= len(results)
+
+
+def test_e1_enumerate_tpox(benchmark, tpox_db, tpox_mixed):
+    results = benchmark.pedantic(_enumerate_all, args=(tpox_db, tpox_mixed),
+                                 rounds=3, iterations=1)
+    total_candidates = sum(len(r.candidates) for r in results)
+    print_section(
+        "E1 / Figure 2 - basic candidate recommendation (TPoX workload)",
+        enumerate_report(results)
+        + f"\n\nqueries: {len(results)}, total basic candidates: {total_candidates}")
+    assert total_candidates > 0

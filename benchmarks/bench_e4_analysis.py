@@ -1,0 +1,76 @@
+"""E4 (Figure 5): analyzing the XML Index Advisor recommendations.
+
+Reproduces the fourth demo panel: for every workload query, the estimated
+cost (1) with no indexes, (2) with the recommended configuration, and
+(3) with the overtrained configuration of all basic candidates; plus the
+same comparison for queries *beyond* the input workload, which shows the
+benefit of recommending generalized configurations.
+"""
+
+from __future__ import annotations
+
+from conftest import print_section
+
+from repro.advisor.advisor import XmlIndexAdvisor
+from repro.advisor.analysis import RecommendationAnalysis
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.tools.report import render_table
+
+BUDGET_BYTES = 192 * 1024.0
+
+
+def _analyze(database, workload, unseen, algorithm):
+    advisor = XmlIndexAdvisor(database,
+                              AdvisorParameters(disk_budget_bytes=BUDGET_BYTES,
+                                                search_algorithm=algorithm))
+    recommendation = advisor.recommend(workload)
+    analysis = RecommendationAnalysis(database, recommendation)
+    training_rows = analysis.compare_query_costs()
+    unseen_rows = analysis.evaluate_additional_queries(unseen)
+    summary = analysis.summary()
+    return recommendation, training_rows, unseen_rows, summary
+
+
+def _table(rows):
+    return render_table(
+        ["query", "no indexes", "recommended", "overtrained", "speedup"],
+        [[r.query_id, f"{r.cost_no_indexes:.1f}", f"{r.cost_recommended:.1f}",
+          f"{r.cost_overtrained:.1f}", f"{r.speedup_recommended:.2f}x"] for r in rows])
+
+
+def test_e4_recommendation_analysis(benchmark, xmark_db, xmark_train, xmark_unseen):
+    recommendation, training_rows, unseen_rows, summary = benchmark.pedantic(
+        _analyze, args=(xmark_db, xmark_train, xmark_unseen,
+                        SearchAlgorithm.GREEDY_HEURISTIC),
+        rounds=1, iterations=1)
+    body = (recommendation.describe() + "\n\nTraining workload:\n" + _table(training_rows)
+            + "\n\nUnseen queries (not in the training workload):\n"
+            + _table(unseen_rows)
+            + f"\n\nworkload improvement: {summary['improvement_recommended_pct']:.1f}% "
+              f"(overtrained bound {summary['improvement_overtrained_pct']:.1f}%), "
+              f"recommended size {summary['recommended_size_bytes'] / 1024:.1f} KiB vs "
+              f"overtrained {summary['overtrained_size_bytes'] / 1024:.1f} KiB")
+    print_section("E4 / Figure 5 - recommendation analysis (greedy-heuristic)", body)
+
+    # Shapes: recommendation improves the workload, stays within the
+    # overtrained bound, and never makes a query worse.
+    assert summary["improvement_recommended_pct"] > 10.0
+    assert summary["improvement_recommended_pct"] <= \
+        summary["improvement_overtrained_pct"] + 1e-6
+    assert all(r.cost_recommended <= r.cost_no_indexes + 1e-6 for r in training_rows)
+    # The recommendation captures most of the achievable benefit.
+    assert summary["improvement_recommended_pct"] >= \
+        0.6 * summary["improvement_overtrained_pct"]
+
+
+def test_e4_generalization_helps_unseen_queries(benchmark, xmark_db, xmark_train,
+                                                xmark_unseen):
+    recommendation, _, unseen_rows, _ = benchmark.pedantic(
+        _analyze, args=(xmark_db, xmark_train, xmark_unseen, SearchAlgorithm.TOP_DOWN),
+        rounds=1, iterations=1)
+    helped = [r for r in unseen_rows if r.speedup_recommended > 1.01]
+    body = (recommendation.describe() + "\n\nUnseen queries under the top-down "
+            "(most general) recommendation:\n" + _table(unseen_rows)
+            + f"\n\nunseen queries helped: {len(helped)}/{len(unseen_rows)}")
+    print_section("E4 - unseen-query benefit of generalized configurations", body)
+    assert helped, "generalized configurations must help some unseen queries"

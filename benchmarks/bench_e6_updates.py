@@ -1,0 +1,88 @@
+"""E6: update-cost awareness ("taking into account the cost of updating
+the index on data modification").
+
+Sweeps the update ratio of the TPoX-style workload and reports, per
+ratio, the recommended configuration's size, index count, and net
+estimated benefit.  Expected shape: as the update share grows, index
+maintenance eats into the benefit and the advisor recommends fewer /
+smaller indexes, down to none for overwhelmingly write-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import print_section
+
+from repro.advisor.advisor import XmlIndexAdvisor
+from repro.advisor.config import AdvisorParameters
+from repro.tools.report import render_table
+from repro.workloads.tpox import tpox_workload
+
+UPDATE_RATIOS = (0.0, 0.3, 0.6, 0.9)
+BUDGET_BYTES = 96 * 1024.0
+
+
+def _sweep(database):
+    rows = []
+    for ratio in UPDATE_RATIOS:
+        workload = tpox_workload(update_ratio=ratio)
+        advisor = XmlIndexAdvisor(database,
+                                  AdvisorParameters(disk_budget_bytes=BUDGET_BYTES))
+        recommendation = advisor.recommend(workload)
+        rows.append({
+            "update_ratio": ratio,
+            "indexes": len(recommendation.configuration),
+            "size_kb": recommendation.total_size_bytes / 1024.0,
+            "benefit": recommendation.total_benefit,
+            "improvement_pct": recommendation.improvement_percent(),
+        })
+    return rows
+
+
+def test_e6_update_ratio_sweep(benchmark, tpox_db):
+    rows = benchmark.pedantic(_sweep, args=(tpox_db,), rounds=1, iterations=1)
+    table = render_table(
+        ["update ratio", "#indexes", "size KiB", "net benefit", "improvement %"],
+        [[f"{r['update_ratio']:.1f}", r["indexes"], f"{r['size_kb']:.1f}",
+          f"{r['benefit']:.1f}", f"{r['improvement_pct']:.1f}"] for r in rows])
+    print_section("E6 - net benefit vs. workload update ratio (TPoX)", table)
+
+    benefits = [r["benefit"] for r in rows]
+    # Read-only gets the largest benefit; benefit decreases monotonically
+    # with the update share.
+    assert all(b1 >= b2 - 1e-6 for b1, b2 in zip(benefits, benefits[1:]))
+    assert benefits[0] > benefits[-1]
+    # And the advisor never recommends a configuration with negative net benefit.
+    assert all(b >= -1e-6 for b in benefits)
+
+
+def test_e6_update_aware_vs_blind(benchmark, tpox_db):
+    """Ablation: charge vs. ignore update cost for an update-heavy workload.
+
+    An update-blind advisor recommends indexes whose maintenance cost
+    exceeds their query benefit; the update-aware advisor does not.
+    """
+    workload = tpox_workload(update_ratio=0.8)
+
+    def _compare():
+        aware = XmlIndexAdvisor(
+            tpox_db, AdvisorParameters(disk_budget_bytes=BUDGET_BYTES,
+                                       account_for_updates=True)).recommend(workload)
+        blind = XmlIndexAdvisor(
+            tpox_db, AdvisorParameters(disk_budget_bytes=BUDGET_BYTES,
+                                       account_for_updates=False)).recommend(workload)
+        # Re-evaluate the blind recommendation *with* update cost to expose
+        # its real (net) benefit.
+        from repro.advisor.benefit import ConfigurationEvaluator
+
+        evaluator = ConfigurationEvaluator(tpox_db, aware.queries,
+                                           AdvisorParameters(account_for_updates=True))
+        blind_net = evaluator.evaluate(blind.configuration).total_benefit
+        return aware, blind, blind_net
+
+    aware, blind, blind_net = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    body = (f"update-aware recommendation: {len(aware.configuration)} indexes, "
+            f"net benefit {aware.total_benefit:.1f}\n"
+            f"update-blind recommendation: {len(blind.configuration)} indexes, "
+            f"net benefit when update cost is charged: {blind_net:.1f}")
+    print_section("E6 ablation - update-aware vs. update-blind advisor", body)
+    assert aware.total_benefit >= blind_net - 1e-6

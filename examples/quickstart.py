@@ -1,0 +1,72 @@
+"""Quickstart: recommend XML indexes for a small workload.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small XMark-style database, defines a five-query
+workload (XQuery + SQL/XML), asks the advisor for a recommendation under
+a 128 KiB disk budget, and prints the recommended indexes, their DDL, and
+the estimated per-query improvement.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdvisorParameters,
+    RecommendationAnalysis,
+    Workload,
+    XmlIndexAdvisor,
+    generate_xmark_database,
+)
+from repro.workloads import XMarkConfig
+
+
+def main() -> None:
+    # 1. A database: here a generated XMark-style auction database.  Any
+    #    XmlDatabase you fill with your own documents works the same way.
+    database = generate_xmark_database(XMarkConfig(scale=0.1, seed=42))
+    print(database.describe())
+
+    # 2. A workload: the statements your application runs, with optional
+    #    frequencies.  XQuery and SQL/XML are both accepted.
+    workload = Workload(name="quickstart")
+    workload.add('for $i in doc("xmark.xml")/site/regions/namerica/item '
+                 'where $i/quantity > 7 return $i/name', frequency=5.0)
+    workload.add('for $i in doc("xmark.xml")/site/regions/africa/item '
+                 'where $i/quantity > 7 return $i/name', frequency=2.0)
+    workload.add('for $p in doc("xmark.xml")/site/people/person '
+                 'where $p/profile/@income > 200000 return $p/name', frequency=3.0)
+    workload.add('for $a in doc("xmark.xml")/site/open_auctions/open_auction '
+                 'where $a/current > 250 return $a/itemref', frequency=2.0)
+    workload.add('SELECT 1 FROM xmark WHERE XMLEXISTS('
+                 '\'$d/site/people/person[@id = "person3_1"]\' PASSING doc AS "d")',
+                 frequency=4.0)
+
+    # 3. Run the advisor under a disk budget.
+    advisor = XmlIndexAdvisor(database,
+                              AdvisorParameters(disk_budget_bytes=128 * 1024))
+    recommendation = advisor.recommend(workload)
+
+    print()
+    print(recommendation.describe())
+    print()
+    print("DDL to create the recommended indexes:")
+    for ddl in recommendation.ddl_statements():
+        print("  " + ddl + ";")
+
+    # 4. Analyze: per-query costs with no indexes, with the recommendation,
+    #    and with the "overtrained" configuration of all basic candidates.
+    analysis = RecommendationAnalysis(database, recommendation)
+    print()
+    print(analysis.render_table())
+    summary = analysis.summary()
+    print()
+    print(f"estimated workload improvement: "
+          f"{summary['improvement_recommended_pct']:.1f}% "
+          f"(upper bound {summary['improvement_overtrained_pct']:.1f}%) "
+          f"using {summary['recommended_size_bytes'] / 1024:.0f} KiB of disk")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""What-if analysis: interactively editing a recommendation.
+
+Run with::
+
+    python examples/whatif_analysis.py
+
+The demo's analysis panel lets the user "modify the recommended
+configuration by adding and removing indexes and ... see the effect of
+these modifications on query performance".  This example does the same
+programmatically:
+
+* start from the advisor's recommendation under a tight budget;
+* drop the recommended index with the smallest contribution and measure
+  how much estimated benefit is lost;
+* add a hand-written index the advisor did not pick and measure how much
+  it would add;
+* compare everything against the overtrained upper bound.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdvisorParameters,
+    IndexDefinition,
+    RecommendationAnalysis,
+    Workload,
+    XmlIndexAdvisor,
+    generate_xmark_database,
+)
+from repro.workloads import XMarkConfig
+from repro.xquery.model import ValueType
+
+
+def main() -> None:
+    database = generate_xmark_database(XMarkConfig(scale=0.1, seed=42))
+    workload = Workload(name="whatif")
+    workload.add('for $i in doc("x")/site/regions/namerica/item '
+                 'where $i/quantity > 8 return $i/name', frequency=4.0)
+    workload.add('for $i in doc("x")/site/regions/europe/item '
+                 'where $i/price > 450 return $i/name', frequency=2.0)
+    workload.add('for $p in doc("x")/site/people/person '
+                 'where $p/@id = "person5_2" return $p/name', frequency=5.0)
+    workload.add('for $a in doc("x")/site/open_auctions/open_auction '
+                 'where $a/current > 300 return $a/itemref', frequency=1.0)
+
+    # A deliberately tight budget so the advisor has to leave something out.
+    advisor = XmlIndexAdvisor(database, AdvisorParameters(disk_budget_bytes=24 * 1024))
+    recommendation = advisor.recommend(workload)
+    analysis = RecommendationAnalysis(database, recommendation)
+
+    print(recommendation.describe())
+    print()
+    print(analysis.render_table())
+    summary = analysis.summary()
+    print(f"\nbaseline improvement: {summary['improvement_recommended_pct']:.1f}% "
+          f"(overtrained bound {summary['improvement_overtrained_pct']:.1f}%)")
+
+    # ------------------------------------------------------------------
+    # What if we drop one of the recommended indexes?
+    if len(recommendation.configuration) > 1:
+        victim = min(recommendation.configuration,
+                     key=lambda d: recommendation.benefit.index_sizes.get(d.key, 0.0))
+        without_victim = analysis.what_if(remove=[victim])
+        print(f"\nwhat-if: drop {victim.pattern.to_text()} "
+              f"[{victim.value_type.value}] ->"
+              f" benefit {without_victim.total_benefit:.1f} "
+              f"(was {recommendation.total_benefit:.1f}), "
+              f"size {without_victim.total_size_bytes / 1024:.1f} KiB")
+
+    # ------------------------------------------------------------------
+    # What if we add an index the advisor did not choose?
+    manual = IndexDefinition.create("/site/open_auctions/open_auction/current",
+                                    ValueType.DOUBLE, name="manual_current")
+    if not recommendation.configuration.contains_pattern(manual.pattern,
+                                                         manual.value_type):
+        with_manual = analysis.what_if(add=[manual])
+        print(f"what-if: add  {manual.pattern.to_text()} [DOUBLE] ->"
+              f" benefit {with_manual.total_benefit:.1f} "
+              f"(was {recommendation.total_benefit:.1f}), "
+              f"size {with_manual.total_size_bytes / 1024:.1f} KiB")
+
+    # ------------------------------------------------------------------
+    # How far is the recommendation from the overtrained configuration?
+    print(f"\novertrained configuration: "
+          f"{len(analysis.overtrained_configuration)} index(es), "
+          f"{summary['overtrained_size_bytes'] / 1024:.1f} KiB "
+          f"-> improvement {summary['improvement_overtrained_pct']:.1f}%")
+    print("The budgeted recommendation captures "
+          f"{100 * summary['improvement_recommended_pct'] / max(summary['improvement_overtrained_pct'], 1e-9):.0f}% "
+          "of that with "
+          f"{100 * summary['recommended_size_bytes'] / max(summary['overtrained_size_bytes'], 1e-9):.0f}% "
+          "of the space.")
+
+
+if __name__ == "__main__":
+    main()

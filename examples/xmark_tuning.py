@@ -1,0 +1,112 @@
+"""XMark tuning walkthrough: the full demonstration flow of the paper.
+
+Run with::
+
+    python examples/xmark_tuning.py
+
+The script follows Section 3 of the paper step by step:
+
+1. Enumerate Indexes mode on individual queries (Figure 2).
+2. Evaluate Indexes mode for a hand-picked configuration (Figure 3).
+3. Candidate generalization, the DAG, and the three search algorithms at
+   several disk budgets (Figure 4).
+4. Recommendation analysis, including unseen queries (Figure 5).
+5. Creating the recommended indexes and actually executing the workload.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdvisorParameters,
+    IndexConfiguration,
+    IndexDefinition,
+    Optimizer,
+    RecommendationAnalysis,
+    SearchAlgorithm,
+    XmlIndexAdvisor,
+    enumerate_indexes,
+    evaluate_indexes,
+    generate_xmark_database,
+    measure_workload,
+    xmark_query_workload,
+    xmark_unseen_queries,
+)
+from repro.tools.report import dag_report, enumerate_report, evaluate_report
+from repro.workloads import XMarkConfig
+from repro.xquery.model import ValueType
+from repro.xquery.normalizer import normalize_workload
+
+
+def heading(text: str) -> None:
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    database = generate_xmark_database(XMarkConfig(scale=0.2, seed=42))
+    workload = xmark_query_workload()
+    optimizer = Optimizer(database)
+    queries = [q for q in normalize_workload(workload) if not q.is_update]
+    print(database.describe())
+    print(workload.describe())
+
+    # ------------------------------------------------------------------
+    heading("Step 1 - Enumerate Indexes mode (Figure 2)")
+    sample = queries[:4]
+    results = [enumerate_indexes(q, database, optimizer) for q in sample]
+    print(enumerate_report(results))
+
+    # ------------------------------------------------------------------
+    heading("Step 2 - Evaluate Indexes mode for a hand-picked configuration (Figure 3)")
+    candidate_configuration = IndexConfiguration([
+        IndexDefinition.create("/site/regions/*/item/quantity", ValueType.DOUBLE),
+        IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR),
+    ], name="what-if")
+    evaluations = [evaluate_indexes(q, database, candidate_configuration,
+                                    optimizer=optimizer) for q in sample]
+    print(evaluate_report(evaluations))
+
+    # ------------------------------------------------------------------
+    heading("Step 3 - candidate generalization and configuration search (Figure 4)")
+    advisor = XmlIndexAdvisor(database, AdvisorParameters(disk_budget_bytes=256 * 1024))
+    normalized = advisor.normalize(workload)
+    basic = advisor.enumerate_candidates(normalized)
+    generalization = advisor.generalize(basic)
+    print(generalization.describe())
+    print()
+    print(dag_report(generalization.dag))
+    evaluator = advisor.build_evaluator(normalized)
+    print()
+    for algorithm in SearchAlgorithm:
+        result = advisor.search(generalization.candidates, generalization.dag,
+                                evaluator, algorithm)
+        print(result.describe())
+
+    # ------------------------------------------------------------------
+    heading("Step 4 - recommendation analysis (Figure 5)")
+    recommendation = advisor.recommend(workload)
+    print(recommendation.describe())
+    analysis = RecommendationAnalysis(database, recommendation)
+    print()
+    print(analysis.render_table())
+    print()
+    print("Unseen queries (not part of the training workload):")
+    unseen_rows = analysis.evaluate_additional_queries(xmark_unseen_queries())
+    for row in unseen_rows:
+        print(f"  {row.query_id}: speedup {row.speedup_recommended:.2f}x")
+
+    # ------------------------------------------------------------------
+    heading("Step 5 - create the indexes and execute the workload")
+    measurements = measure_workload(database, recommendation.queries,
+                                    recommendation.configuration)
+    for measurement in measurements.values():
+        print(measurement.describe())
+    baseline = measurements["no-indexes"].total_seconds
+    indexed = measurements["recommended"].total_seconds
+    if indexed > 0:
+        print(f"actual wall-clock speedup: {baseline / indexed:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so
+that ``pip install -e .`` can fall back to the legacy ``setup.py
+develop`` code path on machines that do not have the ``wheel`` package
+available (PEP 660 editable installs need it; the legacy path does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro -- reproduction of "An XML Index Advisor for DB2" (SIGMOD 2008).
+
+The package implements the paper's XML Index Advisor together with every
+substrate it needs to run without DB2: an XML document store with path
+statistics, XML path/value indexes (physical and virtual), a cost-based
+optimizer with the Enumerate Indexes / Evaluate Indexes EXPLAIN modes,
+XQuery and SQL/XML front ends, XMark- and TPoX-style workload
+generators, and a query executor for end-to-end validation.
+
+Quickstart::
+
+    from repro import (XmlIndexAdvisor, AdvisorParameters, SearchAlgorithm,
+                       generate_xmark_database, xmark_query_workload)
+
+    database = generate_xmark_database()
+    workload = xmark_query_workload()
+    advisor = XmlIndexAdvisor(database,
+                              AdvisorParameters(disk_budget_bytes=256 * 1024))
+    recommendation = advisor.recommend(workload)
+    print(recommendation.describe())
+    for ddl in recommendation.ddl_statements():
+        print(ddl)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+experiment-by-experiment reproduction record.
+"""
+
+from repro.advisor import (
+    AdvisorParameters,
+    Recommendation,
+    RecommendationAnalysis,
+    SearchAlgorithm,
+    XmlIndexAdvisor,
+)
+from repro.executor import QueryExecutor, measure_workload
+from repro.index import IndexConfiguration, IndexDefinition
+from repro.optimizer import (
+    ExplainMode,
+    Optimizer,
+    enumerate_indexes,
+    evaluate_indexes,
+)
+from repro.storage import XmlDatabase
+from repro.workloads import (
+    generate_tpox_database,
+    generate_xmark_database,
+    tpox_workload,
+    xmark_query_workload,
+    xmark_unseen_queries,
+)
+from repro.xpath import PathPattern
+from repro.xquery import Workload, WorkloadStatement, normalize_statement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorParameters",
+    "ExplainMode",
+    "IndexConfiguration",
+    "IndexDefinition",
+    "Optimizer",
+    "PathPattern",
+    "QueryExecutor",
+    "Recommendation",
+    "RecommendationAnalysis",
+    "SearchAlgorithm",
+    "Workload",
+    "WorkloadStatement",
+    "XmlDatabase",
+    "XmlIndexAdvisor",
+    "__version__",
+    "enumerate_indexes",
+    "evaluate_indexes",
+    "generate_tpox_database",
+    "generate_xmark_database",
+    "measure_workload",
+    "normalize_statement",
+    "tpox_workload",
+    "xmark_query_workload",
+    "xmark_unseen_queries",
+]

@@ -1,0 +1,66 @@
+"""The XML Index Advisor -- the paper's primary contribution.
+
+The advisor takes an :class:`~repro.storage.document_store.XmlDatabase`,
+a :class:`~repro.xquery.model.Workload`, and a disk-space budget, and
+recommends the set of XML pattern indexes that maximizes the estimated
+benefit to the workload within the budget.  The pipeline follows
+Figure 1 of the paper:
+
+1. **Basic candidates** (:mod:`repro.advisor.candidates`) -- for every
+   workload query, ask the optimizer's Enumerate Indexes mode which
+   query patterns could use an index.
+2. **Generalization** (:mod:`repro.advisor.generalization`,
+   :mod:`repro.advisor.dag`) -- expand the candidates with more general
+   patterns that can serve several queries (and future queries), and
+   organize all candidates in a generalization DAG.
+3. **Configuration search** (:mod:`repro.advisor.enumeration`) -- search
+   the space of configurations under the disk budget with one of three
+   algorithms: plain greedy knapsack (the relational baseline), greedy
+   with redundancy-detection heuristics, or top-down DAG search.
+4. **Benefit estimation** (:mod:`repro.advisor.benefit`) -- every
+   configuration considered is costed by the optimizer's Evaluate
+   Indexes mode over the whole workload, so index interaction and update
+   (maintenance) costs are accounted for.
+5. **Analysis** (:mod:`repro.advisor.analysis`) -- per-query comparisons
+   against the no-index and "overtrained" configurations, evaluation of
+   unseen queries, and what-if editing, as shown in the demonstration.
+
+The one-call entry point is :class:`repro.advisor.advisor.XmlIndexAdvisor`.
+"""
+
+from repro.advisor.advisor import Recommendation, XmlIndexAdvisor
+from repro.advisor.analysis import QueryCostComparison, RecommendationAnalysis
+from repro.advisor.benefit import ConfigurationBenefit, ConfigurationEvaluator
+from repro.advisor.candidates import CandidateIndex, CandidateSet, enumerate_basic_candidates
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.advisor.dag import GeneralizationDag
+from repro.advisor.enumeration import (
+    GreedySearch,
+    GreedyWithHeuristicsSearch,
+    SearchResult,
+    TopDownSearch,
+    create_search,
+)
+from repro.advisor.generalization import GeneralizationResult, generalize_candidates
+
+__all__ = [
+    "AdvisorParameters",
+    "CandidateIndex",
+    "CandidateSet",
+    "ConfigurationBenefit",
+    "ConfigurationEvaluator",
+    "GeneralizationDag",
+    "GeneralizationResult",
+    "GreedySearch",
+    "GreedyWithHeuristicsSearch",
+    "QueryCostComparison",
+    "Recommendation",
+    "RecommendationAnalysis",
+    "SearchAlgorithm",
+    "SearchResult",
+    "TopDownSearch",
+    "XmlIndexAdvisor",
+    "create_search",
+    "enumerate_basic_candidates",
+    "generalize_candidates",
+]

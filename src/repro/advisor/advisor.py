@@ -1,0 +1,200 @@
+"""The end-to-end XML Index Advisor.
+
+:class:`XmlIndexAdvisor` wires the whole pipeline of Figure 1 together:
+workload normalization, basic candidate enumeration (Enumerate Indexes
+mode), candidate generalization into the DAG, configuration search under
+the disk budget (Evaluate Indexes mode inside the benefit evaluator),
+and packaging of the result as a :class:`Recommendation` that the
+analysis tooling, the CLI, and the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.advisor.benefit import ConfigurationBenefit, ConfigurationEvaluator
+from repro.advisor.candidates import CandidateSet, enumerate_basic_candidates
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.advisor.dag import GeneralizationDag
+from repro.advisor.enumeration import SearchResult, create_search
+from repro.advisor.generalization import GeneralizationResult, generalize_candidates
+from repro.index.definition import IndexConfiguration, IndexDefinition
+from repro.optimizer.optimizer import Optimizer
+from repro.storage.document_store import XmlDatabase
+from repro.xquery.model import NormalizedQuery, Workload
+from repro.xquery.normalizer import normalize_workload
+
+
+@dataclass
+class Recommendation:
+    """Everything the advisor produced for one session."""
+
+    #: The recommended configuration (what the DBA should create).
+    configuration: IndexConfiguration
+    #: Benefit/size/per-query breakdown of the recommendation.
+    benefit: ConfigurationBenefit
+    #: All candidates considered (basic + generalized).
+    candidates: CandidateSet
+    #: The generalization DAG over those candidates.
+    dag: GeneralizationDag
+    #: The search trace (which indexes were added/evicted/replaced and why).
+    search_result: SearchResult
+    #: The normalized workload the recommendation was computed for.
+    queries: List[NormalizedQuery] = field(default_factory=list)
+    #: Parameters the session ran with.
+    parameters: AdvisorParameters = field(default_factory=AdvisorParameters)
+    #: Wall-clock seconds spent in each phase.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_benefit(self) -> float:
+        return self.benefit.total_benefit
+
+    @property
+    def total_size_bytes(self) -> float:
+        return self.benefit.total_size_bytes
+
+    @property
+    def index_definitions(self) -> List[IndexDefinition]:
+        return self.configuration.definitions
+
+    def ddl_statements(self) -> List[str]:
+        """CREATE INDEX statements for the recommended configuration."""
+        return [index.ddl() for index in self.configuration]
+
+    def improvement_percent(self) -> float:
+        """Estimated workload cost reduction, as a percentage."""
+        baseline = sum(e.cost_without_indexes * e.frequency
+                       for e in self.benefit.query_evaluations)
+        if baseline <= 0:
+            return 0.0
+        with_config = sum(e.cost_with_configuration * e.frequency
+                          for e in self.benefit.query_evaluations)
+        return 100.0 * (baseline - with_config) / baseline
+
+    def describe(self) -> str:
+        lines = [
+            f"recommended configuration ({self.search_result.algorithm.value} search):",
+            f"  {len(self.configuration)} index(es), "
+            f"size {self.total_size_bytes / 1024:.1f} KiB, "
+            f"estimated improvement {self.improvement_percent():.1f}%",
+        ]
+        for index in self.configuration:
+            size = self.benefit.index_sizes.get(index.key, 0.0)
+            lines.append(f"    {index.pattern.to_text()} [{index.value_type.value}] "
+                         f"(~{size / 1024:.1f} KiB)")
+        return "\n".join(lines)
+
+
+class XmlIndexAdvisor:
+    """The client-side advisor application of Figure 1.
+
+    Parameters
+    ----------
+    database:
+        The XML database to tune (documents + catalog + statistics).
+    parameters:
+        Session parameters (disk budget, search algorithm, ...).
+    """
+
+    def __init__(self, database: XmlDatabase,
+                 parameters: Optional[AdvisorParameters] = None) -> None:
+        self.database = database
+        self.parameters = parameters or AdvisorParameters()
+        self.parameters.validate()
+        self.optimizer = Optimizer(database, self.parameters.cost_parameters)
+
+    # ------------------------------------------------------------------
+    # Pipeline steps (exposed individually for the demo/benchmarks)
+    # ------------------------------------------------------------------
+    def normalize(self, workload: Union[Workload, Sequence[str]]) -> List[NormalizedQuery]:
+        """Normalize a workload (or plain list of statement strings)."""
+        if not isinstance(workload, Workload):
+            workload = Workload(name="adhoc",
+                                statements=None) if workload is None else _as_workload(workload)
+        return normalize_workload(workload)
+
+    def enumerate_candidates(self, queries: Sequence[NormalizedQuery]) -> CandidateSet:
+        """Step 1: basic candidates via the Enumerate Indexes mode."""
+        return enumerate_basic_candidates(queries, self.database, self.optimizer)
+
+    def generalize(self, candidates: CandidateSet) -> GeneralizationResult:
+        """Step 2: expand candidates with the generalization rules."""
+        return generalize_candidates(candidates, self.parameters)
+
+    def build_evaluator(self, queries: Sequence[NormalizedQuery]) -> ConfigurationEvaluator:
+        """The Evaluate Indexes-backed benefit evaluator for ``queries``."""
+        return ConfigurationEvaluator(self.database, queries, self.parameters,
+                                      self.optimizer)
+
+    def search(self, candidates: CandidateSet, dag: GeneralizationDag,
+               evaluator: ConfigurationEvaluator,
+               algorithm: Optional[SearchAlgorithm] = None) -> SearchResult:
+        """Step 3: search for the best configuration under the budget."""
+        algorithm = algorithm or self.parameters.search_algorithm
+        strategy = create_search(algorithm, evaluator, self.parameters)
+        return strategy.search(candidates, dag)
+
+    # ------------------------------------------------------------------
+    # One-call entry point
+    # ------------------------------------------------------------------
+    def recommend(self, workload: Union[Workload, Sequence[str]],
+                  algorithm: Optional[SearchAlgorithm] = None) -> Recommendation:
+        """Run the full pipeline and return the recommendation."""
+        phase_seconds: Dict[str, float] = {}
+
+        start = time.perf_counter()
+        queries = self.normalize(workload)
+        phase_seconds["normalize"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        basic = self.enumerate_candidates(queries)
+        phase_seconds["enumerate"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        generalization = self.generalize(basic)
+        phase_seconds["generalize"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        evaluator = self.build_evaluator(queries)
+        search_result = self.search(generalization.candidates, generalization.dag,
+                                    evaluator, algorithm)
+        phase_seconds["search"] = time.perf_counter() - start
+
+        return Recommendation(
+            configuration=search_result.configuration,
+            benefit=search_result.benefit,
+            candidates=generalization.candidates,
+            dag=generalization.dag,
+            search_result=search_result,
+            queries=queries,
+            parameters=self.parameters,
+            phase_seconds=phase_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def create_recommended_indexes(self, recommendation: Recommendation) -> List[IndexDefinition]:
+        """Materialize the recommendation in the catalog (as physical
+        definitions), as the demo's final step does.
+
+        Returns the physical definitions added.  Building the actual
+        index structures for execution is the executor's job
+        (:func:`repro.executor.executor.create_indexes`).
+        """
+        created: List[IndexDefinition] = []
+        for index in recommendation.configuration:
+            physical = index.as_physical()
+            if not self.database.catalog.has_index(physical.name):
+                self.database.catalog.add_index(physical)
+                created.append(physical)
+        return created
+
+
+def _as_workload(statements: Sequence[str]) -> Workload:
+    workload = Workload(name="adhoc")
+    for statement in statements:
+        workload.add(statement)
+    return workload

@@ -1,0 +1,229 @@
+"""Configuration benefit estimation (Section 2.3, "Evaluate Indexes" usage).
+
+The benefit of an index configuration is the frequency-weighted drop in
+estimated workload cost when the configuration is simulated as virtual
+indexes, minus the maintenance cost it imposes on the workload's update
+statements:
+
+.. math::
+
+    benefit(C) = \\sum_q f_q (cost_q(\\emptyset) - cost_q(C))
+                 - \\sum_u f_u maintenance_u(C)
+
+Because each query is costed against the *whole* configuration (not one
+index at a time), index interaction is captured: an index that is
+shadowed by a better one contributes nothing, exactly as in the paper
+("the benefit of an index can change depending on which other indexes
+are available").
+
+The evaluator memoizes per-query evaluations keyed by the subset of the
+configuration that could possibly matter to the query, which keeps the
+greedy search's repeated evaluations cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.advisor.config import AdvisorParameters
+from repro.index.definition import IndexConfiguration, IndexDefinition
+from repro.index.sizing import estimate_index_size_bytes
+from repro.optimizer.explain import evaluate_indexes
+from repro.optimizer.optimizer import Optimizer
+from repro.storage.document_store import XmlDatabase
+from repro.xpath.patterns import pattern_contains
+from repro.xquery.model import NormalizedQuery, ValueType
+
+
+@dataclass
+class QueryEvaluation:
+    """Per-query outcome of evaluating one configuration."""
+
+    query_id: str
+    frequency: float
+    cost_without_indexes: float
+    cost_with_configuration: float
+    used_index_keys: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def benefit(self) -> float:
+        """Frequency-weighted cost reduction (negative for update overhead)."""
+        return (self.cost_without_indexes - self.cost_with_configuration) * self.frequency
+
+
+@dataclass
+class ConfigurationBenefit:
+    """Benefit, size and per-query breakdown of one configuration."""
+
+    configuration: IndexConfiguration
+    total_benefit: float
+    total_size_bytes: float
+    query_evaluations: List[QueryEvaluation] = field(default_factory=list)
+    index_sizes: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def used_index_keys(self) -> FrozenSet[Tuple[str, str]]:
+        used: set = set()
+        for evaluation in self.query_evaluations:
+            used.update(evaluation.used_index_keys)
+        return frozenset(used)
+
+    @property
+    def unused_indexes(self) -> List[IndexDefinition]:
+        """Indexes in the configuration no query plan used."""
+        used = self.used_index_keys
+        return [index for index in self.configuration if index.key not in used]
+
+    def describe(self) -> str:
+        return (f"configuration of {len(self.configuration)} index(es): "
+                f"benefit {self.total_benefit:.1f}, "
+                f"size {self.total_size_bytes / 1024:.1f} KiB, "
+                f"{len(self.unused_indexes)} unused")
+
+
+class ConfigurationEvaluator:
+    """Costs configurations over a fixed normalized workload."""
+
+    def __init__(self, database: XmlDatabase, queries: Sequence[NormalizedQuery],
+                 parameters: Optional[AdvisorParameters] = None,
+                 optimizer: Optional[Optimizer] = None) -> None:
+        self.database = database
+        self.queries = list(queries)
+        self.parameters = parameters or AdvisorParameters()
+        self.optimizer = optimizer or Optimizer(database, self.parameters.cost_parameters)
+        self._baseline: Dict[str, float] = {}
+        self._query_cache: Dict[Tuple[str, FrozenSet[Tuple[str, str]]],
+                                Tuple[float, Tuple[Tuple[str, str], ...]]] = {}
+        self._size_cache: Dict[Tuple[str, str], float] = {}
+        self._compute_baseline()
+
+    # ------------------------------------------------------------------
+    # Baseline
+    # ------------------------------------------------------------------
+    def _compute_baseline(self) -> None:
+        for query in self.queries:
+            if query.is_update:
+                plan = self.optimizer.plan_update(query, candidate_indexes=[])
+                self._baseline[query.query_id] = plan.total_cost
+            else:
+                plan = self.optimizer.optimize(query, candidate_indexes=[])
+                self._baseline[query.query_id] = plan.total_cost
+
+    @property
+    def baseline_costs(self) -> Dict[str, float]:
+        """Per-query cost with no indexes at all."""
+        return dict(self._baseline)
+
+    @property
+    def baseline_workload_cost(self) -> float:
+        return sum(self._baseline[q.query_id] * q.frequency for q in self.queries)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def index_size_bytes(self, index: IndexDefinition) -> float:
+        size = self._size_cache.get(index.key)
+        if size is None:
+            size = estimate_index_size_bytes(index, self.database.statistics)
+            self._size_cache[index.key] = size
+        return size
+
+    def configuration_size_bytes(self, configuration: Iterable[IndexDefinition]) -> float:
+        return sum(self.index_size_bytes(index) for index in configuration)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, configuration: "IndexConfiguration | Iterable[IndexDefinition]"
+                 ) -> ConfigurationBenefit:
+        """Estimate the benefit of ``configuration`` over the workload."""
+        if not isinstance(configuration, IndexConfiguration):
+            configuration = IndexConfiguration(configuration)
+        evaluations: List[QueryEvaluation] = []
+        for query in self.queries:
+            cost, used = self._evaluate_query(query, configuration)
+            evaluations.append(QueryEvaluation(
+                query_id=query.query_id,
+                frequency=query.frequency,
+                cost_without_indexes=self._baseline[query.query_id],
+                cost_with_configuration=cost,
+                used_index_keys=used,
+            ))
+        total_benefit = sum(evaluation.benefit for evaluation in evaluations)
+        sizes = {index.key: self.index_size_bytes(index) for index in configuration}
+        return ConfigurationBenefit(configuration=configuration,
+                                    total_benefit=total_benefit,
+                                    total_size_bytes=sum(sizes.values()),
+                                    query_evaluations=evaluations,
+                                    index_sizes=sizes)
+
+    def evaluate_single_index(self, index: IndexDefinition) -> ConfigurationBenefit:
+        """Benefit of a configuration containing only ``index``."""
+        return self.evaluate(IndexConfiguration([index]))
+
+    def marginal_benefit(self, base: ConfigurationBenefit,
+                         index: IndexDefinition) -> float:
+        """Benefit gained by adding ``index`` to an already-evaluated config."""
+        extended = base.configuration.copy()
+        extended.add(index)
+        return self.evaluate(extended).total_benefit - base.total_benefit
+
+    # ------------------------------------------------------------------
+    def _evaluate_query(self, query: NormalizedQuery,
+                        configuration: IndexConfiguration
+                        ) -> Tuple[float, Tuple[Tuple[str, str], ...]]:
+        relevant = self._relevant_indexes(query, configuration)
+        cache_key = (query.query_id, frozenset(index.key for index in relevant))
+        cached = self._query_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        if query.is_update:
+            if self.parameters.account_for_updates:
+                plan = self.optimizer.plan_update(query, candidate_indexes=relevant)
+                cost = plan.total_cost
+                used = tuple(m.index.key for m in plan.maintenance_costs)
+            else:
+                cost = self._baseline[query.query_id]
+                used = ()
+        else:
+            if not relevant:
+                cost, used = self._baseline[query.query_id], ()
+            else:
+                result = evaluate_indexes(query, self.database, relevant,
+                                          optimizer=self.optimizer,
+                                          include_physical=False)
+                cost = result.estimated_cost
+                used = tuple(index.key for index in result.used_indexes)
+        self._query_cache[cache_key] = (cost, used)
+        return cost, used
+
+    def _relevant_indexes(self, query: NormalizedQuery,
+                          configuration: IndexConfiguration) -> List[IndexDefinition]:
+        """The subset of the configuration that could affect ``query``.
+
+        For queries: indexes whose pattern contains some predicate path.
+        For updates: indexes whose pattern shares data paths with the
+        touched patterns (approximated by containment either way).
+        Restricting evaluation to this subset makes caching effective
+        without changing the result (other indexes cannot appear in the
+        query's plan or maintenance list).
+        """
+        relevant: List[IndexDefinition] = []
+        if query.is_update:
+            for index in configuration:
+                for touched in query.touched_patterns:
+                    if (pattern_contains(touched, index.pattern)
+                            or pattern_contains(index.pattern, touched)):
+                        relevant.append(index)
+                        break
+            return relevant
+        for index in configuration:
+            for predicate in query.predicates:
+                if not predicate.is_existence and \
+                        predicate.value_type is not index.value_type:
+                    continue
+                if pattern_contains(index.pattern, predicate.pattern):
+                    relevant.append(index)
+                    break
+        return relevant

@@ -1,0 +1,151 @@
+"""The generalization DAG (Section 2.2, Figure 4).
+
+Nodes are candidate indexes; there is an edge from a candidate to each
+of its *direct* generalizations ("each node ... has as its parents the
+possible generalizations of this pattern").  The DAG's roots are the
+most general candidates obtainable from the workload; the top-down
+search walks it root-to-leaf.
+
+Edges are computed from exact pattern containment restricted to
+same-value-type candidates, then transitively reduced so that parents
+are immediate generalizations only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.advisor.candidates import CandidateIndex, CandidateKey, CandidateSet
+from repro.xpath.patterns import pattern_contains
+
+
+class GeneralizationDag:
+    """Parent/child structure over a candidate set."""
+
+    def __init__(self, candidates: CandidateSet) -> None:
+        self._candidates = candidates
+        #: child key -> set of parent keys (direct generalizations).
+        self._parents: Dict[CandidateKey, Set[CandidateKey]] = {}
+        #: parent key -> set of child keys (direct specializations).
+        self._children: Dict[CandidateKey, Set[CandidateKey]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        candidates = self._candidates.candidates
+        for candidate in candidates:
+            self._parents.setdefault(candidate.key, set())
+            self._children.setdefault(candidate.key, set())
+
+        # All strict generalization relations (ancestor map).
+        ancestors: Dict[CandidateKey, Set[CandidateKey]] = {
+            c.key: set() for c in candidates}
+        for child in candidates:
+            for parent in candidates:
+                if parent.key == child.key:
+                    continue
+                if parent.value_type is not child.value_type:
+                    continue
+                if (pattern_contains(parent.pattern, child.pattern)
+                        and not pattern_contains(child.pattern, parent.pattern)):
+                    ancestors[child.key].add(parent.key)
+
+        # Transitive reduction: a parent is direct if no other ancestor of
+        # the child is a descendant of that parent.
+        for child_key, child_ancestors in ancestors.items():
+            for parent_key in child_ancestors:
+                direct = True
+                for other_key in child_ancestors:
+                    if other_key == parent_key:
+                        continue
+                    if parent_key in ancestors[other_key]:
+                        direct = False
+                        break
+                if direct:
+                    self._parents[child_key].add(parent_key)
+                    self._children[parent_key].add(child_key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def candidates(self) -> CandidateSet:
+        return self._candidates
+
+    @property
+    def node_count(self) -> int:
+        return len(self._parents)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(parents) for parents in self._parents.values())
+
+    def parents_of(self, candidate: CandidateIndex) -> List[CandidateIndex]:
+        """Direct generalizations of ``candidate``."""
+        return [self._candidates.get(key) for key in sorted(self._parents.get(candidate.key, set()))]
+
+    def children_of(self, candidate: CandidateIndex) -> List[CandidateIndex]:
+        """Direct specializations of ``candidate``."""
+        return [self._candidates.get(key) for key in sorted(self._children.get(candidate.key, set()))]
+
+    @property
+    def roots(self) -> List[CandidateIndex]:
+        """Candidates with no generalization above them (most general)."""
+        return [self._candidates.get(key)
+                for key, parents in self._parents.items() if not parents]
+
+    @property
+    def leaves(self) -> List[CandidateIndex]:
+        """Candidates with no specialization below them (most specific)."""
+        return [self._candidates.get(key)
+                for key, children in self._children.items() if not children]
+
+    def descendants_of(self, candidate: CandidateIndex) -> List[CandidateIndex]:
+        """All (transitive) specializations of ``candidate``."""
+        seen: Set[CandidateKey] = set()
+        frontier = [candidate.key]
+        while frontier:
+            key = frontier.pop()
+            for child_key in self._children.get(key, set()):
+                if child_key not in seen:
+                    seen.add(child_key)
+                    frontier.append(child_key)
+        return [self._candidates.get(key) for key in sorted(seen)]
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf chain (1 for a flat DAG)."""
+        memo: Dict[CandidateKey, int] = {}
+
+        def walk(key: CandidateKey) -> int:
+            if key in memo:
+                return memo[key]
+            children = self._children.get(key, set())
+            result = 1 + (max((walk(child) for child in children), default=0))
+            memo[key] = result
+            return result
+
+        return max((walk(root.key) for root in self.roots), default=0)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Indented text rendering of the DAG (the Figure 4 view)."""
+        lines: List[str] = [f"generalization DAG: {self.node_count} nodes, "
+                            f"{self.edge_count} edges, depth {self.depth()}"]
+        visited: Set[CandidateKey] = set()
+
+        def emit(candidate: CandidateIndex, indent: int) -> None:
+            marker = "*" if candidate.is_generalized else "-"
+            lines.append("  " * indent + f"{marker} {candidate.pattern.to_text()} "
+                         f"[{candidate.value_type.value}]")
+            if candidate.key in visited:
+                return
+            visited.add(candidate.key)
+            for child in self.children_of(candidate):
+                emit(child, indent + 1)
+
+        for root in sorted(self.roots, key=lambda c: c.pattern.to_text()):
+            emit(root, 1)
+        return "\n".join(lines)

@@ -1,0 +1,343 @@
+"""Configuration enumeration: searching for the best index configuration.
+
+Three strategies are provided (Section 2.3):
+
+:class:`GreedySearch`
+    The relational-advisor baseline [8]: rank candidates once by
+    benefit-per-byte and add them while the disk budget allows.  No
+    redundancy detection -- a general index can be picked even though
+    the patterns it covers are already covered, wasting budget.
+
+:class:`GreedyWithHeuristicsSearch`
+    The paper's first algorithm: greedy search augmented with heuristics
+    that (a) maintain a bitmap of workload path expressions already
+    covered by the chosen configuration and never admit an index that
+    covers nothing new, (b) re-evaluate marginal benefits as the
+    configuration grows (capturing index interaction), and (c) evict
+    indexes that end up unused by every query plan, reclaiming their
+    space for more useful indexes.
+
+:class:`TopDownSearch`
+    The paper's second algorithm: start from the roots of the
+    generalization DAG (the most general candidates -- maximum benefit,
+    usually over budget) and repeatedly replace the index with the worst
+    size-to-benefit contribution by its more specific DAG children until
+    the configuration fits in the budget.  The goal is the most general
+    configuration that fits, which is the right choice when the training
+    workload is only representative of the real one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.advisor.benefit import ConfigurationBenefit, ConfigurationEvaluator
+from repro.advisor.candidates import CandidateIndex, CandidateSet
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.advisor.dag import GeneralizationDag
+from repro.index.definition import IndexConfiguration, IndexDefinition
+
+
+@dataclass
+class SearchStep:
+    """One step of a search trace (for the Figure 4 style walkthrough)."""
+
+    action: str
+    index_pattern: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.action}: {self.index_pattern}{suffix}"
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one configuration search."""
+
+    algorithm: SearchAlgorithm
+    configuration: IndexConfiguration
+    benefit: ConfigurationBenefit
+    budget_bytes: Optional[float]
+    trace: List[SearchStep] = field(default_factory=list)
+    evaluations_performed: int = 0
+
+    @property
+    def size_bytes(self) -> float:
+        return self.benefit.total_size_bytes
+
+    @property
+    def fits_budget(self) -> bool:
+        if self.budget_bytes is None:
+            return True
+        return self.size_bytes <= self.budget_bytes + 1e-6
+
+    def describe(self) -> str:
+        budget = ("unlimited" if self.budget_bytes is None
+                  else f"{self.budget_bytes / 1024:.0f} KiB")
+        return (f"{self.algorithm.value} search: {len(self.configuration)} index(es), "
+                f"benefit {self.benefit.total_benefit:.1f}, "
+                f"size {self.size_bytes / 1024:.1f} KiB (budget {budget}), "
+                f"{self.evaluations_performed} configuration evaluations")
+
+
+class _SearchBase:
+    """Shared plumbing for the three search strategies."""
+
+    algorithm: SearchAlgorithm
+
+    def __init__(self, evaluator: ConfigurationEvaluator,
+                 parameters: Optional[AdvisorParameters] = None) -> None:
+        self.evaluator = evaluator
+        self.parameters = parameters or AdvisorParameters()
+        self._evaluations = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _evaluate(self, configuration: IndexConfiguration) -> ConfigurationBenefit:
+        self._evaluations += 1
+        return self.evaluator.evaluate(configuration)
+
+    def _definition_for(self, candidate: CandidateIndex) -> IndexDefinition:
+        return candidate.to_definition(is_virtual=True)
+
+    def _budget(self) -> Optional[float]:
+        return self.parameters.disk_budget_bytes
+
+    def _fits(self, size_bytes: float) -> bool:
+        budget = self._budget()
+        return budget is None or size_bytes <= budget + 1e-6
+
+    def _result(self, configuration: IndexConfiguration,
+                trace: List[SearchStep]) -> SearchResult:
+        benefit = self._evaluate(configuration)
+        return SearchResult(algorithm=self.algorithm, configuration=configuration,
+                            benefit=benefit, budget_bytes=self._budget(),
+                            trace=trace, evaluations_performed=self._evaluations)
+
+    # -- interface --------------------------------------------------------
+    def search(self, candidates: CandidateSet,
+               dag: Optional[GeneralizationDag] = None) -> SearchResult:
+        raise NotImplementedError
+
+
+class GreedySearch(_SearchBase):
+    """Plain greedy 0/1-knapsack approximation (no redundancy handling)."""
+
+    algorithm = SearchAlgorithm.GREEDY
+
+    def search(self, candidates: CandidateSet,
+               dag: Optional[GeneralizationDag] = None) -> SearchResult:
+        trace: List[SearchStep] = []
+        scored: List[Tuple[float, float, CandidateIndex, IndexDefinition]] = []
+        for candidate in candidates:
+            definition = self._definition_for(candidate)
+            size = self.evaluator.index_size_bytes(definition)
+            benefit = self._evaluate(IndexConfiguration([definition])).total_benefit
+            if benefit <= 0:
+                trace.append(SearchStep("skip (no benefit)", candidate.pattern.to_text()))
+                continue
+            ratio = benefit / max(size, 1.0)
+            scored.append((ratio, benefit, candidate, definition))
+        scored.sort(key=lambda item: item[0], reverse=True)
+
+        configuration = IndexConfiguration(name="greedy")
+        used_bytes = 0.0
+        for ratio, benefit, candidate, definition in scored:
+            size = self.evaluator.index_size_bytes(definition)
+            if not self._fits(used_bytes + size):
+                trace.append(SearchStep("skip (budget)", candidate.pattern.to_text(),
+                                        f"size {size / 1024:.1f} KiB"))
+                continue
+            configuration.add(definition)
+            used_bytes += size
+            trace.append(SearchStep("add", candidate.pattern.to_text(),
+                                    f"benefit/size ratio {ratio:.3f}"))
+        return self._result(configuration, trace)
+
+
+class GreedyWithHeuristicsSearch(_SearchBase):
+    """Greedy search with the paper's redundancy heuristics."""
+
+    algorithm = SearchAlgorithm.GREEDY_HEURISTIC
+
+    def search(self, candidates: CandidateSet,
+               dag: Optional[GeneralizationDag] = None) -> SearchResult:
+        trace: List[SearchStep] = []
+        remaining: Dict[Tuple[str, str], CandidateIndex] = {
+            c.key: c for c in candidates}
+        configuration = IndexConfiguration(name="greedy-heuristic")
+        current = self._evaluate(configuration)
+        #: The redundancy bitmap: workload predicate patterns already
+        #: covered by some chosen index.
+        covered_predicates: Set[str] = set()
+
+        while remaining:
+            best_key: Optional[Tuple[str, str]] = None
+            best_ratio = 0.0
+            best_gain = 0.0
+            best_definition: Optional[IndexDefinition] = None
+            for key, candidate in remaining.items():
+                definition = self._definition_for(candidate)
+                size = self.evaluator.index_size_bytes(definition)
+                if not self._fits(current.total_size_bytes + size):
+                    continue
+                newly_covered = self._newly_covered(candidate, covered_predicates)
+                if not newly_covered:
+                    # Redundant: every workload pattern it would serve is
+                    # already covered by the chosen configuration.
+                    continue
+                gain = self.evaluator.marginal_benefit(current, definition)
+                self._evaluations += 1
+                if gain <= 1e-9:
+                    continue
+                ratio = gain / max(size, 1.0)
+                if ratio > best_ratio + 1e-12:
+                    best_ratio = ratio
+                    best_gain = gain
+                    best_key = key
+                    best_definition = definition
+            if best_key is None or best_definition is None:
+                break
+            candidate = remaining.pop(best_key)
+            configuration.add(best_definition)
+            current = self._evaluate(configuration)
+            covered_predicates.update(self._covered_patterns(candidate))
+            trace.append(SearchStep("add", candidate.pattern.to_text(),
+                                    f"marginal benefit {best_gain:.1f}, "
+                                    f"ratio {best_ratio:.4f}"))
+            # Reclaim space from indexes that no query plan uses any more.
+            evicted = self._evict_unused(configuration, current, trace)
+            if evicted:
+                current = self._evaluate(configuration)
+        return self._result(configuration, trace)
+
+    # -- heuristics -------------------------------------------------------
+    def _covered_patterns(self, candidate: CandidateIndex) -> Set[str]:
+        return {predicate.pattern.to_text()
+                for predicate in candidate.covered_predicates}
+
+    def _newly_covered(self, candidate: CandidateIndex,
+                       covered: Set[str]) -> Set[str]:
+        return self._covered_patterns(candidate) - covered
+
+    def _evict_unused(self, configuration: IndexConfiguration,
+                      current: ConfigurationBenefit,
+                      trace: List[SearchStep]) -> bool:
+        """Remove configuration members no query plan uses (space reclaim)."""
+        unused = current.unused_indexes
+        evicted = False
+        for index in unused:
+            configuration.remove(index)
+            trace.append(SearchStep("evict (unused)", index.pattern.to_text()))
+            evicted = True
+        return evicted
+
+
+class TopDownSearch(_SearchBase):
+    """Root-to-leaf search through the generalization DAG."""
+
+    algorithm = SearchAlgorithm.TOP_DOWN
+
+    def search(self, candidates: CandidateSet,
+               dag: Optional[GeneralizationDag] = None) -> SearchResult:
+        if dag is None:
+            dag = GeneralizationDag(candidates)
+        trace: List[SearchStep] = []
+
+        configuration = IndexConfiguration(name="top-down")
+        members: Dict[Tuple[str, str], CandidateIndex] = {}
+        for root in dag.roots:
+            definition = self._definition_for(root)
+            configuration.add(definition)
+            members[root.key] = root
+            trace.append(SearchStep("start from root", root.pattern.to_text()))
+
+        current = self._evaluate(configuration)
+        # Progressively replace general indexes by their children until the
+        # configuration fits the budget.
+        guard = 0
+        max_iterations = 4 * max(1, len(candidates))
+        while not self._fits(current.total_size_bytes) and guard < max_iterations:
+            guard += 1
+            victim = self._pick_victim(members, current)
+            if victim is None:
+                break
+            victim_definition = self._definition_for(victim)
+            configuration.remove(victim_definition)
+            del members[victim.key]
+            children = dag.children_of(victim)
+            if children:
+                added = 0
+                for child in children:
+                    if child.key in members:
+                        continue
+                    # Do not add a child that is already covered by a more
+                    # general member still in the configuration: the goal is
+                    # the most general set, not a redundant one.
+                    if any(member.covers_candidate(child)
+                           for member in members.values()):
+                        continue
+                    child_definition = self._definition_for(child)
+                    configuration.add(child_definition)
+                    members[child.key] = child
+                    added += 1
+                trace.append(SearchStep(
+                    "replace by children", victim.pattern.to_text(),
+                    f"{added} child(ren) added"))
+            else:
+                trace.append(SearchStep("drop (leaf over budget)",
+                                        victim.pattern.to_text()))
+            current = self._evaluate(configuration)
+
+        # Final trim: if still over budget (e.g. even leaves do not fit),
+        # drop the smallest-benefit members until it fits.
+        while not self._fits(current.total_size_bytes) and len(configuration) > 0:
+            worst = self._least_valuable(configuration, current)
+            if worst is None:
+                break
+            configuration.remove(worst)
+            members.pop(worst.key, None)
+            trace.append(SearchStep("drop (budget trim)", worst.pattern.to_text()))
+            current = self._evaluate(configuration)
+        return self._result(configuration, trace)
+
+    # -- victim selection ---------------------------------------------------
+    def _pick_victim(self, members: Dict[Tuple[str, str], CandidateIndex],
+                     current: ConfigurationBenefit) -> Optional[CandidateIndex]:
+        """The member whose replacement frees the most space: the largest
+        index, breaking ties toward the least-generality loss (fewest
+        benefiting queries)."""
+        victim: Optional[CandidateIndex] = None
+        victim_size = -1.0
+        for key, candidate in members.items():
+            size = current.index_sizes.get(key)
+            if size is None:
+                size = self.evaluator.index_size_bytes(self._definition_for(candidate))
+            if size > victim_size:
+                victim_size = size
+                victim = candidate
+        return victim
+
+    def _least_valuable(self, configuration: IndexConfiguration,
+                        current: ConfigurationBenefit) -> Optional[IndexDefinition]:
+        used = current.used_index_keys
+        # Prefer dropping unused indexes, then the largest one.
+        unused = [index for index in configuration if index.key not in used]
+        pool = unused or configuration.definitions
+        if not pool:
+            return None
+        return max(pool, key=lambda index: current.index_sizes.get(
+            index.key, self.evaluator.index_size_bytes(index)))
+
+
+def create_search(algorithm: SearchAlgorithm, evaluator: ConfigurationEvaluator,
+                  parameters: Optional[AdvisorParameters] = None) -> _SearchBase:
+    """Factory mapping a :class:`SearchAlgorithm` to its implementation."""
+    if algorithm is SearchAlgorithm.GREEDY:
+        return GreedySearch(evaluator, parameters)
+    if algorithm is SearchAlgorithm.GREEDY_HEURISTIC:
+        return GreedyWithHeuristicsSearch(evaluator, parameters)
+    if algorithm is SearchAlgorithm.TOP_DOWN:
+        return TopDownSearch(evaluator, parameters)
+    raise ValueError(f"unknown search algorithm: {algorithm!r}")

@@ -1,0 +1,168 @@
+"""Candidate generalization rules (Section 2.2 of the paper).
+
+The optimizer enumerates patterns that are specific to individual
+queries.  To obtain indexes that can serve several queries -- and
+queries the training workload has not seen -- the advisor expands the
+candidate set with generalized patterns:
+
+* **pairwise label generalization** -- two candidates of the same length
+  whose labels differ in some steps produce the pattern with wildcards
+  in the differing steps (``/regions/namerica/item/quantity`` +
+  ``/regions/africa/item/quantity`` -> ``/regions/*/item/quantity``;
+  repeating the rule produces ``/regions/*/item/*``);
+* **tail generalization** -- a generalized candidate additionally spawns
+  the version of itself with a wildcard last step, indexing all children
+  of the shared parent path;
+* **prefix generalization** (optional) -- candidates sharing a proper
+  prefix but diverging afterwards produce ``<prefix>//*``, an index over
+  the whole subtree below the shared prefix.
+
+Rules are applied per value type, to fixpoint or a configured number of
+rounds, and every generalized candidate records which workload queries
+it (transitively) covers.  The result also carries the
+:class:`~repro.advisor.dag.GeneralizationDag` over the expanded set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.advisor.candidates import CandidateIndex, CandidateSet
+from repro.advisor.config import AdvisorParameters
+from repro.advisor.dag import GeneralizationDag
+from repro.xpath.patterns import (
+    PathPattern,
+    generalize_pair,
+    generalize_prefix,
+    generalize_tail,
+)
+from repro.xquery.model import ValueType
+
+
+@dataclass
+class GeneralizationResult:
+    """Output of the generalization phase."""
+
+    candidates: CandidateSet
+    dag: GeneralizationDag
+    basic_count: int
+    generalized_count: int
+    rounds_used: int
+
+    def describe(self) -> str:
+        return (f"generalization: {self.basic_count} basic candidates expanded to "
+                f"{len(self.candidates)} ({self.generalized_count} generalized) "
+                f"in {self.rounds_used} round(s); DAG depth {self.dag.depth()}")
+
+
+def _new_candidate(pattern: PathPattern, value_type: ValueType,
+                   sources: Sequence[CandidateIndex]) -> CandidateIndex:
+    benefiting: Set[str] = set()
+    predicates = []
+    for source in sources:
+        benefiting.update(source.benefiting_queries)
+        for predicate in source.covered_predicates:
+            if predicate not in predicates:
+                predicates.append(predicate)
+    return CandidateIndex(pattern=pattern, value_type=value_type,
+                          source="generalized",
+                          benefiting_queries=benefiting,
+                          covered_predicates=predicates)
+
+
+def _apply_pairwise_rules(candidates: List[CandidateIndex],
+                          parameters: AdvisorParameters) -> List[CandidateIndex]:
+    """One round of pairwise generalization over same-type candidates."""
+    produced: List[CandidateIndex] = []
+    for first, second in combinations(candidates, 2):
+        generalized = generalize_pair(first.pattern, second.pattern)
+        if generalized is not None:
+            produced.append(_new_candidate(generalized, first.value_type,
+                                           [first, second]))
+        if parameters.enable_prefix_generalization:
+            prefixed = generalize_prefix(first.pattern, second.pattern)
+            if prefixed is not None:
+                produced.append(_new_candidate(prefixed, first.value_type,
+                                               [first, second]))
+    return produced
+
+
+def _apply_tail_rule(candidates: List[CandidateIndex]) -> List[CandidateIndex]:
+    """Tail generalization of already-generalized candidates.
+
+    Applying it only to generalized candidates reproduces the paper's
+    example (``/regions/*/item/quantity`` -> ``/regions/*/item/*``)
+    without exploding every single-query candidate into a wildcard.
+    """
+    produced: List[CandidateIndex] = []
+    for candidate in candidates:
+        if not candidate.is_generalized:
+            continue
+        generalized = generalize_tail(candidate.pattern)
+        if generalized is not None:
+            produced.append(_new_candidate(generalized, candidate.value_type,
+                                           [candidate]))
+    return produced
+
+
+def generalize_candidates(basic: CandidateSet,
+                          parameters: Optional[AdvisorParameters] = None
+                          ) -> GeneralizationResult:
+    """Expand ``basic`` with generalized candidates and build the DAG."""
+    parameters = parameters or AdvisorParameters()
+    expanded = basic.copy()
+    basic_count = len(expanded)
+    rounds_used = 0
+
+    for _ in range(parameters.generalization_rounds):
+        if len(expanded) >= parameters.max_candidates:
+            break
+        rounds_used += 1
+        added_this_round = 0
+        for value_type in ValueType:
+            group = expanded.by_value_type(value_type)
+            if len(group) < 1:
+                continue
+            produced = _apply_pairwise_rules(group, parameters)
+            produced.extend(_apply_tail_rule(group))
+            for candidate in produced:
+                if len(expanded) >= parameters.max_candidates:
+                    break
+                if expanded.get(candidate.key) is None:
+                    expanded.add(candidate)
+                    added_this_round += 1
+                else:
+                    # Merge query attribution into the existing entry.
+                    expanded.add(candidate)
+        if added_this_round == 0:
+            break
+
+    _propagate_query_attribution(expanded)
+    dag = GeneralizationDag(expanded)
+    return GeneralizationResult(candidates=expanded, dag=dag,
+                                basic_count=basic_count,
+                                generalized_count=len(expanded) - basic_count,
+                                rounds_used=rounds_used)
+
+
+def _propagate_query_attribution(candidates: CandidateSet) -> None:
+    """Make every candidate claim the queries of all candidates it contains.
+
+    After generalization, a general candidate covers every query whose
+    basic candidate pattern it contains; recording that explicitly keeps
+    the redundancy heuristics and the reports simple.
+    """
+    all_candidates = candidates.candidates
+    for general in all_candidates:
+        for specific in all_candidates:
+            if general is specific:
+                continue
+            if general.value_type is not specific.value_type:
+                continue
+            if general.covers_candidate(specific):
+                general.benefiting_queries.update(specific.benefiting_queries)
+                for predicate in specific.covered_predicates:
+                    if predicate not in general.covered_predicates:
+                        general.covered_predicates.append(predicate)

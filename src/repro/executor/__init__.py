@@ -1,0 +1,25 @@
+"""Query execution: actually running workloads against the document store.
+
+The demonstration's last step creates the recommended indexes and shows
+the *actual* execution time of the workload queries.  This package makes
+that reproducible:
+
+* :class:`~repro.executor.executor.QueryExecutor` builds physical
+  index structures for the catalog's physical definitions, asks the
+  optimizer for a plan, and interprets it -- either a full document scan
+  with the XPath evaluator, or index probes followed by residual
+  evaluation on the fetched documents;
+* :mod:`repro.executor.measurement` runs whole workloads under different
+  configurations and reports wall-clock times, documents examined and
+  index entries touched (experiment E5).
+"""
+
+from repro.executor.executor import ExecutionResult, QueryExecutor
+from repro.executor.measurement import WorkloadMeasurement, measure_workload
+
+__all__ = [
+    "ExecutionResult",
+    "QueryExecutor",
+    "WorkloadMeasurement",
+    "measure_workload",
+]

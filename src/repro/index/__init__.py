@@ -1,0 +1,41 @@
+"""XML path indexes: definitions, physical structures, sizing, matching.
+
+A DB2 pureXML index is declared over an XML column with an *XMLPATTERN*
+(which nodes to index) and a SQL type (how to interpret their values)::
+
+    CREATE INDEX item_quantity ON items(doc)
+        GENERATE KEY USING XMLPATTERN '/site/regions/*/item/quantity'
+        AS SQL DOUBLE
+
+This package models that:
+
+* :class:`~repro.index.definition.IndexDefinition` -- the catalog entry
+  (pattern + value type + virtual flag);
+* :class:`~repro.index.physical.PhysicalPathIndex` -- an actual sorted
+  (key, document, node) structure built from the document store, used by
+  the executor;
+* :mod:`repro.index.sizing` -- size estimation for *virtual* indexes,
+  driven by the path statistics (the advisor's knapsack needs sizes for
+  indexes that do not exist);
+* :mod:`repro.index.matching` -- index applicability: can a given index
+  answer a given path predicate?  This is the "index matching" process
+  the paper leans on for both candidate enumeration and costing.
+"""
+
+from repro.index.definition import IndexDefinition, IndexConfiguration
+from repro.index.matching import IndexMatch, index_matches_predicate, usable_indexes
+from repro.index.physical import IndexEntry, PhysicalPathIndex, build_physical_index
+from repro.index.sizing import estimate_index_pages, estimate_index_size_bytes
+
+__all__ = [
+    "IndexConfiguration",
+    "IndexDefinition",
+    "IndexEntry",
+    "IndexMatch",
+    "PhysicalPathIndex",
+    "build_physical_index",
+    "estimate_index_pages",
+    "estimate_index_size_bytes",
+    "index_matches_predicate",
+    "usable_indexes",
+]

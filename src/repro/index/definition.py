@@ -1,0 +1,168 @@
+"""Index definitions and index configurations.
+
+An :class:`IndexDefinition` is what lives in the catalog; an
+:class:`IndexConfiguration` is an ordered set of definitions -- the unit
+the advisor searches over and the Evaluate Indexes mode simulates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.xpath.patterns import PathPattern
+from repro.xquery.model import ValueType
+
+
+def _sanitize(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]+", "_", text).strip("_").lower() or "root"
+
+
+@dataclass(frozen=True)
+class IndexDefinition:
+    """A (possibly virtual) XML path index definition.
+
+    Two definitions with the same pattern and value type describe the
+    same index, regardless of name; ``key`` captures that identity and is
+    what configurations, the advisor, and redundancy checks compare.
+    """
+
+    name: str
+    pattern: PathPattern
+    value_type: ValueType = ValueType.VARCHAR
+    collection: Optional[str] = None
+    is_virtual: bool = False
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def create(pattern: "PathPattern | str", value_type: ValueType = ValueType.VARCHAR,
+               collection: Optional[str] = None, name: Optional[str] = None,
+               is_virtual: bool = False) -> "IndexDefinition":
+        """Build a definition, deriving a readable name when none is given."""
+        if isinstance(pattern, str):
+            pattern = PathPattern.parse(pattern)
+        if name is None:
+            name = f"idx_{_sanitize(pattern.to_text())}_{value_type.value.lower()}"
+        return IndexDefinition(name=name, pattern=pattern, value_type=value_type,
+                               collection=collection, is_virtual=is_virtual)
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Identity of the index: (pattern text, value type)."""
+        return (self.pattern.to_text(), self.value_type.value)
+
+    def as_virtual(self) -> "IndexDefinition":
+        """A copy flagged as virtual (used by the Evaluate Indexes mode)."""
+        if self.is_virtual:
+            return self
+        return replace(self, is_virtual=True)
+
+    def as_physical(self) -> "IndexDefinition":
+        """A copy flagged as physical (used when creating recommended indexes)."""
+        if not self.is_virtual:
+            return self
+        return replace(self, is_virtual=False)
+
+    def renamed(self, name: str) -> "IndexDefinition":
+        return replace(self, name=name)
+
+    # ------------------------------------------------------------------
+    def ddl(self, table: str = "xmldata", column: str = "doc") -> str:
+        """The DB2-style CREATE INDEX statement for this definition."""
+        type_clause = ("DOUBLE" if self.value_type is ValueType.DOUBLE
+                       else "VARCHAR(64)")
+        target = self.collection or table
+        return (f"CREATE INDEX {self.name} ON {target}({column}) "
+                f"GENERATE KEY USING XMLPATTERN '{self.pattern.to_text()}' "
+                f"AS SQL {type_clause}")
+
+    def describe(self) -> str:
+        tag = "virtual " if self.is_virtual else ""
+        return f"{tag}index {self.name} on {self.pattern.to_text()} [{self.value_type.value}]"
+
+
+class IndexConfiguration:
+    """An ordered, duplicate-free set of index definitions.
+
+    The advisor's searches build configurations incrementally; the
+    Evaluate Indexes mode simulates them; the analysis tool diffs them.
+    Duplicates are detected by :attr:`IndexDefinition.key`, so a virtual
+    and a physical definition of the same index count as one.
+    """
+
+    def __init__(self, definitions: Optional[Iterable[IndexDefinition]] = None,
+                 name: str = "configuration") -> None:
+        self.name = name
+        self._definitions: List[IndexDefinition] = []
+        self._by_key: Dict[Tuple[str, str], IndexDefinition] = {}
+        if definitions:
+            for definition in definitions:
+                self.add(definition)
+
+    # ------------------------------------------------------------------
+    def add(self, definition: IndexDefinition) -> bool:
+        """Add a definition; return False if an equivalent one is present."""
+        if definition.key in self._by_key:
+            return False
+        self._definitions.append(definition)
+        self._by_key[definition.key] = definition
+        return True
+
+    def remove(self, definition: IndexDefinition) -> bool:
+        """Remove a definition (matched by key); return True if removed."""
+        existing = self._by_key.pop(definition.key, None)
+        if existing is None:
+            return False
+        self._definitions = [d for d in self._definitions if d.key != definition.key]
+        return True
+
+    def __contains__(self, definition: IndexDefinition) -> bool:
+        return definition.key in self._by_key
+
+    def contains_pattern(self, pattern: PathPattern,
+                         value_type: Optional[ValueType] = None) -> bool:
+        for definition in self._definitions:
+            if definition.pattern == pattern and (
+                    value_type is None or definition.value_type is value_type):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[IndexDefinition]:
+        return iter(self._definitions)
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    @property
+    def definitions(self) -> List[IndexDefinition]:
+        return list(self._definitions)
+
+    def copy(self, name: Optional[str] = None) -> "IndexConfiguration":
+        return IndexConfiguration(self._definitions, name=name or self.name)
+
+    def union(self, other: "IndexConfiguration",
+              name: Optional[str] = None) -> "IndexConfiguration":
+        merged = self.copy(name=name or f"{self.name}+{other.name}")
+        for definition in other:
+            merged.add(definition)
+        return merged
+
+    def difference(self, other: "IndexConfiguration") -> "IndexConfiguration":
+        remaining = IndexConfiguration(name=f"{self.name}-{other.name}")
+        other_keys = {d.key for d in other}
+        for definition in self._definitions:
+            if definition.key not in other_keys:
+                remaining.add(definition)
+        return remaining
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        if not self._definitions:
+            return f"configuration {self.name!r}: (empty)"
+        lines = [f"configuration {self.name!r}: {len(self._definitions)} index(es)"]
+        for definition in self._definitions:
+            lines.append(f"  - {definition.pattern.to_text()} [{definition.value_type.value}]")
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Cost-based query optimizer with the advisor's two EXPLAIN modes.
+
+The optimizer chooses, for each normalized query, between a full
+document scan and index-assisted plans built from the indexes currently
+in the catalog -- physical or *virtual*.  On top of the normal planning
+path it exposes the two modes the paper adds to DB2:
+
+* **Enumerate Indexes mode** (:func:`repro.optimizer.explain.enumerate_indexes`)
+  -- plan the query as if a universal ``//*`` virtual index existed and
+  report which query patterns index matching bound to it.  Those
+  patterns are the basic candidate indexes for the query.
+* **Evaluate Indexes mode** (:func:`repro.optimizer.explain.evaluate_indexes`)
+  -- simulate a hypothetical index configuration as virtual indexes and
+  report the optimizer's estimated cost for the query under it.
+"""
+
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.explain import (
+    EnumerateIndexesResult,
+    EvaluateIndexesResult,
+    ExplainMode,
+    enumerate_indexes,
+    evaluate_indexes,
+)
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plans import (
+    DocumentScan,
+    Fetch,
+    IndexAnding,
+    IndexScan,
+    PlanOperator,
+    QueryPlan,
+    ResidualFilter,
+    UpdatePlan,
+)
+
+__all__ = [
+    "CostModel",
+    "CostParameters",
+    "DocumentScan",
+    "EnumerateIndexesResult",
+    "EvaluateIndexesResult",
+    "ExplainMode",
+    "Fetch",
+    "IndexAnding",
+    "IndexScan",
+    "Optimizer",
+    "PlanOperator",
+    "QueryPlan",
+    "ResidualFilter",
+    "UpdatePlan",
+    "enumerate_indexes",
+    "evaluate_indexes",
+]

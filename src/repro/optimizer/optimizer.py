@@ -1,0 +1,209 @@
+"""Plan selection: choose between document scans and index plans.
+
+The optimizer mirrors (at a much smaller scale) how DB2 plans XML
+queries: for every indexable predicate it looks for applicable indexes
+via index matching, builds index-scan legs, combines the selective legs
+with index ANDing, adds fetch and residual-filter costs, and compares
+the result against a full document scan.  Whatever is cheaper wins.
+
+Because the catalog can contain *virtual* indexes, exactly the same code
+path serves normal planning, the Enumerate Indexes mode (planning with a
+universal virtual index), and the Evaluate Indexes mode (planning with a
+hypothetical configuration).  That is the "tight coupling" of the paper:
+the advisor gets index enumeration and configuration costing from the
+optimizer for free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.index.definition import IndexDefinition
+from repro.index.matching import IndexMatch, usable_indexes
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.plans import (
+    DocumentScan,
+    Fetch,
+    IndexAnding,
+    IndexMaintenance,
+    IndexScan,
+    PlanOperator,
+    QueryPlan,
+    ResidualFilter,
+    UpdatePlan,
+)
+from repro.storage.document_store import XmlDatabase
+from repro.xquery.model import NormalizedQuery, PathPredicate
+
+#: Index legs whose document selectivity exceeds this fraction are not
+#: worth ANDing in (they would barely reduce the fetch set but still pay
+#: their scan cost).
+_MAX_USEFUL_LEG_SELECTIVITY = 0.9
+
+
+class Optimizer:
+    """Cost-based plan selection over a database's catalog and statistics."""
+
+    def __init__(self, database: XmlDatabase,
+                 parameters: Optional[CostParameters] = None) -> None:
+        self.database = database
+        self.parameters = parameters
+        self._cost_model: Optional[CostModel] = None
+        self._statistics_token: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model over the database's current statistics."""
+        statistics = self.database.statistics
+        token = id(statistics)
+        if self._cost_model is None or self._statistics_token != token:
+            self._cost_model = CostModel(statistics, self.parameters)
+            self._statistics_token = token
+        return self._cost_model
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def optimize(self, query: NormalizedQuery,
+                 candidate_indexes: Optional[Iterable[IndexDefinition]] = None
+                 ) -> QueryPlan:
+        """Choose the cheapest plan for ``query``.
+
+        ``candidate_indexes`` defaults to everything in the catalog
+        (physical and virtual); the explain modes pass an explicit list.
+        """
+        if query.is_update:
+            update_plan = self.plan_update(query, candidate_indexes)
+            scan = DocumentScan(collection="*", cost=update_plan.total_cost,
+                                cardinality=0.0, pages_read=0.0)
+            return QueryPlan(query=query, root=scan,
+                             total_cost=update_plan.total_cost, uses_indexes=False)
+
+        indexes = list(candidate_indexes) if candidate_indexes is not None \
+            else self.database.catalog.all_indexes
+        scan_plan = self._document_scan_plan(query)
+        index_plan = self._index_plan(query, indexes)
+        if index_plan is not None and index_plan.total_cost < scan_plan.total_cost:
+            return index_plan
+        return scan_plan
+
+    def plan_update(self, query: NormalizedQuery,
+                    candidate_indexes: Optional[Iterable[IndexDefinition]] = None
+                    ) -> UpdatePlan:
+        """Cost an update statement, charging maintenance for affected indexes."""
+        model = self.cost_model
+        indexes = list(candidate_indexes) if candidate_indexes is not None \
+            else self.database.catalog.all_indexes
+        maintenance: List[IndexMaintenance] = []
+        for index in indexes:
+            cost, affected = model.maintenance_cost(index, query.touched_patterns)
+            if cost > 0.0:
+                maintenance.append(IndexMaintenance(index=index,
+                                                    affected_entries=affected,
+                                                    cost=cost))
+        return UpdatePlan(query=query, base_cost=model.update_base_cost(query),
+                          maintenance_costs=maintenance)
+
+    def estimate_workload_cost(self, queries: Sequence[NormalizedQuery],
+                               candidate_indexes: Optional[Iterable[IndexDefinition]] = None
+                               ) -> float:
+        """Frequency-weighted total cost of a normalized workload."""
+        indexes = list(candidate_indexes) if candidate_indexes is not None else None
+        total = 0.0
+        for query in queries:
+            plan = self.optimize(query, indexes)
+            total += plan.total_cost * query.frequency
+        return total
+
+    # ------------------------------------------------------------------
+    # Scan plan
+    # ------------------------------------------------------------------
+    def _document_scan_plan(self, query: NormalizedQuery) -> QueryPlan:
+        model = self.cost_model
+        cost, cardinality = model.document_scan_cost(query)
+        scan = DocumentScan(collection="*", cost=cost, cardinality=cardinality,
+                            pages_read=model.data_pages)
+        return QueryPlan(query=query, root=scan, total_cost=cost, uses_indexes=False)
+
+    # ------------------------------------------------------------------
+    # Index plan
+    # ------------------------------------------------------------------
+    def _index_plan(self, query: NormalizedQuery,
+                    indexes: Sequence[IndexDefinition]) -> Optional[QueryPlan]:
+        if not query.predicates or not indexes:
+            return None
+        model = self.cost_model
+        legs: List[Tuple[IndexScan, float]] = []  # (scan, document selectivity)
+        matched_predicates: List[PathPredicate] = []
+        for predicate in query.predicates:
+            leg = self._best_leg_for_predicate(predicate, indexes)
+            if leg is not None:
+                legs.append(leg)
+                matched_predicates.append(predicate)
+        if not legs:
+            return None
+
+        # Most selective legs first; keep a leg only while it actually
+        # narrows the candidate documents.
+        legs.sort(key=lambda item: item[1])
+        chosen: List[Tuple[IndexScan, float]] = []
+        for leg, selectivity in legs:
+            if not chosen or selectivity <= _MAX_USEFUL_LEG_SELECTIVITY:
+                chosen.append((leg, selectivity))
+        chosen_scans = [leg for leg, _ in chosen]
+        chosen_predicates = [leg.predicate for leg in chosen_scans]
+
+        document_count = float(model.document_count)
+        doc_fraction = 1.0
+        for _, selectivity in chosen:
+            doc_fraction *= max(selectivity, 1.0 / max(document_count, 1.0))
+        documents_fetched = max(0.0, min(document_count, document_count * doc_fraction))
+
+        anding_cost = sum(scan.cost for scan in chosen_scans)
+        anding_cardinality = min((scan.cardinality for scan in chosen_scans),
+                                 default=0.0)
+        access: PlanOperator
+        if len(chosen_scans) == 1:
+            access = chosen_scans[0]
+        else:
+            access = IndexAnding(inputs=chosen_scans, cost=anding_cost,
+                                 cardinality=anding_cardinality)
+
+        fetch_cost = model.fetch_cost(documents_fetched)
+        fetch = Fetch(input_operator=access, documents_fetched=documents_fetched,
+                      cost=access.cost + fetch_cost, cardinality=documents_fetched)
+
+        residual_predicates = [p for p in query.predicates
+                               if p not in chosen_predicates]
+        residual_cost = model.residual_cost(documents_fetched,
+                                            len(residual_predicates),
+                                            len(query.extraction_paths))
+        root = ResidualFilter(input_operator=fetch,
+                              residual_predicates=residual_predicates,
+                              cost=fetch.cost + residual_cost,
+                              cardinality=fetch.cardinality)
+        return QueryPlan(query=query, root=root, total_cost=root.cost,
+                         uses_indexes=True)
+
+    def _best_leg_for_predicate(self, predicate: PathPredicate,
+                                indexes: Sequence[IndexDefinition]
+                                ) -> Optional[Tuple[IndexScan, float]]:
+        """The cheapest index scan answering ``predicate``, with its
+        document selectivity, or ``None`` if no index matches."""
+        model = self.cost_model
+        matches = usable_indexes(indexes, predicate)
+        best: Optional[Tuple[IndexScan, float]] = None
+        for match in matches:
+            cost, qualifying_nodes, entries_scanned = model.index_scan_cost(
+                match.index, predicate)
+            documents = model.documents_for_nodes(qualifying_nodes, predicate.pattern)
+            selectivity = documents / max(1.0, float(model.document_count))
+            scan = IndexScan(index=match.index, predicate=predicate,
+                             key_selectivity=model.statistics.predicate_selectivity(
+                                 match.index.pattern, predicate.op, predicate.value),
+                             entries_scanned=entries_scanned,
+                             cost=cost, cardinality=qualifying_nodes)
+            if best is None or scan.cost < best[0].cost:
+                best = (scan, selectivity)
+        return best

@@ -1,0 +1,201 @@
+"""Query execution plan operators and plan containers.
+
+Plans are small operator trees with estimated costs and cardinalities
+attached.  They serve three purposes:
+
+* the optimizer compares their costs to pick the cheapest;
+* the explain modes render them so the advisor (and the user) can see
+  which indexes a plan uses;
+* the executor interprets them to actually run the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.index.definition import IndexDefinition
+from repro.xpath.patterns import PathPattern
+from repro.xquery.model import NormalizedQuery, PathPredicate
+
+
+@dataclass
+class PlanOperator:
+    """Base class for plan operators."""
+
+    #: Estimated cost of this operator and its inputs (in abstract cost units,
+    #: sometimes called timerons in DB2 documentation).
+    cost: float = 0.0
+    #: Estimated number of rows/nodes flowing out of the operator.
+    cardinality: float = 0.0
+
+    def children(self) -> List["PlanOperator"]:
+        return []
+
+    def operator_name(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        return f"{self.operator_name()} (cost={self.cost:.1f}, card={self.cardinality:.1f})"
+
+    def render(self, indent: int = 0) -> str:
+        """Indented tree rendering (what EXPLAIN prints)."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def used_indexes(self) -> List[IndexDefinition]:
+        """All index definitions referenced anywhere in the subtree."""
+        found: List[IndexDefinition] = []
+        stack: List[PlanOperator] = [self]
+        while stack:
+            operator = stack.pop()
+            if isinstance(operator, IndexScan):
+                found.append(operator.index)
+            stack.extend(operator.children())
+        return found
+
+
+@dataclass
+class DocumentScan(PlanOperator):
+    """Scan and navigate every document of the database/collection."""
+
+    collection: str = "*"
+    pages_read: float = 0.0
+
+    def describe(self) -> str:
+        return (f"XSCAN collection={self.collection} pages={self.pages_read:.0f} "
+                f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
+
+
+@dataclass
+class IndexScan(PlanOperator):
+    """Probe one XML path index for a predicate."""
+
+    index: IndexDefinition = None  # type: ignore[assignment]
+    predicate: PathPredicate = None  # type: ignore[assignment]
+    #: Fraction of the index's entries the scan reads.
+    key_selectivity: float = 1.0
+    entries_scanned: float = 0.0
+
+    def describe(self) -> str:
+        target = self.index.name if self.index is not None else "?"
+        pred = self.predicate.describe() if self.predicate is not None else "?"
+        return (f"XISCAN index={target} pred=[{pred}] "
+                f"entries={self.entries_scanned:.0f} "
+                f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
+
+
+@dataclass
+class IndexAnding(PlanOperator):
+    """Intersect the results of several index scans (XANDOR in DB2)."""
+
+    inputs: List[IndexScan] = field(default_factory=list)
+
+    def children(self) -> List[PlanOperator]:
+        return list(self.inputs)
+
+    def describe(self) -> str:
+        return (f"XANDOR over {len(self.inputs)} index scan(s) "
+                f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
+
+
+@dataclass
+class Fetch(PlanOperator):
+    """Fetch the documents/subtrees identified by the input operator."""
+
+    input_operator: Optional[PlanOperator] = None
+    documents_fetched: float = 0.0
+
+    def children(self) -> List[PlanOperator]:
+        return [self.input_operator] if self.input_operator is not None else []
+
+    def describe(self) -> str:
+        return (f"FETCH docs={self.documents_fetched:.1f} "
+                f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
+
+
+@dataclass
+class ResidualFilter(PlanOperator):
+    """Apply the predicates that no index answered, by navigation."""
+
+    input_operator: Optional[PlanOperator] = None
+    residual_predicates: List[PathPredicate] = field(default_factory=list)
+
+    def children(self) -> List[PlanOperator]:
+        return [self.input_operator] if self.input_operator is not None else []
+
+    def describe(self) -> str:
+        preds = "; ".join(p.describe() for p in self.residual_predicates) or "none"
+        return (f"FILTER residual=[{preds}] "
+                f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
+
+
+@dataclass
+class QueryPlan:
+    """The chosen plan for one query, with its total estimated cost."""
+
+    query: NormalizedQuery
+    root: PlanOperator
+    total_cost: float
+    uses_indexes: bool
+
+    @property
+    def used_indexes(self) -> List[IndexDefinition]:
+        return self.root.used_indexes()
+
+    @property
+    def used_index_names(self) -> List[str]:
+        return [index.name for index in self.used_indexes]
+
+    def matched_predicates(self) -> List[PathPredicate]:
+        """The predicates answered by index scans in this plan."""
+        matched: List[PathPredicate] = []
+        stack = [self.root]
+        while stack:
+            operator = stack.pop()
+            if isinstance(operator, IndexScan) and operator.predicate is not None:
+                matched.append(operator.predicate)
+            stack.extend(operator.children())
+        return matched
+
+    def render(self) -> str:
+        header = (f"plan for {self.query.query_id}: total cost {self.total_cost:.1f} "
+                  f"({'uses indexes' if self.uses_indexes else 'document scan'})")
+        return header + "\n" + self.root.render(indent=1)
+
+
+@dataclass
+class UpdatePlan:
+    """The plan (really: cost accounting) for an update statement.
+
+    Updates do not choose between access paths in our substrate; their
+    cost is the base modification cost plus a maintenance charge for
+    every index whose pattern overlaps the modified subtrees.
+    """
+
+    query: NormalizedQuery
+    base_cost: float
+    maintenance_costs: List["IndexMaintenance"] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return self.base_cost + sum(m.cost for m in self.maintenance_costs)
+
+    def render(self) -> str:
+        lines = [f"update plan for {self.query.query_id}: "
+                 f"base {self.base_cost:.1f}, total {self.total_cost:.1f}"]
+        for maintenance in self.maintenance_costs:
+            lines.append(f"  maintain {maintenance.index.name}: {maintenance.cost:.1f} "
+                         f"({maintenance.affected_entries:.1f} entries)")
+        return "\n".join(lines)
+
+
+@dataclass
+class IndexMaintenance:
+    """Maintenance charge of one update statement against one index."""
+
+    index: IndexDefinition
+    affected_entries: float
+    cost: float

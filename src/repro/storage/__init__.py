@@ -1,0 +1,41 @@
+"""Storage engine substrate: documents, statistics, catalog, pages.
+
+This package stands in for DB2's pureXML storage layer.  It provides:
+
+* :class:`~repro.storage.document_store.XmlCollection` and
+  :class:`~repro.storage.document_store.XmlDatabase` -- named collections
+  of XML documents (the analogue of tables with an XML column);
+* :class:`~repro.storage.statistics.DatabaseStatistics` -- the per-path
+  synopsis (cardinalities, distinct values, value ranges, key widths)
+  that RUNSTATS would gather and that both the optimizer's cost model and
+  the advisor's index-size estimation read;
+* :class:`~repro.storage.catalog.Catalog` -- the system catalog holding
+  physical and *virtual* index definitions.  Virtual indexes are the
+  paper's central mechanism: they exist only in the catalog so the
+  optimizer can enumerate and cost hypothetical configurations;
+* :mod:`repro.storage.pages` -- page-size accounting shared by the cost
+  model and the size estimator.
+"""
+
+from repro.storage.catalog import Catalog, CatalogError
+from repro.storage.document_store import StorageError, XmlCollection, XmlDatabase
+from repro.storage.pages import PAGE_SIZE_BYTES, bytes_to_pages, pages_to_bytes
+from repro.storage.statistics import (
+    DatabaseStatistics,
+    PathStatistics,
+    collect_statistics,
+)
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "DatabaseStatistics",
+    "PAGE_SIZE_BYTES",
+    "PathStatistics",
+    "StorageError",
+    "XmlCollection",
+    "XmlDatabase",
+    "bytes_to_pages",
+    "collect_statistics",
+    "pages_to_bytes",
+]

@@ -1,0 +1,148 @@
+"""The system catalog: physical and virtual index definitions.
+
+The paper's key mechanism is that the optimizer can be asked to plan
+with *virtual* indexes -- index definitions that exist in the catalog
+and in the optimizer's data structures but have no physical data.  The
+catalog therefore keeps two sets of definitions:
+
+* **physical indexes**, created with
+  :meth:`Catalog.add_index` and materialized by the executor;
+* **virtual indexes**, installed temporarily for one optimizer call
+  (Evaluate Indexes mode) or permanently for candidate enumeration
+  (the ``//*`` universal index of Enumerate Indexes mode).
+
+The :class:`VirtualConfiguration` context manager mirrors how the
+client-side advisor brackets each Evaluate Indexes call.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.index.definition import IndexDefinition
+
+
+class CatalogError(Exception):
+    """Raised on invalid catalog operations (duplicate names, unknown indexes)."""
+
+
+class Catalog:
+    """Holds index definitions and answers applicability queries."""
+
+    def __init__(self) -> None:
+        self._physical: Dict[str, IndexDefinition] = {}
+        self._virtual: Dict[str, IndexDefinition] = {}
+
+    # ------------------------------------------------------------------
+    # Physical indexes
+    # ------------------------------------------------------------------
+    def add_index(self, definition: IndexDefinition) -> IndexDefinition:
+        """Register a physical index definition."""
+        if definition.name in self._physical:
+            raise CatalogError(f"index {definition.name!r} already exists")
+        if definition.is_virtual:
+            raise CatalogError(
+                f"index {definition.name!r} is virtual; use add_virtual_index()")
+        self._physical[definition.name] = definition
+        return definition
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._physical:
+            raise CatalogError(f"unknown index {name!r}")
+        del self._physical[name]
+
+    def has_index(self, name: str) -> bool:
+        return name in self._physical or name in self._virtual
+
+    def index(self, name: str) -> IndexDefinition:
+        if name in self._physical:
+            return self._physical[name]
+        if name in self._virtual:
+            return self._virtual[name]
+        raise CatalogError(f"unknown index {name!r}")
+
+    @property
+    def physical_indexes(self) -> List[IndexDefinition]:
+        return list(self._physical.values())
+
+    # ------------------------------------------------------------------
+    # Virtual indexes
+    # ------------------------------------------------------------------
+    def add_virtual_index(self, definition: IndexDefinition) -> IndexDefinition:
+        """Register a virtual index (catalog-only, no data)."""
+        virtual = definition if definition.is_virtual else definition.as_virtual()
+        if virtual.name in self._virtual or virtual.name in self._physical:
+            raise CatalogError(f"index {virtual.name!r} already exists")
+        self._virtual[virtual.name] = virtual
+        return virtual
+
+    def clear_virtual_indexes(self) -> None:
+        self._virtual.clear()
+
+    @property
+    def virtual_indexes(self) -> List[IndexDefinition]:
+        return list(self._virtual.values())
+
+    # ------------------------------------------------------------------
+    # Combined views
+    # ------------------------------------------------------------------
+    @property
+    def all_indexes(self) -> List[IndexDefinition]:
+        """Physical indexes first, then virtual ones."""
+        return list(self._physical.values()) + list(self._virtual.values())
+
+    def __len__(self) -> int:
+        return len(self._physical) + len(self._virtual)
+
+    def __iter__(self) -> Iterator[IndexDefinition]:
+        return iter(self.all_indexes)
+
+    # ------------------------------------------------------------------
+    def virtual_configuration(self, definitions: Iterable[IndexDefinition],
+                              include_physical: bool = True) -> "VirtualConfiguration":
+        """Context manager that installs ``definitions`` as virtual indexes
+        for the duration of a ``with`` block (Evaluate Indexes mode).
+
+        When ``include_physical`` is False, physical indexes are hidden for
+        the duration of the block as well, so the optimizer sees *only*
+        the hypothetical configuration -- that is what the advisor wants
+        when comparing candidate configurations from a clean slate.
+        """
+        return VirtualConfiguration(self, list(definitions), include_physical)
+
+
+class VirtualConfiguration:
+    """Context manager used by the Evaluate Indexes optimizer mode."""
+
+    def __init__(self, catalog: Catalog, definitions: List[IndexDefinition],
+                 include_physical: bool) -> None:
+        self._catalog = catalog
+        self._definitions = definitions
+        self._include_physical = include_physical
+        self._saved_virtual: Dict[str, IndexDefinition] = {}
+        self._saved_physical: Dict[str, IndexDefinition] = {}
+
+    def __enter__(self) -> Catalog:
+        self._saved_virtual = dict(self._catalog._virtual)
+        self._catalog._virtual = {}
+        if not self._include_physical:
+            self._saved_physical = dict(self._catalog._physical)
+            self._catalog._physical = {}
+        used_names = set(self._catalog._physical)
+        for definition in self._definitions:
+            virtual = definition.as_virtual()
+            name = virtual.name
+            suffix = 1
+            while name in used_names or name in self._catalog._virtual:
+                suffix += 1
+                name = f"{virtual.name}_{suffix}"
+            if name != virtual.name:
+                virtual = virtual.renamed(name)
+            self._catalog._virtual[virtual.name] = virtual
+        return self._catalog
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._catalog._virtual = self._saved_virtual
+        if not self._include_physical:
+            self._catalog._physical = self._saved_physical

@@ -1,0 +1,175 @@
+"""Document store: named collections of XML documents.
+
+An :class:`XmlCollection` is the analogue of a DB2 table with an XML
+column: a bag of documents plus the statistics gathered over them.  An
+:class:`XmlDatabase` groups collections and owns the system
+:class:`~repro.storage.catalog.Catalog`; it is the object the optimizer,
+the advisor, and the executor are handed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import DatabaseStatistics, collect_statistics
+from repro.xmldb.nodes import DocumentNode
+from repro.xmldb.parser import parse_document
+
+
+class StorageError(Exception):
+    """Raised on invalid document-store operations."""
+
+
+class XmlCollection:
+    """A named collection of XML documents (a table with an XML column)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: List[DocumentNode] = []
+        self._statistics: Optional[DatabaseStatistics] = None
+
+    # ------------------------------------------------------------------
+    def add_document(self, document: Union[DocumentNode, str, bytes],
+                     uri: str = "") -> DocumentNode:
+        """Add a document (already-parsed node tree, or XML text) and return it."""
+        if isinstance(document, (str, bytes)):
+            document = parse_document(document, uri=uri)
+        if not isinstance(document, DocumentNode):
+            raise StorageError(
+                f"expected a DocumentNode or XML text, got {type(document).__name__}")
+        document.doc_id = len(self._documents)
+        if document.node_id < 0:
+            document.assign_node_ids()
+        self._documents.append(document)
+        self._statistics = None  # invalidate
+        return document
+
+    def add_documents(self, documents: Iterable[Union[DocumentNode, str, bytes]]) -> None:
+        for document in documents:
+            self.add_document(document)
+
+    def remove_document(self, doc_id: int) -> None:
+        """Remove a document by id (ids of later documents are reassigned)."""
+        if not 0 <= doc_id < len(self._documents):
+            raise StorageError(f"no document with id {doc_id} in collection {self.name!r}")
+        del self._documents[doc_id]
+        for index, document in enumerate(self._documents):
+            document.doc_id = index
+        self._statistics = None
+
+    # ------------------------------------------------------------------
+    @property
+    def documents(self) -> List[DocumentNode]:
+        return list(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[DocumentNode]:
+        return iter(self._documents)
+
+    def document(self, doc_id: int) -> DocumentNode:
+        if not 0 <= doc_id < len(self._documents):
+            raise StorageError(f"no document with id {doc_id} in collection {self.name!r}")
+        return self._documents[doc_id]
+
+    # ------------------------------------------------------------------
+    @property
+    def statistics(self) -> DatabaseStatistics:
+        """The path synopsis for this collection (collected lazily, cached)."""
+        if self._statistics is None:
+            self._statistics = collect_statistics(self._documents)
+        return self._statistics
+
+    def invalidate_statistics(self) -> None:
+        """Force statistics to be re-collected (after bulk document edits)."""
+        self._statistics = None
+
+
+class XmlDatabase:
+    """A set of collections plus the system catalog.
+
+    This is the "XML Database" box of Figure 1: the advisor receives it
+    together with the workload, the optimizer consults its statistics and
+    catalog, and the executor runs queries against its documents.
+    """
+
+    def __init__(self, name: str = "xmldb") -> None:
+        self.name = name
+        self._collections: Dict[str, XmlCollection] = {}
+        self.catalog = Catalog()
+        self._merged_statistics: Optional[DatabaseStatistics] = None
+
+    # ------------------------------------------------------------------
+    # Collections
+    # ------------------------------------------------------------------
+    def create_collection(self, name: str) -> XmlCollection:
+        """Create (or return the existing) collection called ``name``."""
+        if name in self._collections:
+            return self._collections[name]
+        collection = XmlCollection(name)
+        self._collections[name] = collection
+        self._merged_statistics = None
+        return collection
+
+    def collection(self, name: str) -> XmlCollection:
+        if name not in self._collections:
+            raise StorageError(f"unknown collection {name!r}")
+        return self._collections[name]
+
+    @property
+    def collections(self) -> List[XmlCollection]:
+        return list(self._collections.values())
+
+    @property
+    def collection_names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def add_document(self, collection_name: str,
+                     document: Union[DocumentNode, str, bytes]) -> DocumentNode:
+        """Add a document to ``collection_name`` (creating it if needed)."""
+        collection = self.create_collection(collection_name)
+        result = collection.add_document(document)
+        self._merged_statistics = None
+        return result
+
+    def all_documents(self) -> List[DocumentNode]:
+        documents: List[DocumentNode] = []
+        for collection in self._collections.values():
+            documents.extend(collection.documents)
+        return documents
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def statistics(self) -> DatabaseStatistics:
+        """Merged statistics over every collection (the optimizer's view)."""
+        if self._merged_statistics is None:
+            merged = DatabaseStatistics()
+            for collection in self._collections.values():
+                merged.merge(collection.statistics)
+            self._merged_statistics = merged
+        return self._merged_statistics
+
+    def invalidate_statistics(self) -> None:
+        """Invalidate cached statistics on the database and all collections."""
+        self._merged_statistics = None
+        for collection in self._collections.values():
+            collection.invalidate_statistics()
+
+    def runstats(self) -> DatabaseStatistics:
+        """Recollect statistics eagerly and return them (RUNSTATS analogue)."""
+        self.invalidate_statistics()
+        return self.statistics
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Readable one-paragraph summary used by the CLI and reports."""
+        stats = self.statistics
+        return (f"database {self.name!r}: {len(self._collections)} collection(s), "
+                f"{stats.document_count} documents, "
+                f"{stats.total_element_count} elements, "
+                f"{len(stats.path_stats)} distinct paths, "
+                f"~{stats.total_data_bytes / 1024:.0f} KiB of data")

@@ -1,0 +1,58 @@
+"""Page-size accounting shared by the cost model and the size estimator.
+
+DB2 stores XML data and indexes on fixed-size pages; the advisor's disk
+space budget and the optimizer's I/O cost are both expressed in pages.
+We use a 4 KiB page (DB2's default for XML table spaces is 4-32 KiB; the
+absolute value only scales costs, it does not change who wins).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Bytes per storage page.
+PAGE_SIZE_BYTES = 4096
+
+#: Fraction of a page usable for index entries after per-page overhead
+#: (slot directory, page header) and the typical B-tree fill factor.
+INDEX_PAGE_FILL_FACTOR = 0.70
+
+#: Per-node overhead of the native XML storage format (node header,
+#: string-table reference, parent/child slots), in bytes.
+XML_NODE_OVERHEAD_BYTES = 16
+
+#: Per-entry overhead of an index entry beyond the key itself
+#: (record id = document id + node id, plus slot overhead), in bytes.
+INDEX_ENTRY_OVERHEAD_BYTES = 12
+
+#: Key width charged for a DOUBLE index entry.
+DOUBLE_KEY_BYTES = 8
+
+
+def bytes_to_pages(size_bytes: float) -> int:
+    """Convert a byte count to whole pages (always at least one for > 0)."""
+    if size_bytes <= 0:
+        return 0
+    return max(1, math.ceil(size_bytes / PAGE_SIZE_BYTES))
+
+
+def pages_to_bytes(pages: float) -> int:
+    """Convert a page count back to bytes."""
+    return int(pages * PAGE_SIZE_BYTES)
+
+
+def index_entry_bytes(key_width: float) -> float:
+    """Size of one index entry, including record-id and slot overhead."""
+    return key_width + INDEX_ENTRY_OVERHEAD_BYTES
+
+
+def index_size_bytes(entry_count: float, key_width: float) -> float:
+    """Estimated on-disk size of an index with ``entry_count`` entries.
+
+    Accounts for the page fill factor, so it slightly over-estimates the
+    raw entry bytes -- matching how a real B-tree occupies space.
+    """
+    if entry_count <= 0:
+        return 0.0
+    raw = entry_count * index_entry_bytes(key_width)
+    return raw / INDEX_PAGE_FILL_FACTOR

@@ -1,0 +1,313 @@
+"""Path-level statistics (the RUNSTATS analogue for XML data).
+
+The optimizer's cost model and the advisor's index-size estimation never
+look at the documents directly -- they consult a *path synopsis*: for
+every distinct simple path in the database, how many nodes have that
+path, how many distinct values they carry, how wide the values are, and
+the numeric range when values are numeric.  This mirrors the XML
+statistics DB2 collects and the paper's cost estimation relies on
+("Cost estimation using DB statistics" in Figure 1).
+
+Statistics are collected once per collection and merged per database;
+collection is O(total nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.xmldb.nodes import DocumentNode, NodeKind
+from repro.xpath.ast import BinaryOp
+from repro.xpath.patterns import PathPattern
+
+#: Default assumed width (bytes) of a string value when a path carries no
+#: values at all (pure structural elements).
+_DEFAULT_KEY_WIDTH = 8.0
+
+
+@dataclass
+class PathStatistics:
+    """Statistics for one distinct simple path.
+
+    Attributes
+    ----------
+    path:
+        The rooted simple path, e.g. ``/site/regions/africa/item/quantity``.
+    node_count:
+        Number of nodes (across all documents) with this path.
+    document_count:
+        Number of documents containing at least one such node.
+    distinct_values:
+        Number of distinct typed (whitespace-normalized string) values.
+    total_value_bytes:
+        Sum of value lengths, used to derive the average key width.
+    numeric_count:
+        How many of the values cast to DOUBLE.
+    min_value / max_value:
+        Numeric range over the castable values (``None`` when none cast).
+    """
+
+    path: str
+    node_count: int = 0
+    document_count: int = 0
+    distinct_values: int = 0
+    total_value_bytes: int = 0
+    numeric_count: int = 0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+
+    @property
+    def is_attribute_path(self) -> bool:
+        return "/@" in self.path
+
+    @property
+    def average_value_bytes(self) -> float:
+        if self.node_count == 0 or self.total_value_bytes == 0:
+            return _DEFAULT_KEY_WIDTH
+        return self.total_value_bytes / self.node_count
+
+    @property
+    def mostly_numeric(self) -> bool:
+        """True when most values on this path cast to DOUBLE."""
+        return self.node_count > 0 and self.numeric_count >= 0.5 * self.node_count
+
+    def merge(self, other: "PathStatistics") -> None:
+        """Fold another collection's statistics for the same path into this one."""
+        self.node_count += other.node_count
+        self.document_count += other.document_count
+        # Distinct values cannot be merged exactly without the value sets;
+        # take the max as a lower bound and the sum as an upper bound, and
+        # use the geometric-style compromise the DB2 literature uses.
+        low = max(self.distinct_values, other.distinct_values)
+        high = self.distinct_values + other.distinct_values
+        self.distinct_values = int(round((low + high) / 2)) if high else 0
+        self.total_value_bytes += other.total_value_bytes
+        self.numeric_count += other.numeric_count
+        for bound in (other.min_value,):
+            if bound is not None:
+                self.min_value = bound if self.min_value is None else min(self.min_value, bound)
+        for bound in (other.max_value,):
+            if bound is not None:
+                self.max_value = bound if self.max_value is None else max(self.max_value, bound)
+
+
+@dataclass
+class DatabaseStatistics:
+    """The full path synopsis for a collection or a whole database."""
+
+    path_stats: Dict[str, PathStatistics] = field(default_factory=dict)
+    document_count: int = 0
+    total_node_count: int = 0
+    total_element_count: int = 0
+    total_text_bytes: int = 0
+    #: Memo of pattern -> matching paths (pattern matching is the hot loop
+    #: of size estimation and cost modelling).  Not part of equality.
+    _match_cache: Dict[PathPattern, List[str]] = field(default_factory=dict,
+                                                       repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    @property
+    def distinct_paths(self) -> List[str]:
+        return sorted(self.path_stats)
+
+    def stats_for_path(self, path: str) -> Optional[PathStatistics]:
+        return self.path_stats.get(path)
+
+    def paths_matching(self, pattern: PathPattern) -> List[str]:
+        """All distinct simple paths matched by ``pattern`` (memoized)."""
+        cached = self._match_cache.get(pattern)
+        if cached is None:
+            cached = [path for path in self.path_stats if pattern.matches(path)]
+            self._match_cache[pattern] = cached
+        return cached
+
+    def cardinality(self, pattern: PathPattern) -> int:
+        """Number of nodes in the database matched by ``pattern``."""
+        return sum(self.path_stats[p].node_count for p in self.paths_matching(pattern))
+
+    def distinct_values(self, pattern: PathPattern) -> int:
+        """Approximate number of distinct values among nodes matched by ``pattern``."""
+        return sum(self.path_stats[p].distinct_values
+                   for p in self.paths_matching(pattern))
+
+    def average_key_width(self, pattern: PathPattern) -> float:
+        """Average value width (bytes) over nodes matched by ``pattern``."""
+        matched = self.paths_matching(pattern)
+        total_nodes = sum(self.path_stats[p].node_count for p in matched)
+        if total_nodes == 0:
+            return _DEFAULT_KEY_WIDTH
+        total_bytes = sum(self.path_stats[p].total_value_bytes for p in matched)
+        if total_bytes == 0:
+            return _DEFAULT_KEY_WIDTH
+        return total_bytes / total_nodes
+
+    def documents_containing(self, pattern: PathPattern) -> int:
+        """Upper-bound estimate of documents containing a node matched by
+        ``pattern`` (capped at the document count)."""
+        matched = self.paths_matching(pattern)
+        if not matched:
+            return 0
+        upper = max(self.path_stats[p].document_count for p in matched)
+        return min(self.document_count, max(upper, 1))
+
+    def numeric_range(self, pattern: PathPattern) -> Optional[Tuple[float, float]]:
+        """The [min, max] numeric range of values under ``pattern``."""
+        lows: List[float] = []
+        highs: List[float] = []
+        for path in self.paths_matching(pattern):
+            stat = self.path_stats[path]
+            if stat.min_value is not None and stat.max_value is not None:
+                lows.append(stat.min_value)
+                highs.append(stat.max_value)
+        if not lows:
+            return None
+        return min(lows), max(highs)
+
+    # ------------------------------------------------------------------
+    # Selectivity estimation
+    # ------------------------------------------------------------------
+    def predicate_selectivity(self, pattern: PathPattern, op: Optional[BinaryOp],
+                              value: Optional[Union[str, float]]) -> float:
+        """Fraction of the nodes matched by ``pattern`` that satisfy the
+        comparison ``op value``.
+
+        Uses the textbook uniformity assumptions: ``1/distinct`` for
+        equality, a linear interpolation over the [min, max] range for
+        inequalities, and 1.0 for pure existence predicates (every node
+        with the path "satisfies" it).
+        """
+        if op is None or value is None:
+            return 1.0
+        cardinality = self.cardinality(pattern)
+        if cardinality == 0:
+            return 0.0
+        distinct = max(1, self.distinct_values(pattern))
+        if op is BinaryOp.EQ:
+            return min(1.0, 1.0 / distinct)
+        if op is BinaryOp.NE:
+            return max(0.0, 1.0 - 1.0 / distinct)
+        # Range predicate: interpolate when we know the numeric range.
+        numeric_value = _as_float(value)
+        bounds = self.numeric_range(pattern)
+        if numeric_value is None or bounds is None or bounds[1] <= bounds[0]:
+            return 1.0 / 3.0  # classical default for range predicates
+        low, high = bounds
+        fraction_below = (numeric_value - low) / (high - low)
+        fraction_below = min(1.0, max(0.0, fraction_below))
+        if op in (BinaryOp.LT, BinaryOp.LE):
+            selectivity = fraction_below
+        else:
+            selectivity = 1.0 - fraction_below
+        return min(1.0, max(1.0 / cardinality, selectivity))
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def total_data_bytes(self) -> float:
+        """Approximate on-disk size of the XML data itself."""
+        from repro.storage.pages import XML_NODE_OVERHEAD_BYTES
+        return (self.total_node_count * XML_NODE_OVERHEAD_BYTES
+                + self.total_text_bytes)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "DatabaseStatistics") -> None:
+        """Fold another statistics object (e.g. another collection) into this one."""
+        self._match_cache.clear()
+        self.document_count += other.document_count
+        self.total_node_count += other.total_node_count
+        self.total_element_count += other.total_element_count
+        self.total_text_bytes += other.total_text_bytes
+        for path, stat in other.path_stats.items():
+            if path in self.path_stats:
+                self.path_stats[path].merge(stat)
+            else:
+                self.path_stats[path] = PathStatistics(
+                    path=stat.path,
+                    node_count=stat.node_count,
+                    document_count=stat.document_count,
+                    distinct_values=stat.distinct_values,
+                    total_value_bytes=stat.total_value_bytes,
+                    numeric_count=stat.numeric_count,
+                    min_value=stat.min_value,
+                    max_value=stat.max_value,
+                )
+
+    def copy(self) -> "DatabaseStatistics":
+        fresh = DatabaseStatistics()
+        fresh.merge(self)
+        return fresh
+
+
+def collect_statistics(documents: Iterable[DocumentNode]) -> DatabaseStatistics:
+    """Scan ``documents`` and build the path synopsis.
+
+    Element paths record the element's own text value (concatenated
+    descendant text is *not* used: only direct text children count as the
+    element's indexable value, matching how leaf-value indexes behave);
+    attribute paths record the attribute value.
+    """
+    stats = DatabaseStatistics()
+    value_sets: Dict[str, set] = {}
+    docs_seen: Dict[str, set] = {}
+
+    for doc_index, document in enumerate(documents):
+        stats.document_count += 1
+        stats.total_node_count += 1  # the document node itself
+        for element in document.descendant_elements():
+            path = element.simple_path()
+            stats.total_node_count += 1
+            stats.total_element_count += 1
+            direct_text = "".join(child.value for child in element.children
+                                  if child.kind == NodeKind.TEXT).strip()
+            _record(stats, value_sets, docs_seen, path, direct_text, doc_index)
+            stats.total_text_bytes += len(direct_text)
+            for attribute in element.attributes:
+                attr_path = attribute.simple_path()
+                stats.total_node_count += 1
+                _record(stats, value_sets, docs_seen, attr_path,
+                        attribute.value.strip(), doc_index)
+                stats.total_text_bytes += len(attribute.value)
+
+    for path, values in value_sets.items():
+        stats.path_stats[path].distinct_values = len(values)
+    for path, docs in docs_seen.items():
+        stats.path_stats[path].document_count = len(docs)
+    return stats
+
+
+def _record(stats: DatabaseStatistics, value_sets: Dict[str, set],
+            docs_seen: Dict[str, set], path: str, value: str, doc_index: int) -> None:
+    entry = stats.path_stats.get(path)
+    if entry is None:
+        entry = PathStatistics(path=path)
+        stats.path_stats[path] = entry
+        value_sets[path] = set()
+        docs_seen[path] = set()
+    entry.node_count += 1
+    docs_seen[path].add(doc_index)
+    if value:
+        normalized = " ".join(value.split())
+        value_sets[path].add(normalized)
+        entry.total_value_bytes += len(normalized)
+        number = _as_float(normalized)
+        if number is not None:
+            entry.numeric_count += 1
+            entry.min_value = number if entry.min_value is None else min(entry.min_value, number)
+            entry.max_value = number if entry.max_value is None else max(entry.max_value, number)
+
+
+def _as_float(value: Union[str, float, None]) -> Optional[float]:
+    if value is None:
+        return None
+    if isinstance(value, float):
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None

@@ -1,0 +1,33 @@
+"""Reporting and command-line tooling.
+
+The paper demonstrates the advisor through a visual client; this package
+provides the equivalent functionality as text reports
+(:mod:`repro.tools.report`) and a command-line interface
+(:mod:`repro.tools.cli`, installed as ``xml-index-advisor``).
+"""
+
+from repro.tools.export import (
+    analysis_to_dict,
+    recommendation_to_dict,
+    recommendation_to_json,
+)
+from repro.tools.report import (
+    candidate_report,
+    dag_report,
+    enumerate_report,
+    evaluate_report,
+    recommendation_report,
+    render_table,
+)
+
+__all__ = [
+    "analysis_to_dict",
+    "candidate_report",
+    "dag_report",
+    "enumerate_report",
+    "evaluate_report",
+    "recommendation_report",
+    "recommendation_to_dict",
+    "recommendation_to_json",
+    "render_table",
+]

@@ -1,0 +1,192 @@
+"""Command-line interface: ``xml-index-advisor``.
+
+Sub-commands mirror the demonstration's flow:
+
+* ``scenarios`` -- list the built-in (database, workload) scenarios;
+* ``enumerate`` -- run the Enumerate Indexes mode over a scenario's
+  workload (or a single ``--query``) and print the basic candidates;
+* ``recommend`` -- run the full advisor under a disk budget and print
+  the recommended configuration, its DDL and the Figure 5 analysis;
+* ``execute`` -- create the recommended indexes and actually execute the
+  workload with and without them (the demo's final step).
+
+Example::
+
+    xml-index-advisor recommend --scenario xmark-small --budget-kb 256 \\
+        --algorithm top-down
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.advisor.advisor import XmlIndexAdvisor
+from repro.advisor.analysis import RecommendationAnalysis
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.executor.measurement import measure_workload
+from repro.optimizer.explain import enumerate_indexes
+from repro.optimizer.optimizer import Optimizer
+from repro.tools.export import recommendation_to_json
+from repro.tools.report import (
+    candidate_report,
+    dag_report,
+    enumerate_report,
+    recommendation_report,
+)
+from repro.workloads.loader import build_scenario, list_scenarios
+from repro.xquery.model import Workload
+from repro.xquery.normalizer import normalize_statement, normalize_workload
+from repro.xquery.workload_io import load_workload_file
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default="xmark-small",
+                        choices=list_scenarios(),
+                        help="built-in database + workload to use")
+    parser.add_argument("--workload-file", default=None,
+                        help="read the workload from a text file instead of "
+                             "using the scenario's built-in workload "
+                             "(statements separated by ';' or blank lines; "
+                             "'-- frequency: N' comments set frequencies)")
+
+
+def _scenario_workload(args: argparse.Namespace, scenario) -> Workload:
+    """The scenario's workload, or the one loaded from --workload-file."""
+    if getattr(args, "workload_file", None):
+        return load_workload_file(args.workload_file)
+    return scenario.workload
+
+
+def _algorithm(value: str) -> SearchAlgorithm:
+    for algorithm in SearchAlgorithm:
+        if algorithm.value == value:
+            return algorithm
+    raise argparse.ArgumentTypeError(f"unknown algorithm {value!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xml-index-advisor",
+        description="XML Index Advisor (SIGMOD 2008 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("scenarios", help="list built-in scenarios")
+
+    enum_parser = subparsers.add_parser(
+        "enumerate", help="show basic candidate indexes (Enumerate Indexes mode)")
+    _add_scenario_argument(enum_parser)
+    enum_parser.add_argument("--query", default=None,
+                             help="a single XQuery/SQL-XML statement instead of "
+                                  "the scenario workload")
+
+    recommend_parser = subparsers.add_parser(
+        "recommend", help="run the advisor and print the recommendation")
+    _add_scenario_argument(recommend_parser)
+    recommend_parser.add_argument("--budget-kb", type=float, default=256.0,
+                                  help="disk space budget in KiB (0 = unlimited)")
+    recommend_parser.add_argument("--algorithm", type=_algorithm,
+                                  default=SearchAlgorithm.GREEDY_HEURISTIC,
+                                  help="greedy | greedy-heuristic | top-down")
+    recommend_parser.add_argument("--show-dag", action="store_true",
+                                  help="also print the generalization DAG")
+    recommend_parser.add_argument("--show-candidates", action="store_true",
+                                  help="also print the candidate table")
+    recommend_parser.add_argument("--json-out", default=None,
+                                  help="also write the recommendation (and its "
+                                       "analysis) as JSON to this file")
+
+    execute_parser = subparsers.add_parser(
+        "execute", help="create the recommended indexes and run the workload")
+    _add_scenario_argument(execute_parser)
+    execute_parser.add_argument("--budget-kb", type=float, default=256.0)
+    execute_parser.add_argument("--algorithm", type=_algorithm,
+                                default=SearchAlgorithm.GREEDY_HEURISTIC)
+    return parser
+
+
+def _budget_bytes(budget_kb: float) -> Optional[float]:
+    if budget_kb <= 0:
+        return None
+    return budget_kb * 1024.0
+
+
+def _command_scenarios(_: argparse.Namespace) -> int:
+    for name in list_scenarios():
+        print(name)
+    return 0
+
+
+def _command_enumerate(args: argparse.Namespace) -> int:
+    scenario = build_scenario(args.scenario)
+    optimizer = Optimizer(scenario.database)
+    if args.query:
+        queries = [normalize_statement(args.query, query_id="cli-q1")]
+    else:
+        workload = _scenario_workload(args, scenario)
+        queries = [q for q in normalize_workload(workload) if not q.is_update]
+    results = [enumerate_indexes(query, scenario.database, optimizer)
+               for query in queries]
+    print(enumerate_report(results))
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    scenario = build_scenario(args.scenario)
+    parameters = AdvisorParameters(disk_budget_bytes=_budget_bytes(args.budget_kb),
+                                   search_algorithm=args.algorithm)
+    advisor = XmlIndexAdvisor(scenario.database, parameters)
+    recommendation = advisor.recommend(_scenario_workload(args, scenario))
+    analysis = RecommendationAnalysis(scenario.database, recommendation)
+    if args.show_candidates:
+        print(candidate_report(recommendation.candidates))
+        print()
+    if args.show_dag:
+        print(dag_report(recommendation.dag))
+        print()
+    print(recommendation_report(recommendation, analysis))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(recommendation_to_json(recommendation, analysis))
+        print(f"\nwrote JSON recommendation to {args.json_out}")
+    return 0
+
+
+def _command_execute(args: argparse.Namespace) -> int:
+    scenario = build_scenario(args.scenario)
+    parameters = AdvisorParameters(disk_budget_bytes=_budget_bytes(args.budget_kb),
+                                   search_algorithm=args.algorithm)
+    advisor = XmlIndexAdvisor(scenario.database, parameters)
+    recommendation = advisor.recommend(_scenario_workload(args, scenario))
+    print(recommendation.describe())
+    print()
+    measurements = measure_workload(scenario.database, recommendation.queries,
+                                    recommendation.configuration)
+    for measurement in measurements.values():
+        print(measurement.describe())
+    baseline = measurements["no-indexes"].total_seconds
+    with_indexes = measurements.get("recommended")
+    if with_indexes and with_indexes.total_seconds > 0:
+        print(f"actual speedup: {baseline / with_indexes.total_seconds:.2f}x")
+    return 0
+
+
+_COMMANDS = {
+    "scenarios": _command_scenarios,
+    "enumerate": _command_enumerate,
+    "recommend": _command_recommend,
+    "execute": _command_execute,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also installed as the ``xml-index-advisor`` script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Export recommendations and analyses as JSON-serializable structures.
+
+The demonstration's GUI shows the recommendation interactively; an
+open-source release needs a machine-readable artifact so the
+recommendation can be versioned, diffed, and fed into deployment
+tooling.  These helpers convert the advisor's result objects into plain
+dictionaries (and JSON text) with no library types inside.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.advisor.advisor import Recommendation
+from repro.advisor.analysis import QueryCostComparison, RecommendationAnalysis
+
+
+def index_to_dict(index, size_bytes: Optional[float] = None) -> Dict[str, Any]:
+    """One index definition as a plain dictionary."""
+    result: Dict[str, Any] = {
+        "name": index.name,
+        "pattern": index.pattern.to_text(),
+        "value_type": index.value_type.value,
+        "ddl": index.ddl(),
+    }
+    if index.collection is not None:
+        result["collection"] = index.collection
+    if size_bytes is not None:
+        result["estimated_size_bytes"] = round(size_bytes, 1)
+    return result
+
+
+def recommendation_to_dict(recommendation: Recommendation) -> Dict[str, Any]:
+    """The full recommendation as a nested dictionary."""
+    sizes = recommendation.benefit.index_sizes
+    return {
+        "algorithm": recommendation.search_result.algorithm.value,
+        "disk_budget_bytes": recommendation.parameters.disk_budget_bytes,
+        "total_size_bytes": round(recommendation.total_size_bytes, 1),
+        "total_benefit": round(recommendation.total_benefit, 3),
+        "estimated_improvement_percent": round(recommendation.improvement_percent(), 2),
+        "indexes": [index_to_dict(index, sizes.get(index.key))
+                    for index in recommendation.configuration],
+        "candidates": {
+            "basic": len(recommendation.candidates.basic_candidates),
+            "generalized": len(recommendation.candidates.generalized_candidates),
+            "dag_depth": recommendation.dag.depth(),
+            "dag_roots": len(recommendation.dag.roots),
+        },
+        "queries": [
+            {
+                "query_id": evaluation.query_id,
+                "frequency": evaluation.frequency,
+                "cost_without_indexes": round(evaluation.cost_without_indexes, 3),
+                "cost_with_configuration": round(evaluation.cost_with_configuration, 3),
+                "benefit": round(evaluation.benefit, 3),
+            }
+            for evaluation in recommendation.benefit.query_evaluations
+        ],
+        "phase_seconds": {phase: round(seconds, 4)
+                          for phase, seconds in recommendation.phase_seconds.items()},
+        "search_trace": [step.describe() for step in recommendation.search_result.trace],
+    }
+
+
+def comparison_to_dict(comparison: QueryCostComparison) -> Dict[str, Any]:
+    return {
+        "query_id": comparison.query_id,
+        "cost_no_indexes": round(comparison.cost_no_indexes, 3),
+        "cost_recommended": round(comparison.cost_recommended, 3),
+        "cost_overtrained": round(comparison.cost_overtrained, 3),
+        "speedup_recommended": round(comparison.speedup_recommended, 3),
+        "benefit_captured": round(comparison.benefit_captured, 3),
+    }
+
+
+def analysis_to_dict(analysis: RecommendationAnalysis) -> Dict[str, Any]:
+    """The Figure 5 analysis as a dictionary (summary + per-query rows)."""
+    return {
+        "summary": {key: round(value, 3) for key, value in analysis.summary().items()},
+        "per_query": [comparison_to_dict(row) for row in analysis.compare_query_costs()],
+    }
+
+
+def recommendation_to_json(recommendation: Recommendation,
+                           analysis: Optional[RecommendationAnalysis] = None,
+                           indent: int = 2) -> str:
+    """JSON text for a recommendation (optionally with its analysis)."""
+    payload: Dict[str, Any] = {"recommendation": recommendation_to_dict(recommendation)}
+    if analysis is not None:
+        payload["analysis"] = analysis_to_dict(analysis)
+    return json.dumps(payload, indent=indent, sort_keys=False)

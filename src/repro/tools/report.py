@@ -1,0 +1,132 @@
+"""Text reports mirroring the demonstration's visual panels.
+
+Each function renders one of the demo's views as a plain-text table:
+
+* :func:`enumerate_report` -- Figure 2, basic candidate recommendation;
+* :func:`evaluate_report` -- Figure 3, cost of a configuration;
+* :func:`candidate_report` / :func:`dag_report` -- Figure 4, the basic
+  and generalized candidates and the generalization DAG;
+* :func:`recommendation_report` -- Figure 5, analysis of the
+  recommendation (per-query costs, sizes, DDL).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.advisor.advisor import Recommendation
+from repro.advisor.analysis import QueryCostComparison, RecommendationAnalysis
+from repro.advisor.candidates import CandidateSet
+from repro.advisor.dag import GeneralizationDag
+from repro.optimizer.explain import EnumerateIndexesResult, EvaluateIndexesResult
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 min_width: int = 8) -> str:
+    """Render a simple fixed-width text table."""
+    columns = len(headers)
+    widths = [max(min_width, len(str(headers[i]))) for i in range(columns)]
+    normalized_rows: List[List[str]] = []
+    for row in rows:
+        cells = [_format_cell(cell) for cell in row]
+        while len(cells) < columns:
+            cells.append("")
+        normalized_rows.append(cells)
+        for i in range(columns):
+            widths[i] = max(widths[i], len(cells[i]))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(cells[i]).ljust(widths[i]) for i in range(columns))
+    lines = [fmt([str(h) for h in headers]), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(cells) for cells in normalized_rows)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 / Figure 3
+# ----------------------------------------------------------------------
+def enumerate_report(results: Iterable[EnumerateIndexesResult]) -> str:
+    """Per-query basic candidates (the Figure 2 panel)."""
+    rows = []
+    for result in results:
+        if not result.candidates:
+            rows.append([result.query.query_id, "(none)", "",
+                         result.cost_without_indexes,
+                         result.cost_with_universal_indexes])
+            continue
+        for index, candidate in enumerate(result.candidates):
+            rows.append([
+                result.query.query_id if index == 0 else "",
+                candidate.pattern.to_text(),
+                candidate.value_type.value,
+                result.cost_without_indexes if index == 0 else "",
+                result.cost_with_universal_indexes if index == 0 else "",
+            ])
+    return render_table(
+        ["query", "candidate pattern", "type", "cost (no idx)", "cost (//* idx)"], rows)
+
+
+def evaluate_report(results: Iterable[EvaluateIndexesResult]) -> str:
+    """Per-query cost under a given configuration (the Figure 3 panel)."""
+    rows = []
+    for result in results:
+        used = ", ".join(i.pattern.to_text() for i in result.used_indexes) or "(none)"
+        rows.append([result.query.query_id, result.estimated_cost, used])
+    return render_table(["query", "estimated cost", "indexes used"], rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 4
+# ----------------------------------------------------------------------
+def candidate_report(candidates: CandidateSet) -> str:
+    """Basic vs. generalized candidates with their query attribution."""
+    rows = []
+    for candidate in sorted(candidates, key=lambda c: (c.source, c.pattern.to_text())):
+        rows.append([
+            candidate.pattern.to_text(),
+            candidate.value_type.value,
+            candidate.source,
+            len(candidate.benefiting_queries),
+        ])
+    return render_table(["pattern", "type", "source", "#queries"], rows)
+
+
+def dag_report(dag: GeneralizationDag) -> str:
+    """The generalization DAG as an indented tree (Figure 4)."""
+    return dag.render()
+
+
+# ----------------------------------------------------------------------
+# Figure 5
+# ----------------------------------------------------------------------
+def recommendation_report(recommendation: Recommendation,
+                          analysis: Optional[RecommendationAnalysis] = None,
+                          comparisons: Optional[List[QueryCostComparison]] = None
+                          ) -> str:
+    """Full recommendation summary: configuration, sizes, per-query costs."""
+    sections: List[str] = [recommendation.describe(), ""]
+    sections.append("DDL:")
+    for ddl in recommendation.ddl_statements():
+        sections.append("  " + ddl + ";")
+    if analysis is not None:
+        comparisons = comparisons if comparisons is not None \
+            else analysis.compare_query_costs()
+        rows = [[c.query_id, c.cost_no_indexes, c.cost_recommended,
+                 c.cost_overtrained, f"{c.speedup_recommended:.2f}x"]
+                for c in comparisons]
+        sections.append("")
+        sections.append(render_table(
+            ["query", "no indexes", "recommended", "overtrained", "speedup"], rows))
+        summary = analysis.summary()
+        sections.append("")
+        sections.append(
+            f"workload improvement: {summary['improvement_recommended_pct']:.1f}% "
+            f"(overtrained bound: {summary['improvement_overtrained_pct']:.1f}%); "
+            f"recommended size {summary['recommended_size_bytes'] / 1024:.1f} KiB vs "
+            f"overtrained {summary['overtrained_size_bytes'] / 1024:.1f} KiB")
+    return "\n".join(sections)

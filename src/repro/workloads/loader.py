@@ -1,0 +1,73 @@
+"""Scenario builders: ready-made (database, workload) pairs.
+
+The examples, benchmarks, and the CLI all need the same handful of
+set-ups ("XMark at scale 0.1 with the training workload", "TPoX with a
+30% update mix", ...).  Building them in one place keeps those callers
+short and guarantees they agree on seeds and scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.storage.document_store import XmlDatabase
+from repro.workloads.tpox import TpoxConfig, generate_tpox_database, tpox_workload
+from repro.workloads.xmark import (
+    XMarkConfig,
+    generate_xmark_database,
+    xmark_query_workload,
+)
+from repro.xquery.model import Workload
+
+
+@dataclass
+class Scenario:
+    """A named, reproducible (database, workload) pair."""
+
+    name: str
+    description: str
+    database: XmlDatabase
+    workload: Workload
+
+
+def _xmark_scenario(scale: float, seed: int = 42) -> Scenario:
+    database = generate_xmark_database(XMarkConfig(scale=scale, seed=seed))
+    workload = xmark_query_workload()
+    return Scenario(name=f"xmark-{scale:g}",
+                    description=f"XMark-style auction data at scale {scale:g} "
+                                f"with the mixed XQuery/SQL-XML training workload",
+                    database=database, workload=workload)
+
+
+def _tpox_scenario(scale: float, update_ratio: float, seed: int = 7) -> Scenario:
+    database = generate_tpox_database(TpoxConfig(scale=scale, seed=seed))
+    workload = tpox_workload(update_ratio=update_ratio)
+    return Scenario(name=f"tpox-{scale:g}-u{int(update_ratio * 100)}",
+                    description=f"TPoX-style brokerage data at scale {scale:g} "
+                                f"with {int(update_ratio * 100)}% updates",
+                    database=database, workload=workload)
+
+
+_BUILDERS: Dict[str, Callable[[], Scenario]] = {
+    "xmark-small": lambda: _xmark_scenario(scale=0.05),
+    "xmark-medium": lambda: _xmark_scenario(scale=0.2),
+    "tpox-small": lambda: _tpox_scenario(scale=0.05, update_ratio=0.3),
+    "tpox-readonly": lambda: _tpox_scenario(scale=0.05, update_ratio=0.0),
+    "tpox-update-heavy": lambda: _tpox_scenario(scale=0.05, update_ratio=0.7),
+}
+
+
+def list_scenarios() -> List[str]:
+    """Names accepted by :func:`build_scenario`."""
+    return sorted(_BUILDERS)
+
+
+def build_scenario(name: str) -> Scenario:
+    """Build a named scenario; raises ``KeyError`` with the valid names."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; valid names: "
+                       f"{', '.join(list_scenarios())}") from None
+    return builder()

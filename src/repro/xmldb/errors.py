@@ -1,0 +1,41 @@
+"""Exception hierarchy for the XML substrate.
+
+All errors raised by :mod:`repro.xmldb` derive from :class:`XmlError`,
+so callers can catch a single type.  Parse errors carry the position in
+the input so that malformed workload documents are easy to locate.
+"""
+
+from __future__ import annotations
+
+
+class XmlError(Exception):
+    """Base class for all XML substrate errors."""
+
+
+class XmlParseError(XmlError):
+    """Raised when the input text is not well-formed XML.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    line, column:
+        1-based position of the error in the input, when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        if line:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+
+
+class XmlSerializeError(XmlError):
+    """Raised when a node tree cannot be serialized back to text."""
+
+
+class XmlNodeError(XmlError):
+    """Raised on illegal node-tree manipulations (e.g. cycles)."""

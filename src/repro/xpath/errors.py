@@ -1,0 +1,27 @@
+"""Exceptions raised by the XPath engine and pattern algebra."""
+
+from __future__ import annotations
+
+
+class XPathError(Exception):
+    """Base class for XPath engine errors."""
+
+
+class XPathParseError(XPathError):
+    """Raised when an XPath expression or index pattern cannot be parsed."""
+
+    def __init__(self, message: str, expression: str = "", position: int = -1) -> None:
+        self.expression = expression
+        self.position = position
+        if expression:
+            super().__init__(f"{message} in {expression!r} at offset {position}")
+        else:
+            super().__init__(message)
+
+
+class XPathTypeError(XPathError):
+    """Raised when an expression is applied to operands of the wrong type."""
+
+
+class PatternError(XPathError):
+    """Raised on invalid index-pattern operations."""

@@ -1,0 +1,360 @@
+"""Lexer and recursive-descent parser for the XPath subset.
+
+The entry point is :func:`parse_xpath`, which returns either a
+:class:`~repro.xpath.ast.LocationPath` (for plain paths) or a
+:class:`~repro.xpath.ast.ComparisonExpr` (for top-level comparisons like
+``/site/people/person/@id = "person0"``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.xpath.ast import (
+    Axis,
+    BinaryOp,
+    ComparisonExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    PathExpr,
+    Predicate,
+    Step,
+)
+from repro.xpath.errors import XPathParseError
+
+
+class _TokenKind(enum.Enum):
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    AT = "@"
+    STAR = "*"
+    NAME = "name"
+    STRING = "string"
+    NUMBER = "number"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    OPERATOR = "op"
+    DOT = "."
+    DOTDOT = ".."
+    VARIABLE = "$"
+    END = "end"
+
+
+@dataclass
+class _Token:
+    kind: _TokenKind
+    text: str
+    position: int
+
+
+_OPERATORS = ("!=", "<=", ">=", "=", "<", ">")
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:")
+
+
+def _tokenize(expression: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    i = 0
+    length = len(expression)
+    while i < length:
+        ch = expression[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if expression.startswith("//", i):
+            tokens.append(_Token(_TokenKind.DOUBLE_SLASH, "//", i))
+            i += 2
+            continue
+        if ch == "/":
+            tokens.append(_Token(_TokenKind.SLASH, "/", i))
+            i += 1
+            continue
+        if ch == "@":
+            tokens.append(_Token(_TokenKind.AT, "@", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(_Token(_TokenKind.STAR, "*", i))
+            i += 1
+            continue
+        if ch == "[":
+            tokens.append(_Token(_TokenKind.LBRACKET, "[", i))
+            i += 1
+            continue
+        if ch == "]":
+            tokens.append(_Token(_TokenKind.RBRACKET, "]", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(_Token(_TokenKind.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(_Token(_TokenKind.RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(_Token(_TokenKind.COMMA, ",", i))
+            i += 1
+            continue
+        if ch == "$":
+            start = i
+            i += 1
+            while i < length and expression[i] in _NAME_CHARS:
+                i += 1
+            if i == start + 1:
+                raise XPathParseError("expected variable name after '$'",
+                                      expression, start)
+            tokens.append(_Token(_TokenKind.VARIABLE, expression[start + 1:i], start))
+            continue
+        if expression.startswith("..", i):
+            tokens.append(_Token(_TokenKind.DOTDOT, "..", i))
+            i += 2
+            continue
+        if ch == "." and (i + 1 >= length or not expression[i + 1].isdigit()):
+            tokens.append(_Token(_TokenKind.DOT, ".", i))
+            i += 1
+            continue
+        matched_op = None
+        for op in _OPERATORS:
+            if expression.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op:
+            tokens.append(_Token(_TokenKind.OPERATOR, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch in ("'", '"'):
+            end = expression.find(ch, i + 1)
+            if end == -1:
+                raise XPathParseError("unterminated string literal", expression, i)
+            tokens.append(_Token(_TokenKind.STRING, expression[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and expression[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < length and (expression[i].isdigit() or expression[i] == "."):
+                i += 1
+            tokens.append(_Token(_TokenKind.NUMBER, expression[start:i], i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and expression[i] in _NAME_CHARS:
+                i += 1
+            name = expression[start:i]
+            # ``text()`` is lexed as a NAME followed by parens and folded
+            # back together by the parser.
+            tokens.append(_Token(_TokenKind.NAME, name, start))
+            continue
+        raise XPathParseError(f"unexpected character {ch!r}", expression, i)
+    tokens.append(_Token(_TokenKind.END, "", length))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, expression: str) -> None:
+        self._expression = expression
+        self._tokens = _tokenize(expression)
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self, offset: int = 0) -> _Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind is not _TokenKind.END:
+            self._index += 1
+        return token
+
+    def _expect(self, kind: _TokenKind) -> _Token:
+        token = self._next()
+        if token.kind is not kind:
+            raise XPathParseError(
+                f"expected {kind.value!r}, found {token.text!r}",
+                self._expression, token.position)
+        return token
+
+    def _error(self, message: str) -> XPathParseError:
+        token = self._peek()
+        return XPathParseError(message, self._expression, token.position)
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> PathExpr:
+        expr = self._parse_or_expr()
+        if self._peek().kind is not _TokenKind.END:
+            raise self._error(f"unexpected trailing token {self._peek().text!r}")
+        return expr
+
+    def _parse_or_expr(self) -> PathExpr:
+        left = self._parse_and_expr()
+        while (self._peek().kind is _TokenKind.NAME and self._peek().text == "or"):
+            self._next()
+            right = self._parse_and_expr()
+            left = ComparisonExpr(BinaryOp.OR, left, right)
+        return left
+
+    def _parse_and_expr(self) -> PathExpr:
+        left = self._parse_comparison()
+        while (self._peek().kind is _TokenKind.NAME and self._peek().text == "and"):
+            self._next()
+            right = self._parse_comparison()
+            left = ComparisonExpr(BinaryOp.AND, left, right)
+        return left
+
+    def _parse_comparison(self) -> PathExpr:
+        left = self._parse_value()
+        if self._peek().kind is _TokenKind.OPERATOR:
+            op_token = self._next()
+            op = BinaryOp(op_token.text)
+            right = self._parse_value()
+            return ComparisonExpr(op, left, right)
+        return left
+
+    def _parse_value(self) -> PathExpr:
+        token = self._peek()
+        if token.kind is _TokenKind.STRING:
+            self._next()
+            return Literal(token.text)
+        if token.kind is _TokenKind.NUMBER:
+            self._next()
+            return Literal(float(token.text))
+        if token.kind is _TokenKind.LPAREN:
+            self._next()
+            inner = self._parse_or_expr()
+            self._expect(_TokenKind.RPAREN)
+            return inner
+        if (token.kind is _TokenKind.NAME
+                and self._peek(1).kind is _TokenKind.LPAREN
+                and token.text not in ("text",)):
+            return self._parse_function_call()
+        if token.kind in (_TokenKind.SLASH, _TokenKind.DOUBLE_SLASH,
+                          _TokenKind.NAME, _TokenKind.AT, _TokenKind.STAR,
+                          _TokenKind.DOT, _TokenKind.DOTDOT,
+                          _TokenKind.VARIABLE):
+            return self._parse_location_path()
+        raise self._error(f"unexpected token {token.text!r}")
+
+    def _parse_function_call(self) -> FunctionCall:
+        name = self._expect(_TokenKind.NAME).text
+        self._expect(_TokenKind.LPAREN)
+        arguments: List[PathExpr] = []
+        if self._peek().kind is not _TokenKind.RPAREN:
+            arguments.append(self._parse_or_expr())
+            while self._peek().kind is _TokenKind.COMMA:
+                self._next()
+                arguments.append(self._parse_or_expr())
+        self._expect(_TokenKind.RPAREN)
+        return FunctionCall(name=name, arguments=arguments)
+
+    def _parse_location_path(self) -> LocationPath:
+        token = self._peek()
+        absolute = False
+        variable: Optional[str] = None
+        steps: List[Step] = []
+        pending_axis = Axis.CHILD
+
+        if token.kind is _TokenKind.VARIABLE:
+            variable = token.text
+            self._next()
+            next_token = self._peek()
+            if next_token.kind is _TokenKind.SLASH:
+                self._next()
+            elif next_token.kind is _TokenKind.DOUBLE_SLASH:
+                self._next()
+                pending_axis = Axis.DESCENDANT_OR_SELF
+            else:
+                return LocationPath(steps=[], absolute=False, variable=variable)
+        elif token.kind is _TokenKind.SLASH:
+            absolute = True
+            self._next()
+            if self._peek().kind is _TokenKind.END:
+                # The bare document-root path "/".
+                return LocationPath(steps=[], absolute=True)
+        elif token.kind is _TokenKind.DOUBLE_SLASH:
+            absolute = True
+            pending_axis = Axis.DESCENDANT_OR_SELF
+            self._next()
+        elif token.kind in (_TokenKind.DOT, _TokenKind.DOTDOT):
+            # ``.`` and ``./path`` : current-node relative path.
+            self._next()
+            if self._peek().kind is _TokenKind.SLASH:
+                self._next()
+            elif self._peek().kind is _TokenKind.DOUBLE_SLASH:
+                self._next()
+                pending_axis = Axis.DESCENDANT_OR_SELF
+            else:
+                return LocationPath(steps=[], absolute=False)
+
+        while True:
+            if (pending_axis is Axis.DESCENDANT_OR_SELF
+                    and self._peek().kind is _TokenKind.AT):
+                # ``//@id`` means "the @id attribute of any element"; model
+                # it as a descendant wildcard element step followed by a
+                # plain attribute step so the evaluator stays simple.
+                steps.append(Step(axis=Axis.DESCENDANT_OR_SELF, node_test="*"))
+                pending_axis = Axis.CHILD
+            steps.append(self._parse_step(pending_axis))
+            token = self._peek()
+            if token.kind is _TokenKind.SLASH:
+                self._next()
+                pending_axis = Axis.CHILD
+            elif token.kind is _TokenKind.DOUBLE_SLASH:
+                self._next()
+                pending_axis = Axis.DESCENDANT_OR_SELF
+            else:
+                break
+        return LocationPath(steps=steps, absolute=absolute, variable=variable)
+
+    def _parse_step(self, axis: Axis) -> Step:
+        token = self._peek()
+        if token.kind is _TokenKind.AT:
+            self._next()
+            axis = Axis.ATTRIBUTE
+            token = self._peek()
+        if token.kind is _TokenKind.STAR:
+            self._next()
+            node_test = "*"
+        elif token.kind is _TokenKind.NAME:
+            self._next()
+            node_test = token.text
+            if node_test == "text" and self._peek().kind is _TokenKind.LPAREN:
+                self._next()
+                self._expect(_TokenKind.RPAREN)
+                node_test = "text()"
+        else:
+            raise self._error("expected a step name, '*' or '@'")
+        predicates: List[Predicate] = []
+        while self._peek().kind is _TokenKind.LBRACKET:
+            self._next()
+            inner = self._parse_or_expr()
+            self._expect(_TokenKind.RBRACKET)
+            predicates.append(Predicate(inner))
+        return Step(axis=axis, node_test=node_test, predicates=predicates)
+
+
+def parse_xpath(expression: str) -> PathExpr:
+    """Parse an XPath expression from the supported subset.
+
+    Returns a :class:`LocationPath` for plain paths, or a
+    :class:`ComparisonExpr` / :class:`FunctionCall` for expressions.
+    Raises :class:`XPathParseError` for anything outside the subset.
+    """
+    if not expression or not expression.strip():
+        raise XPathParseError("empty XPath expression", expression, 0)
+    return _Parser(expression.strip()).parse()
+
+
+def parse_location_path(expression: str) -> LocationPath:
+    """Parse ``expression`` and require that it is a plain location path."""
+    result = parse_xpath(expression)
+    if not isinstance(result, LocationPath):
+        raise XPathParseError("expected a location path", expression, 0)
+    return result

@@ -1,0 +1,59 @@
+"""Query front ends and the workload model.
+
+The paper's advisor supports both query languages DB2 supports --
+XQuery and SQL/XML -- because it delegates all query understanding to
+the optimizer.  This package mirrors that: both front ends lower to the
+same *normalized query* form (a set of absolute path predicates plus
+extraction paths), and everything downstream (optimizer, advisor,
+executor) works only with that form.
+
+Contents
+--------
+* :mod:`repro.xquery.model` -- ``PathPredicate``, ``NormalizedQuery``,
+  ``WorkloadStatement``, ``Workload``.
+* :mod:`repro.xquery.xquery_parser` -- a FLWOR-subset XQuery parser.
+* :mod:`repro.xquery.sqlxml_parser` -- SQL/XML (``XMLEXISTS`` /
+  ``XMLQUERY``) extraction.
+* :mod:`repro.xquery.normalizer` -- lowering of either language (or raw
+  XPath) to :class:`~repro.xquery.model.NormalizedQuery`.
+"""
+
+from repro.xquery.errors import QueryParseError, WorkloadError
+from repro.xquery.model import (
+    NormalizedQuery,
+    PathPredicate,
+    QueryLanguage,
+    UpdateKind,
+    ValueType,
+    Workload,
+    WorkloadStatement,
+)
+from repro.xquery.normalizer import normalize_statement, normalize_workload
+from repro.xquery.sqlxml_parser import parse_sqlxml
+from repro.xquery.workload_io import (
+    dump_workload_text,
+    load_workload_file,
+    parse_workload_text,
+    save_workload_file,
+)
+from repro.xquery.xquery_parser import parse_xquery
+
+__all__ = [
+    "NormalizedQuery",
+    "PathPredicate",
+    "QueryLanguage",
+    "QueryParseError",
+    "UpdateKind",
+    "ValueType",
+    "Workload",
+    "WorkloadError",
+    "WorkloadStatement",
+    "dump_workload_text",
+    "load_workload_file",
+    "normalize_statement",
+    "normalize_workload",
+    "parse_workload_text",
+    "save_workload_file",
+    "parse_sqlxml",
+    "parse_xquery",
+]

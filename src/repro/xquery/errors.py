@@ -1,0 +1,25 @@
+"""Exceptions for the query front ends and workload handling."""
+
+from __future__ import annotations
+
+
+class QueryParseError(Exception):
+    """Raised when a workload statement cannot be parsed.
+
+    Attributes
+    ----------
+    statement:
+        The offending statement text (possibly truncated for display).
+    """
+
+    def __init__(self, message: str, statement: str = "") -> None:
+        self.statement = statement
+        if statement:
+            shown = statement if len(statement) < 120 else statement[:117] + "..."
+            super().__init__(f"{message}: {shown!r}")
+        else:
+            super().__init__(message)
+
+
+class WorkloadError(Exception):
+    """Raised on invalid workload construction (e.g. non-positive frequency)."""

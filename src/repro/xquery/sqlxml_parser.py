@@ -1,0 +1,128 @@
+"""SQL/XML front end: extract XML predicates from SQL statements.
+
+DB2 lets relational SQL statements query XML columns through
+``XMLEXISTS`` (a predicate) and ``XMLQUERY`` (an extracting expression),
+both of which embed an XPath/XQuery string and a ``PASSING`` clause that
+binds the XML column to a variable:
+
+.. code-block:: sql
+
+    SELECT o.id
+    FROM orders o
+    WHERE XMLEXISTS('$d/FIXML/Order[@Side = "2"]' PASSING o.doc AS "d")
+
+The advisor only cares about the embedded path expressions, so this
+parser pulls them out, records whether each came from a predicate
+context (``XMLEXISTS``, indexable) or an extraction context
+(``XMLQUERY``, navigation only), and hands them to the normalizer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.xquery.errors import QueryParseError
+
+_XMLEXISTS_RE = re.compile(r"XMLEXISTS\s*\(", re.IGNORECASE)
+_XMLQUERY_RE = re.compile(r"XMLQUERY\s*\(", re.IGNORECASE)
+_PASSING_VAR_RE = re.compile(
+    r"""PASSING\s+[\w\."]+\s+AS\s+["']?(\w+)["']?""", re.IGNORECASE)
+
+
+@dataclass
+class SqlXmlExpression:
+    """One embedded XML expression found in a SQL/XML statement."""
+
+    xpath_text: str
+    #: Variable name bound by the PASSING clause (e.g. ``d`` for ``$d/...``).
+    passing_variable: Optional[str]
+    #: True when the expression appeared inside XMLEXISTS (a predicate).
+    is_predicate: bool
+
+
+@dataclass
+class SqlXmlAst:
+    """Result of scanning a SQL/XML statement."""
+
+    expressions: List[SqlXmlExpression] = field(default_factory=list)
+    #: True if the statement is an INSERT/UPDATE/DELETE.
+    is_update: bool = False
+
+
+def _extract_call(text: str, open_paren_index: int) -> str:
+    """Return the text between the parenthesis at ``open_paren_index`` and
+    its matching close parenthesis."""
+    depth = 0
+    in_string: Optional[str] = None
+    for i in range(open_paren_index, len(text)):
+        ch = text[i]
+        if in_string:
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in ("'", '"'):
+            in_string = ch
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren_index + 1:i]
+    raise QueryParseError("unbalanced parentheses in SQL/XML call", text)
+
+
+def _first_string_literal(call_body: str) -> Optional[str]:
+    """Return the contents of the first quoted string in ``call_body``."""
+    for quote in ("'", '"'):
+        start = call_body.find(quote)
+        if start == -1:
+            continue
+        end = call_body.find(quote, start + 1)
+        if end == -1:
+            continue
+        return call_body[start + 1:end]
+    return None
+
+
+def _scan_calls(statement: str, pattern: re.Pattern, is_predicate: bool,
+                ast: SqlXmlAst) -> None:
+    for match in pattern.finditer(statement):
+        open_paren = statement.find("(", match.start())
+        body = _extract_call(statement, open_paren)
+        xpath_text = _first_string_literal(body)
+        if xpath_text is None:
+            raise QueryParseError(
+                "XMLEXISTS/XMLQUERY call does not contain an XPath literal", statement)
+        passing = _PASSING_VAR_RE.search(body)
+        variable = passing.group(1) if passing else None
+        ast.expressions.append(SqlXmlExpression(
+            xpath_text=xpath_text.strip(),
+            passing_variable=variable,
+            is_predicate=is_predicate,
+        ))
+
+
+def looks_like_sqlxml(statement: str) -> bool:
+    """Heuristic language sniffing used when the workload does not say."""
+    upper = statement.upper()
+    return ("SELECT" in upper or "INSERT" in upper or "UPDATE" in upper
+            or "DELETE" in upper) and ("XMLEXISTS" in upper or "XMLQUERY" in upper
+                                       or "FROM" in upper)
+
+
+def parse_sqlxml(statement: str) -> SqlXmlAst:
+    """Extract the XML expressions embedded in a SQL/XML statement."""
+    if not statement or not statement.strip():
+        raise QueryParseError("empty SQL/XML statement")
+    ast = SqlXmlAst()
+    upper = statement.strip().upper()
+    ast.is_update = upper.startswith(("INSERT", "UPDATE", "DELETE", "MERGE"))
+    _scan_calls(statement, _XMLEXISTS_RE, is_predicate=True, ast=ast)
+    _scan_calls(statement, _XMLQUERY_RE, is_predicate=False, ast=ast)
+    if not ast.expressions and not ast.is_update:
+        raise QueryParseError(
+            "SQL/XML statement contains no XMLEXISTS or XMLQUERY expression", statement)
+    return ast

@@ -1,0 +1,104 @@
+"""Reading and writing workload files.
+
+The DBA-facing input of the advisor is a workload file, as in DB2's
+``db2advis -i workload.sql``.  The format accepted here is plain text:
+
+* statements are separated by lines containing only a semicolon, by a
+  trailing ``;`` at the end of a line, or by one or more blank lines;
+* a line starting with ``--`` is a comment.  A comment of the form
+  ``-- frequency: N`` (or ``-- freq=N``) immediately *before* a statement
+  sets that statement's frequency;
+* statement language is auto-detected (XQuery / SQL-XML / XPath / update),
+  exactly as for programmatically constructed workloads.
+
+Example::
+
+    -- frequency: 5
+    for $i in doc("xmark.xml")/site/regions/namerica/item
+    where $i/quantity > 7 return $i/name;
+
+    -- frequency: 2
+    SELECT 1 FROM xmark
+    WHERE XMLEXISTS('$d/site/people/person[@id = "p1"]' PASSING doc AS "d");
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.xquery.errors import WorkloadError
+from repro.xquery.model import Workload, WorkloadStatement
+
+_FREQUENCY_RE = re.compile(r"^--\s*freq(?:uency)?\s*[:=]\s*([0-9]+(?:\.[0-9]+)?)\s*$",
+                           re.IGNORECASE)
+
+
+def parse_workload_text(text: str, name: str = "workload") -> Workload:
+    """Parse workload-file text into a :class:`Workload`."""
+    workload = Workload(name=name)
+    pending_frequency: Optional[float] = None
+    current_lines: List[str] = []
+
+    def flush() -> None:
+        nonlocal pending_frequency
+        statement_text = "\n".join(current_lines).strip()
+        current_lines.clear()
+        if not statement_text:
+            return
+        workload.add(WorkloadStatement(text=statement_text,
+                                       frequency=pending_frequency or 1.0))
+        pending_frequency = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        stripped = line.strip()
+        if not stripped:
+            flush()
+            continue
+        frequency_match = _FREQUENCY_RE.match(stripped)
+        if frequency_match:
+            pending_frequency = float(frequency_match.group(1))
+            continue
+        if stripped.startswith("--"):
+            continue
+        if stripped == ";":
+            flush()
+            continue
+        if stripped.endswith(";"):
+            current_lines.append(line.rstrip(";"))
+            flush()
+            continue
+        current_lines.append(line)
+    flush()
+    if len(workload) == 0:
+        raise WorkloadError("workload file contains no statements")
+    return workload
+
+
+def load_workload_file(path: Union[str, Path], name: Optional[str] = None) -> Workload:
+    """Load a workload file from disk."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    return parse_workload_text(text, name=name or path.stem)
+
+
+def dump_workload_text(workload: Workload) -> str:
+    """Serialize a workload back to the file format (round-trippable)."""
+    blocks: List[str] = []
+    for statement in workload:
+        lines: List[str] = []
+        if statement.frequency != 1.0:
+            frequency = statement.frequency
+            rendered = (str(int(frequency)) if float(frequency).is_integer()
+                        else f"{frequency:g}")
+            lines.append(f"-- frequency: {rendered}")
+        lines.append(statement.text.rstrip(";") + ";")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def save_workload_file(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload to disk in the text format."""
+    Path(path).write_text(dump_workload_text(workload), encoding="utf-8")

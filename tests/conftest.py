@@ -1,0 +1,152 @@
+"""Shared pytest fixtures.
+
+The module also adds ``src/`` to ``sys.path`` so the tests run even when
+the package has not been pip-installed (useful on machines where
+editable installs are unavailable).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.storage import XmlDatabase
+from repro.workloads import (
+    TpoxConfig,
+    XMarkConfig,
+    generate_tpox_database,
+    generate_xmark_database,
+    tpox_workload,
+    xmark_query_workload,
+)
+from repro.xquery.model import Workload
+
+#: A small hand-written document used by many unit tests: predictable
+#: values, both elements and attributes, two regions.
+TINY_SITE_XML = """
+<site>
+  <regions>
+    <africa>
+      <item id="i1"><quantity>7</quantity><price>120.5</price>
+        <name>carved mask</name><payment>Creditcard</payment></item>
+      <item id="i2"><quantity>2</quantity><price>30.0</price>
+        <name>drum</name><payment>Cash</payment></item>
+    </africa>
+    <namerica>
+      <item id="i3"><quantity>9</quantity><price>450.0</price>
+        <name>vintage lamp</name><payment>Creditcard</payment></item>
+    </namerica>
+  </regions>
+  <people>
+    <person id="p1"><name>Alice</name>
+      <profile income="95000.0"><age>34</age></profile></person>
+    <person id="p2"><name>Bob</name>
+      <profile income="42000.0"><age>67</age></profile></person>
+  </people>
+</site>
+"""
+
+
+@pytest.fixture
+def tiny_document():
+    """A freshly parsed tiny <site> document."""
+    from repro.xmldb import parse_document
+
+    return parse_document(TINY_SITE_XML)
+
+
+@pytest.fixture
+def tiny_database(tiny_document):
+    """A database holding three copies of the tiny document (distinct ids)."""
+    from repro.xmldb import parse_document
+
+    database = XmlDatabase("tiny")
+    for _ in range(3):
+        database.add_document("site", parse_document(TINY_SITE_XML))
+    return database
+
+
+def build_varied_database(documents: int = 120, name: str = "varied") -> XmlDatabase:
+    """A mid-sized database with the tiny <site> schema but varied values.
+
+    Unlike ``tiny_database`` (three identical documents, where scanning is
+    always the best plan), this database has enough documents and value
+    diversity that selective predicates genuinely benefit from indexes --
+    which is what the optimizer/advisor behaviour tests need.
+    """
+    from repro.xmldb.nodes import build_document
+
+    regions = ["africa", "namerica", "asia", "europe"]
+    payments = ["Creditcard", "Cash"]
+    locations = ["United States", "Germany", "Egypt", "Japan"]
+    database = XmlDatabase(name)
+    collection = database.create_collection("site")
+    for d in range(documents):
+        doc, site = build_document("site")
+        region = site.add_element("regions").add_element(regions[d % len(regions)])
+        for k in range(5):
+            item = region.add_element("item", attributes={"id": f"item{d}_{k}"})
+            item.add_element("quantity", str(((d * 13 + k * 7) % 100) + 1))
+            item.add_element("price", f"{((d * 17 + k * 29) % 500) + 1}.0")
+            item.add_element("name", f"thing {d} {k}")
+            item.add_element("payment", payments[(d + k) % 2])
+            item.add_element("location", locations[(d + k) % len(locations)])
+        people = site.add_element("people")
+        for k in range(2):
+            person = people.add_element("person", attributes={"id": f"p{2 * d + k}"})
+            person.add_element("name", f"Person {d} {k}")
+            profile = person.add_element("profile", attributes={
+                "income": f"{10000 + ((d * 37 + k * 11) % 200) * 1000}.0"})
+            profile.add_element("age", str(18 + ((d + k * 31) % 72)))
+        doc.assign_node_ids()
+        collection.add_document(doc)
+    return database
+
+
+@pytest.fixture(scope="module")
+def varied_database():
+    """Module-scoped varied database (see :func:`build_varied_database`)."""
+    return build_varied_database()
+
+
+@pytest.fixture(scope="session")
+def xmark_database():
+    """A session-scoped XMark-style database (small scale, fixed seed)."""
+    return generate_xmark_database(XMarkConfig(scale=0.05, seed=42))
+
+
+@pytest.fixture(scope="session")
+def xmark_workload():
+    return xmark_query_workload()
+
+
+@pytest.fixture(scope="session")
+def tpox_database():
+    return generate_tpox_database(TpoxConfig(scale=0.05, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tpox_mixed_workload():
+    return tpox_workload(update_ratio=0.3)
+
+
+@pytest.fixture
+def tiny_workload():
+    """A small mixed workload against the tiny <site> schema."""
+    workload = Workload(name="tiny")
+    workload.add('for $i in doc("site.xml")/site/regions/africa/item '
+                 'where $i/quantity > 5 return $i/name', frequency=3.0)
+    workload.add('for $i in doc("site.xml")/site/regions/namerica/item '
+                 'where $i/price > 400 return $i/name', frequency=2.0)
+    workload.add('for $p in doc("site.xml")/site/people/person '
+                 'where $p/profile/age > 60 return $p/name', frequency=1.0)
+    workload.add('SELECT 1 FROM site WHERE XMLEXISTS('
+                 '\'$d/site/people/person[profile/@income > 90000]\' '
+                 'PASSING doc AS "d")', frequency=1.0)
+    return workload

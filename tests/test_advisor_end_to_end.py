@@ -1,0 +1,159 @@
+"""End-to-end tests of the XmlIndexAdvisor pipeline (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.advisor import Recommendation, XmlIndexAdvisor
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.index.definition import IndexDefinition
+from repro.xquery.model import ValueType, Workload
+from repro.xquery.normalizer import normalize_workload
+
+
+@pytest.fixture(scope="module")
+def training_workload():
+    workload = Workload(name="train")
+    workload.add('for $i in doc("x")/site/regions/africa/item '
+                 'where $i/quantity > 90 return $i/name', frequency=3.0)
+    workload.add('for $i in doc("x")/site/regions/namerica/item '
+                 'where $i/quantity > 95 return $i/name', frequency=2.0)
+    workload.add('for $i in doc("x")/site/regions/asia/item '
+                 'where $i/price > 480 return $i/name', frequency=2.0)
+    workload.add('for $p in doc("x")/site/people/person '
+                 'where $p/@id = "p5" return $p/name', frequency=4.0)
+    workload.add('SELECT 1 FROM site WHERE XMLEXISTS('
+                 '\'$d/site/people/person[profile/@income > 200000]\' '
+                 'PASSING doc AS "d")', frequency=1.0)
+    return workload
+
+
+@pytest.fixture(scope="module")
+def recommendation(varied_database, training_workload):
+    advisor = XmlIndexAdvisor(varied_database,
+                              AdvisorParameters(disk_budget_bytes=64 * 1024))
+    return advisor.recommend(training_workload)
+
+
+class TestRecommendPipeline:
+    def test_recommendation_structure(self, recommendation):
+        assert isinstance(recommendation, Recommendation)
+        assert len(recommendation.configuration) > 0
+        assert recommendation.total_benefit > 0
+        assert recommendation.total_size_bytes > 0
+        assert recommendation.dag.node_count >= len(recommendation.candidates.basic_candidates)
+
+    def test_all_phases_timed(self, recommendation):
+        assert {"normalize", "enumerate", "generalize", "search"} <= set(
+            recommendation.phase_seconds)
+
+    def test_budget_respected(self, recommendation):
+        assert recommendation.total_size_bytes <= 64 * 1024 + 1e-6
+
+    def test_improvement_positive(self, recommendation):
+        assert 0.0 < recommendation.improvement_percent() <= 100.0
+
+    def test_recommended_indexes_cover_selective_predicates(self, recommendation):
+        patterns = {d.pattern.to_text() for d in recommendation.configuration}
+        covered = set()
+        for pattern_text in patterns:
+            covered.add(pattern_text)
+        # The person @id lookup is the most frequent query: some index
+        # covering that path must be recommended.
+        assert any("person" in p and "@id" in p or p.endswith("@*") or p == "//*"
+                   for p in patterns)
+
+    def test_ddl_statements_generated(self, recommendation):
+        ddl = recommendation.ddl_statements()
+        assert len(ddl) == len(recommendation.configuration)
+        assert all(statement.startswith("CREATE INDEX") for statement in ddl)
+        assert all("XMLPATTERN" in statement for statement in ddl)
+
+    def test_describe_mentions_size_and_algorithm(self, recommendation):
+        text = recommendation.describe()
+        assert "index(es)" in text and "KiB" in text
+
+    def test_queries_are_kept_for_analysis(self, recommendation, training_workload):
+        assert len(recommendation.queries) == len(training_workload)
+
+
+class TestAlgorithmsAndParameters:
+    def test_all_algorithms_produce_valid_recommendations(self, varied_database,
+                                                          training_workload):
+        budget = 32 * 1024.0
+        benefits = {}
+        for algorithm in SearchAlgorithm:
+            advisor = XmlIndexAdvisor(varied_database,
+                                      AdvisorParameters(disk_budget_bytes=budget,
+                                                        search_algorithm=algorithm))
+            recommendation = advisor.recommend(training_workload)
+            assert recommendation.total_size_bytes <= budget + 1e-6
+            assert recommendation.total_benefit >= 0.0
+            benefits[algorithm] = recommendation.total_benefit
+        # The paper's heuristic greedy should not lose to plain greedy.
+        assert benefits[SearchAlgorithm.GREEDY_HEURISTIC] >= \
+            benefits[SearchAlgorithm.GREEDY] - 1e-6
+
+    def test_algorithm_override_at_recommend_time(self, varied_database,
+                                                  training_workload):
+        advisor = XmlIndexAdvisor(varied_database, AdvisorParameters())
+        recommendation = advisor.recommend(training_workload,
+                                           algorithm=SearchAlgorithm.TOP_DOWN)
+        assert recommendation.search_result.algorithm is SearchAlgorithm.TOP_DOWN
+
+    def test_unlimited_budget(self, varied_database, training_workload):
+        advisor = XmlIndexAdvisor(varied_database,
+                                  AdvisorParameters(disk_budget_bytes=None))
+        recommendation = advisor.recommend(training_workload)
+        assert recommendation.total_benefit > 0
+
+    def test_invalid_parameters_rejected(self, varied_database):
+        with pytest.raises(ValueError):
+            XmlIndexAdvisor(varied_database,
+                            AdvisorParameters(disk_budget_bytes=-5.0))
+        with pytest.raises(ValueError):
+            XmlIndexAdvisor(varied_database,
+                            AdvisorParameters(generalization_rounds=-1))
+
+    def test_workload_as_plain_strings(self, varied_database):
+        advisor = XmlIndexAdvisor(varied_database,
+                                  AdvisorParameters(disk_budget_bytes=32 * 1024))
+        recommendation = advisor.recommend([
+            'for $p in doc("x")/site/people/person where $p/@id = "p3" return $p/name'])
+        assert len(recommendation.queries) == 1
+
+    def test_update_heavy_workload_gets_smaller_recommendation(self, varied_database):
+        read_workload = Workload(name="reads")
+        read_workload.add('for $i in doc("x")/site/regions/africa/item '
+                          'where $i/quantity > 90 return $i/name', frequency=3.0)
+        mixed_workload = Workload(name="mixed")
+        mixed_workload.add('for $i in doc("x")/site/regions/africa/item '
+                           'where $i/quantity > 90 return $i/name', frequency=3.0)
+        mixed_workload.add('replace value of node /site/regions/africa/item/quantity '
+                           'with "1"', frequency=200.0)
+        advisor = XmlIndexAdvisor(varied_database, AdvisorParameters())
+        read_rec = advisor.recommend(read_workload)
+        mixed_rec = advisor.recommend(mixed_workload)
+        assert read_rec.total_benefit > mixed_rec.total_benefit
+        # With overwhelming update cost the advisor should recommend nothing
+        # (or at least strictly less).
+        assert len(mixed_rec.configuration) <= len(read_rec.configuration)
+
+
+class TestCreateRecommendedIndexes:
+    def test_definitions_added_to_catalog_as_physical(self, varied_database,
+                                                      training_workload):
+        advisor = XmlIndexAdvisor(varied_database,
+                                  AdvisorParameters(disk_budget_bytes=32 * 1024))
+        recommendation = advisor.recommend(training_workload)
+        created = advisor.create_recommended_indexes(recommendation)
+        try:
+            assert created
+            assert all(not index.is_virtual for index in created)
+            for index in created:
+                assert varied_database.catalog.has_index(index.name)
+            # Creating again is a no-op.
+            assert advisor.create_recommended_indexes(recommendation) == []
+        finally:
+            for index in created:
+                varied_database.catalog.drop_index(index.name)

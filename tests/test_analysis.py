@@ -1,0 +1,113 @@
+"""Unit tests for recommendation analysis (the Figure 5 tooling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.advisor import XmlIndexAdvisor
+from repro.advisor.analysis import RecommendationAnalysis
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.index.definition import IndexDefinition
+from repro.xquery.model import ValueType, Workload
+
+
+@pytest.fixture(scope="module")
+def analysis_setup(varied_database):
+    workload = Workload(name="ana")
+    workload.add('for $i in doc("x")/site/regions/africa/item '
+                 'where $i/quantity > 90 return $i/name', frequency=3.0)
+    workload.add('for $i in doc("x")/site/regions/namerica/item '
+                 'where $i/quantity > 95 return $i/name', frequency=2.0)
+    workload.add('for $p in doc("x")/site/people/person '
+                 'where $p/@id = "p5" return $p/name', frequency=4.0)
+    advisor = XmlIndexAdvisor(varied_database,
+                              AdvisorParameters(disk_budget_bytes=48 * 1024))
+    recommendation = advisor.recommend(workload)
+    analysis = RecommendationAnalysis(varied_database, recommendation)
+    return recommendation, analysis
+
+
+class TestQueryCostComparison:
+    def test_three_way_comparison_per_query(self, analysis_setup):
+        recommendation, analysis = analysis_setup
+        comparisons = analysis.compare_query_costs()
+        assert len(comparisons) == 3
+        for row in comparisons:
+            assert row.cost_no_indexes > 0
+            assert row.cost_recommended <= row.cost_no_indexes + 1e-9
+            assert row.cost_overtrained <= row.cost_no_indexes + 1e-9
+            assert row.speedup_recommended >= 1.0 - 1e-9
+            assert 0.0 <= row.benefit_captured <= 1.0
+
+    def test_overtrained_configuration_is_all_basic_candidates(self, analysis_setup):
+        recommendation, analysis = analysis_setup
+        overtrained = analysis.overtrained_configuration
+        basic_keys = {c.key for c in recommendation.candidates.basic_candidates}
+        assert {(d.pattern.to_text(), d.value_type.value) for d in overtrained} == basic_keys
+
+    def test_recommended_within_overtrained_bound(self, analysis_setup):
+        _, analysis = analysis_setup
+        summary = analysis.summary()
+        assert summary["improvement_recommended_pct"] <= \
+            summary["improvement_overtrained_pct"] + 1e-6
+        assert summary["improvement_recommended_pct"] > 0
+
+    def test_render_table(self, analysis_setup):
+        _, analysis = analysis_setup
+        table = analysis.render_table()
+        assert "no indexes" in table and "recommended" in table and "overtrained" in table
+
+
+class TestUnseenQueries:
+    def test_additional_queries_evaluated(self, analysis_setup):
+        _, analysis = analysis_setup
+        rows = analysis.evaluate_additional_queries([
+            'for $i in doc("x")/site/regions/asia/item '
+            'where $i/quantity > 95 return $i/name',
+            'for $p in doc("x")/site/people/person '
+            'where $p/@id = "p9" return $p/name',
+        ])
+        assert len(rows) == 2
+        assert all(row.cost_no_indexes > 0 for row in rows)
+
+    def test_accepts_workload_object(self, analysis_setup):
+        _, analysis = analysis_setup
+        extra = Workload(name="extra")
+        extra.add('for $i in doc("x")/site/regions/europe/item '
+                  'where $i/price > 490 return $i/name')
+        rows = analysis.evaluate_additional_queries(extra)
+        assert len(rows) == 1
+
+
+class TestWhatIf:
+    def test_removing_index_does_not_increase_benefit(self, analysis_setup):
+        recommendation, analysis = analysis_setup
+        victim = recommendation.configuration.definitions[0]
+        modified = analysis.what_if(remove=[victim])
+        assert modified.total_benefit <= recommendation.total_benefit + 1e-6
+        assert len(modified.configuration) == len(recommendation.configuration) - 1
+
+    def test_adding_redundant_index_does_not_change_benefit_much(self, analysis_setup):
+        recommendation, analysis = analysis_setup
+        duplicate = IndexDefinition.create(
+            recommendation.configuration.definitions[0].pattern,
+            recommendation.configuration.definitions[0].value_type,
+            name="dup_for_whatif")
+        modified = analysis.what_if(add=[duplicate])
+        assert modified.total_benefit == pytest.approx(recommendation.total_benefit,
+                                                       rel=1e-6)
+
+    def test_adding_useful_index_helps(self, varied_database):
+        workload = Workload(name="narrow")
+        workload.add('for $i in doc("x")/site/regions/africa/item '
+                     'where $i/quantity > 90 return $i/name')
+        workload.add('for $s in doc("x")/site/regions/asia/item '
+                     'where $s/price > 490 return $s/name')
+        advisor = XmlIndexAdvisor(varied_database,
+                                  AdvisorParameters(disk_budget_bytes=3 * 1024))
+        recommendation = advisor.recommend(workload)
+        analysis = RecommendationAnalysis(varied_database, recommendation)
+        extra = IndexDefinition.create("/site/regions/asia/item/price", ValueType.DOUBLE)
+        if not recommendation.configuration.contains_pattern(extra.pattern):
+            improved = analysis.what_if(add=[extra])
+            assert improved.total_benefit >= recommendation.total_benefit

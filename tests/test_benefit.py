@@ -1,0 +1,150 @@
+"""Unit tests for configuration benefit estimation (Evaluate Indexes usage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.benefit import ConfigurationEvaluator
+from repro.advisor.config import AdvisorParameters
+from repro.index.definition import IndexConfiguration, IndexDefinition
+from repro.xquery.model import ValueType, Workload
+from repro.xquery.normalizer import normalize_workload
+
+
+@pytest.fixture
+def benefit_workload():
+    """Selective queries against the varied database's value distributions."""
+    workload = Workload(name="benefit")
+    workload.add('for $i in doc("x")/site/regions/africa/item '
+                 'where $i/quantity > 90 return $i/name', frequency=3.0)
+    workload.add('for $i in doc("x")/site/regions/namerica/item '
+                 'where $i/price > 480 return $i/name', frequency=2.0)
+    workload.add('for $p in doc("x")/site/people/person '
+                 'where $p/profile/@income > 200000 return $p/name', frequency=1.0)
+    workload.add('for $p in doc("x")/site/people/person '
+                 'where $p/@id = "p5" return $p/name', frequency=1.0)
+    return workload
+
+
+@pytest.fixture
+def queries(benefit_workload):
+    return normalize_workload(benefit_workload)
+
+
+@pytest.fixture
+def evaluator(varied_database, queries):
+    return ConfigurationEvaluator(varied_database, queries)
+
+
+GOOD_INDEX = IndexDefinition.create("/site/regions/africa/item/quantity",
+                                    ValueType.DOUBLE)
+USELESS_INDEX = IndexDefinition.create("/site/categories/category/name",
+                                       ValueType.VARCHAR)
+
+
+class TestBaseline:
+    def test_baseline_costs_positive_per_query(self, evaluator, queries):
+        baseline = evaluator.baseline_costs
+        assert set(baseline) == {q.query_id for q in queries}
+        assert all(cost > 0 for cost in baseline.values())
+
+    def test_baseline_workload_cost_weighted(self, evaluator, queries):
+        expected = sum(evaluator.baseline_costs[q.query_id] * q.frequency
+                       for q in queries)
+        assert evaluator.baseline_workload_cost == pytest.approx(expected)
+
+
+class TestEvaluation:
+    def test_empty_configuration_has_zero_benefit(self, evaluator):
+        result = evaluator.evaluate(IndexConfiguration())
+        assert result.total_benefit == pytest.approx(0.0)
+        assert result.total_size_bytes == 0.0
+
+    def test_useful_configuration_has_positive_benefit(self, evaluator):
+        result = evaluator.evaluate([GOOD_INDEX])
+        assert result.total_benefit > 0.0
+        assert result.total_size_bytes > 0.0
+        assert GOOD_INDEX.key in result.used_index_keys
+
+    def test_useless_configuration_has_no_benefit_and_is_unused(self, evaluator):
+        result = evaluator.evaluate([USELESS_INDEX])
+        assert result.total_benefit == pytest.approx(0.0)
+        assert [i.key for i in result.unused_indexes] == [USELESS_INDEX.key]
+
+    def test_per_query_breakdown(self, evaluator, queries):
+        result = evaluator.evaluate([GOOD_INDEX])
+        assert len(result.query_evaluations) == len(queries)
+        helped = [e for e in result.query_evaluations if e.benefit > 0]
+        assert helped, "the quantity index should help the quantity query"
+        for evaluation in result.query_evaluations:
+            assert evaluation.cost_with_configuration <= evaluation.cost_without_indexes + 1e-9
+
+    def test_index_interaction_shadowing(self, evaluator):
+        """Adding a second index that answers the same predicate as an
+        existing better one must not increase total benefit much (and the
+        shadowed index shows up as unused)."""
+        exact = GOOD_INDEX
+        shadowing = IndexDefinition.create("/site/regions/*/item/quantity",
+                                           ValueType.DOUBLE)
+        single = evaluator.evaluate([exact])
+        both = evaluator.evaluate([exact, shadowing])
+        assert both.total_benefit <= single.total_benefit + 1e-6
+        assert shadowing.key in {i.key for i in both.unused_indexes}
+
+    def test_marginal_benefit_of_shadowed_index_is_zero(self, evaluator):
+        base = evaluator.evaluate([GOOD_INDEX])
+        shadowed = IndexDefinition.create("/site/regions/africa/item/quantity",
+                                          ValueType.DOUBLE, name="duplicate")
+        assert evaluator.marginal_benefit(base, shadowed) == pytest.approx(0.0)
+
+    def test_marginal_benefit_of_new_coverage_positive(self, evaluator):
+        base = evaluator.evaluate([GOOD_INDEX])
+        income = IndexDefinition.create("/site/people/person/profile/@income",
+                                        ValueType.DOUBLE)
+        assert evaluator.marginal_benefit(base, income) > 0.0
+
+    def test_size_estimates_cached_and_summed(self, evaluator):
+        first = evaluator.index_size_bytes(GOOD_INDEX)
+        second = evaluator.index_size_bytes(GOOD_INDEX)
+        assert first == second
+        total = evaluator.configuration_size_bytes([GOOD_INDEX, USELESS_INDEX])
+        assert total == pytest.approx(first + evaluator.index_size_bytes(USELESS_INDEX))
+
+    def test_describe(self, evaluator):
+        result = evaluator.evaluate([GOOD_INDEX])
+        assert "benefit" in result.describe()
+
+
+class TestUpdateAccounting:
+    def _update_workload(self):
+        workload = Workload(name="with-updates")
+        workload.add('for $i in doc("x")/site/regions/africa/item '
+                     'where $i/quantity > 90 return $i/name', frequency=2.0)
+        workload.add('replace value of node /site/regions/africa/item/quantity '
+                     'with "5"', frequency=10.0)
+        return normalize_workload(workload)
+
+    def test_updates_reduce_net_benefit(self, varied_database):
+        queries = self._update_workload()
+        evaluator = ConfigurationEvaluator(varied_database, queries)
+        result = evaluator.evaluate([GOOD_INDEX])
+        read_only = ConfigurationEvaluator(varied_database, queries[:1])
+        read_only_result = read_only.evaluate([GOOD_INDEX])
+        assert result.total_benefit < read_only_result.total_benefit
+
+    def test_update_cost_can_be_disabled(self, varied_database):
+        queries = self._update_workload()
+        charging = ConfigurationEvaluator(varied_database, queries,
+                                          AdvisorParameters(account_for_updates=True))
+        ignoring = ConfigurationEvaluator(varied_database, queries,
+                                          AdvisorParameters(account_for_updates=False))
+        assert ignoring.evaluate([GOOD_INDEX]).total_benefit > \
+            charging.evaluate([GOOD_INDEX]).total_benefit
+
+    def test_update_evaluation_reports_negative_benefit(self, varied_database):
+        queries = self._update_workload()
+        evaluator = ConfigurationEvaluator(varied_database, queries)
+        result = evaluator.evaluate([GOOD_INDEX])
+        update_rows = [e for e in result.query_evaluations
+                       if e.query_id.endswith("q2")]
+        assert update_rows and update_rows[0].benefit < 0.0

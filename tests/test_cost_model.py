@@ -1,0 +1,133 @@
+"""Unit tests for the optimizer's cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.definition import IndexDefinition
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.xpath.ast import BinaryOp
+from repro.xpath.patterns import PathPattern
+from repro.xquery.model import PathPredicate, ValueType
+from repro.xquery.normalizer import normalize_statement
+
+
+@pytest.fixture
+def model(tiny_database):
+    return CostModel(tiny_database.statistics)
+
+
+@pytest.fixture
+def varied_model(varied_database):
+    return CostModel(varied_database.statistics)
+
+
+def _predicate(pattern, op=None, value=None, value_type=ValueType.VARCHAR, hint=None):
+    return PathPredicate(pattern=PathPattern.parse(pattern), op=op, value=value,
+                         value_type=value_type, selectivity_hint=hint)
+
+
+class TestDatabaseQuantities:
+    def test_basic_quantities_positive(self, model):
+        assert model.data_pages >= 1.0
+        assert model.document_count == 3
+        assert model.average_document_nodes > 10
+        assert model.average_document_pages >= 1.0
+
+
+class TestScanCost:
+    def test_scan_cost_scales_with_database_size(self, tiny_database, xmark_database):
+        small = CostModel(tiny_database.statistics)
+        large = CostModel(xmark_database.statistics)
+        query = normalize_statement("/site/people/person/name")
+        assert large.document_scan_cost(query)[0] > small.document_scan_cost(query)[0]
+
+    def test_scan_cost_independent_of_predicates(self, model):
+        plain = normalize_statement("/site/people/person")
+        selective = normalize_statement(
+            'for $p in doc("x")/site/people/person where $p/profile/age > 60 return $p')
+        assert model.document_scan_cost(plain)[0] == \
+            pytest.approx(model.document_scan_cost(selective)[0])
+
+
+class TestIndexScanCost:
+    def test_selective_index_scan_cheaper_than_scan(self, varied_model):
+        model = varied_model
+        index = IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR)
+        predicate = _predicate("/site/people/person/@id", BinaryOp.EQ, "p7")
+        cost, qualifying, entries = model.index_scan_cost(index, predicate)
+        query = normalize_statement("/site/people/person")
+        scan_cost, _ = model.document_scan_cost(query)
+        assert cost < scan_cost
+        assert qualifying >= 1.0
+        assert entries >= 1.0
+
+    def test_general_index_costs_more_than_exact(self, model):
+        exact = IndexDefinition.create("/site/regions/africa/item/quantity",
+                                       ValueType.DOUBLE)
+        general = IndexDefinition.create("//*", ValueType.DOUBLE)
+        predicate = _predicate("/site/regions/africa/item/quantity",
+                               BinaryOp.GT, 5.0, ValueType.DOUBLE)
+        exact_cost, _, _ = model.index_scan_cost(exact, predicate)
+        general_cost, _, _ = model.index_scan_cost(general, predicate)
+        assert general_cost > exact_cost
+
+    def test_selectivity_hint_is_honoured(self, model):
+        index = IndexDefinition.create("/site/regions/*/item/quantity", ValueType.DOUBLE)
+        broad = _predicate("/site/regions/*/item/quantity", BinaryOp.GT, 1.0,
+                           ValueType.DOUBLE, hint=0.9)
+        narrow = _predicate("/site/regions/*/item/quantity", BinaryOp.GT, 1.0,
+                            ValueType.DOUBLE, hint=0.01)
+        assert model.index_scan_cost(index, narrow)[0] < model.index_scan_cost(index, broad)[0]
+
+    def test_empty_index_costs_only_probe(self, model):
+        index = IndexDefinition.create("/missing/path", ValueType.VARCHAR)
+        cost, qualifying, entries = model.index_scan_cost(
+            index, _predicate("/missing/path", BinaryOp.EQ, "x"))
+        assert qualifying == 0.0 and entries == 0.0
+        assert cost == pytest.approx(model.index_probe_cost(index))
+
+
+class TestFetchAndResidual:
+    def test_fetch_cost_linear_in_documents(self, model):
+        assert model.fetch_cost(10) == pytest.approx(10 * model.fetch_cost(1))
+        assert model.fetch_cost(0) == 0.0
+
+    def test_residual_cost_grows_with_work(self, model):
+        small = model.residual_cost(2, residual_predicates=0, extraction_paths=1)
+        large = model.residual_cost(2, residual_predicates=3, extraction_paths=2)
+        assert large > small
+
+    def test_documents_for_nodes_capped(self, model):
+        pattern = PathPattern.parse("/site/regions/africa/item/quantity")
+        docs = model.documents_for_nodes(1000.0, pattern)
+        assert docs <= model.document_count
+
+
+class TestMaintenance:
+    def test_overlapping_update_charges_maintenance(self, model):
+        index = IndexDefinition.create("/site/regions/*/item/quantity", ValueType.DOUBLE)
+        touched = [PathPattern.parse("/site/regions/africa/item//*"),
+                   PathPattern.parse("/site/regions/africa/item")]
+        cost, affected = model.maintenance_cost(index, touched)
+        assert cost > 0.0 and affected > 0.0
+
+    def test_non_overlapping_update_is_free(self, model):
+        index = IndexDefinition.create("/site/people/person/name", ValueType.VARCHAR)
+        touched = [PathPattern.parse("/site/regions/africa/item")]
+        cost, affected = model.maintenance_cost(index, touched)
+        assert cost == 0.0 and affected == 0.0
+
+    def test_update_base_cost_positive(self, model):
+        query = normalize_statement("delete node /site/regions/africa/item")
+        assert model.update_base_cost(query) > 0.0
+
+
+class TestParameters:
+    def test_custom_parameters_change_costs(self, tiny_database):
+        expensive_io = CostModel(tiny_database.statistics,
+                                 CostParameters(sequential_page_cost=100.0))
+        default = CostModel(tiny_database.statistics)
+        query = normalize_statement("/site/people/person")
+        assert expensive_io.document_scan_cost(query)[0] > \
+            default.document_scan_cost(query)[0]

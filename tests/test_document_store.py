@@ -1,0 +1,178 @@
+"""Unit tests for collections, the database, and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.definition import IndexDefinition
+from repro.storage.catalog import Catalog, CatalogError
+from repro.storage.document_store import StorageError, XmlCollection, XmlDatabase
+from repro.xmldb.parser import parse_document
+from repro.xquery.model import ValueType
+
+
+class TestXmlCollection:
+    def test_add_document_from_text_and_node(self):
+        collection = XmlCollection("c")
+        collection.add_document("<a><b>1</b></a>")
+        collection.add_document(parse_document("<a><b>2</b></a>"))
+        assert len(collection) == 2
+        assert collection.document(0).doc_id == 0
+        assert collection.document(1).doc_id == 1
+
+    def test_add_document_rejects_wrong_type(self):
+        with pytest.raises(StorageError):
+            XmlCollection("c").add_document(42)  # type: ignore[arg-type]
+
+    def test_remove_document_reassigns_ids(self):
+        collection = XmlCollection("c")
+        collection.add_documents(["<a/>", "<b/>", "<c/>"])
+        collection.remove_document(0)
+        assert len(collection) == 2
+        assert [d.doc_id for d in collection] == [0, 1]
+
+    def test_remove_missing_document_raises(self):
+        with pytest.raises(StorageError):
+            XmlCollection("c").remove_document(3)
+
+    def test_statistics_cached_and_invalidated(self):
+        collection = XmlCollection("c")
+        collection.add_document("<a><b>1</b></a>")
+        first = collection.statistics
+        assert collection.statistics is first
+        collection.add_document("<a><b>2</b></a>")
+        assert collection.statistics is not first
+        assert collection.statistics.document_count == 2
+
+
+class TestXmlDatabase:
+    def test_create_collection_idempotent(self):
+        database = XmlDatabase("db")
+        first = database.create_collection("orders")
+        second = database.create_collection("orders")
+        assert first is second
+        assert database.collection_names == ["orders"]
+
+    def test_unknown_collection_raises(self):
+        with pytest.raises(StorageError):
+            XmlDatabase("db").collection("missing")
+
+    def test_add_document_creates_collection(self):
+        database = XmlDatabase("db")
+        database.add_document("orders", "<FIXML/>")
+        assert len(database.collection("orders")) == 1
+
+    def test_merged_statistics_across_collections(self):
+        database = XmlDatabase("db")
+        database.add_document("a", "<root><x>1</x></root>")
+        database.add_document("b", "<other><y>2</y></other>")
+        stats = database.statistics
+        assert stats.document_count == 2
+        assert stats.stats_for_path("/root/x") is not None
+        assert stats.stats_for_path("/other/y") is not None
+
+    def test_runstats_recollects(self, tiny_database):
+        before = tiny_database.statistics
+        tiny_database.add_document("site", "<site><regions/></site>")
+        after = tiny_database.runstats()
+        assert after.document_count == before.document_count + 1
+
+    def test_all_documents(self, tiny_database):
+        assert len(tiny_database.all_documents()) == 3
+
+    def test_describe_mentions_counts(self, tiny_database):
+        text = tiny_database.describe()
+        assert "3 documents" in text
+
+
+class TestCatalog:
+    def _definition(self, pattern="/a/b", name=None, value_type=ValueType.VARCHAR):
+        return IndexDefinition.create(pattern, value_type, name=name)
+
+    def test_add_and_lookup_physical_index(self):
+        catalog = Catalog()
+        definition = catalog.add_index(self._definition(name="idx1"))
+        assert catalog.has_index("idx1")
+        assert catalog.index("idx1") is definition
+        assert catalog.physical_indexes == [definition]
+
+    def test_duplicate_name_rejected(self):
+        catalog = Catalog()
+        catalog.add_index(self._definition(name="idx1"))
+        with pytest.raises(CatalogError):
+            catalog.add_index(self._definition("/c/d", name="idx1"))
+
+    def test_virtual_index_must_use_dedicated_method(self):
+        catalog = Catalog()
+        virtual = self._definition(name="v1").as_virtual()
+        with pytest.raises(CatalogError):
+            catalog.add_index(virtual)
+        catalog.add_virtual_index(virtual)
+        assert catalog.index("v1").is_virtual
+
+    def test_drop_index(self):
+        catalog = Catalog()
+        catalog.add_index(self._definition(name="idx1"))
+        catalog.drop_index("idx1")
+        assert not catalog.has_index("idx1")
+        with pytest.raises(CatalogError):
+            catalog.drop_index("idx1")
+
+    def test_all_indexes_lists_physical_then_virtual(self):
+        catalog = Catalog()
+        catalog.add_index(self._definition(name="p1"))
+        catalog.add_virtual_index(self._definition("/v", name="v1"))
+        names = [index.name for index in catalog.all_indexes]
+        assert names == ["p1", "v1"]
+        assert len(catalog) == 2
+
+    def test_clear_virtual_indexes(self):
+        catalog = Catalog()
+        catalog.add_virtual_index(self._definition(name="v1"))
+        catalog.clear_virtual_indexes()
+        assert catalog.virtual_indexes == []
+
+
+class TestVirtualConfiguration:
+    def test_installs_and_restores(self):
+        catalog = Catalog()
+        physical = IndexDefinition.create("/a/b", name="keepme")
+        catalog.add_index(physical)
+        virtual = [IndexDefinition.create("/x/y"), IndexDefinition.create("/z")]
+        with catalog.virtual_configuration(virtual) as active:
+            assert len(active.virtual_indexes) == 2
+            assert all(index.is_virtual for index in active.virtual_indexes)
+            assert physical in active.physical_indexes
+        assert catalog.virtual_indexes == []
+        assert catalog.physical_indexes == [physical]
+
+    def test_hide_physical_indexes(self):
+        catalog = Catalog()
+        catalog.add_index(IndexDefinition.create("/a/b", name="phys"))
+        with catalog.virtual_configuration([IndexDefinition.create("/x")],
+                                           include_physical=False) as active:
+            assert active.physical_indexes == []
+        assert len(catalog.physical_indexes) == 1
+
+    def test_name_clashes_get_renamed(self):
+        catalog = Catalog()
+        catalog.add_index(IndexDefinition.create("/a/b", name="same"))
+        clash = IndexDefinition.create("/c/d", name="same")
+        with catalog.virtual_configuration([clash]) as active:
+            virtual_names = {index.name for index in active.virtual_indexes}
+            assert "same" not in virtual_names
+            assert len(virtual_names) == 1
+
+    def test_restores_previous_virtual_indexes(self):
+        catalog = Catalog()
+        catalog.add_virtual_index(IndexDefinition.create("/pre", name="pre"))
+        with catalog.virtual_configuration([IndexDefinition.create("/x")]):
+            assert not catalog.has_index("pre")
+        assert catalog.has_index("pre")
+
+    def test_exception_inside_block_still_restores(self):
+        catalog = Catalog()
+        with pytest.raises(RuntimeError):
+            with catalog.virtual_configuration([IndexDefinition.create("/x")]):
+                raise RuntimeError("boom")
+        assert catalog.virtual_indexes == []

@@ -1,0 +1,195 @@
+"""Unit tests for the three configuration-search algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.benefit import ConfigurationEvaluator
+from repro.advisor.candidates import enumerate_basic_candidates
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.advisor.enumeration import (
+    GreedySearch,
+    GreedyWithHeuristicsSearch,
+    TopDownSearch,
+    create_search,
+)
+from repro.advisor.generalization import generalize_candidates
+from repro.xquery.model import Workload
+from repro.xquery.normalizer import normalize_workload
+
+
+@pytest.fixture(scope="module")
+def search_setup(varied_database):
+    """Shared candidates/DAG/evaluator for the search tests."""
+    workload = Workload(name="search")
+    workload.add('for $i in doc("x")/site/regions/africa/item '
+                 'where $i/quantity > 90 return $i/name', frequency=3.0)
+    workload.add('for $i in doc("x")/site/regions/namerica/item '
+                 'where $i/quantity > 95 return $i/name', frequency=2.0)
+    workload.add('for $i in doc("x")/site/regions/asia/item '
+                 'where $i/price > 480 return $i/name', frequency=2.0)
+    workload.add('for $p in doc("x")/site/people/person '
+                 'where $p/@id = "p5" return $p/name', frequency=4.0)
+    workload.add('for $p in doc("x")/site/people/person '
+                 'where $p/profile/@income > 200000 return $p/name', frequency=1.0)
+    queries = normalize_workload(workload)
+    basic = enumerate_basic_candidates(queries, varied_database)
+    generalization = generalize_candidates(basic)
+    evaluator = ConfigurationEvaluator(varied_database, queries)
+    return generalization, evaluator
+
+
+def _make(algorithm_class, evaluator, budget_bytes):
+    parameters = AdvisorParameters(disk_budget_bytes=budget_bytes)
+    return algorithm_class(evaluator, parameters)
+
+
+class TestGreedySearch:
+    def test_unlimited_budget_takes_all_beneficial(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(GreedySearch, evaluator, None).search(
+            generalization.candidates, generalization.dag)
+        assert result.benefit.total_benefit > 0
+        assert result.fits_budget
+        assert len(result.configuration) >= 4
+
+    def test_budget_is_respected(self, search_setup):
+        generalization, evaluator = search_setup
+        budget = 6 * 1024.0
+        result = _make(GreedySearch, evaluator, budget).search(
+            generalization.candidates, generalization.dag)
+        assert result.size_bytes <= budget + 1e-6
+        assert result.fits_budget
+
+    def test_zero_budget_gives_empty_configuration(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(GreedySearch, evaluator, 0.0).search(
+            generalization.candidates, generalization.dag)
+        assert len(result.configuration) == 0
+        assert result.benefit.total_benefit == pytest.approx(0.0)
+
+    def test_trace_records_decisions(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(GreedySearch, evaluator, 6 * 1024.0).search(
+            generalization.candidates, generalization.dag)
+        actions = {step.action.split(" ")[0] for step in result.trace}
+        assert "add" in actions or "skip" in actions
+
+
+class TestGreedyWithHeuristicsSearch:
+    def test_no_unused_indexes_in_result(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(GreedyWithHeuristicsSearch, evaluator, None).search(
+            generalization.candidates, generalization.dag)
+        assert result.benefit.unused_indexes == []
+
+    def test_budget_is_respected(self, search_setup):
+        generalization, evaluator = search_setup
+        budget = 6 * 1024.0
+        result = _make(GreedyWithHeuristicsSearch, evaluator, budget).search(
+            generalization.candidates, generalization.dag)
+        assert result.size_bytes <= budget + 1e-6
+
+    def test_at_least_as_good_as_plain_greedy_at_tight_budget(self, search_setup):
+        generalization, evaluator = search_setup
+        budget = 5 * 1024.0
+        greedy = _make(GreedySearch, evaluator, budget).search(
+            generalization.candidates, generalization.dag)
+        heuristic = _make(GreedyWithHeuristicsSearch, evaluator, budget).search(
+            generalization.candidates, generalization.dag)
+        assert heuristic.benefit.total_benefit >= greedy.benefit.total_benefit - 1e-6
+
+    def test_does_not_pick_redundant_general_indexes(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(GreedyWithHeuristicsSearch, evaluator, None).search(
+            generalization.candidates, generalization.dag)
+        patterns = [index.pattern for index in result.configuration]
+        # No index in the configuration strictly contains another of the
+        # same value type while the contained one is also present and both
+        # cover the same workload predicates (that would be redundancy).
+        for general in result.configuration:
+            for specific in result.configuration:
+                if general.key == specific.key:
+                    continue
+                if general.value_type is not specific.value_type:
+                    continue
+                if general.pattern.contains(specific.pattern):
+                    # allowed only if the general one covers additional
+                    # workload patterns the specific one does not
+                    assert general.pattern != specific.pattern
+
+    def test_positive_benefit(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(GreedyWithHeuristicsSearch, evaluator, None).search(
+            generalization.candidates, generalization.dag)
+        assert result.benefit.total_benefit > 0
+
+
+class TestTopDownSearch:
+    def test_unlimited_budget_keeps_roots(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(TopDownSearch, evaluator, None).search(
+            generalization.candidates, generalization.dag)
+        root_keys = {c.key for c in generalization.dag.roots}
+        config_keys = {(d.pattern.to_text(), d.value_type.value)
+                       for d in result.configuration}
+        assert root_keys <= config_keys
+
+    def test_budget_forces_specialization(self, search_setup):
+        generalization, evaluator = search_setup
+        unlimited = _make(TopDownSearch, evaluator, None).search(
+            generalization.candidates, generalization.dag)
+        budget = unlimited.size_bytes * 0.3
+        constrained = _make(TopDownSearch, evaluator, budget).search(
+            generalization.candidates, generalization.dag)
+        assert constrained.size_bytes <= budget + 1e-6
+        assert constrained.size_bytes < unlimited.size_bytes
+
+    def test_configurations_more_general_than_greedy(self, search_setup):
+        generalization, evaluator = search_setup
+        budget = 20 * 1024.0
+        top_down = _make(TopDownSearch, evaluator, budget).search(
+            generalization.candidates, generalization.dag)
+        greedy = _make(GreedyWithHeuristicsSearch, evaluator, budget).search(
+            generalization.candidates, generalization.dag)
+        def generality(result):
+            if not len(result.configuration):
+                return 0.0
+            return sum(d.pattern.generality_score() for d in result.configuration) / len(
+                result.configuration)
+        assert generality(top_down) >= generality(greedy)
+
+    def test_trace_mentions_replacements_when_constrained(self, search_setup):
+        generalization, evaluator = search_setup
+        unlimited = _make(TopDownSearch, evaluator, None).search(
+            generalization.candidates, generalization.dag)
+        result = _make(TopDownSearch, evaluator, unlimited.size_bytes * 0.3).search(
+            generalization.candidates, generalization.dag)
+        actions = " ".join(step.action for step in result.trace)
+        assert "replace" in actions or "drop" in actions
+
+    def test_works_without_prebuilt_dag(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(TopDownSearch, evaluator, None).search(
+            generalization.candidates, dag=None)
+        assert result.benefit.total_benefit >= 0
+
+
+class TestFactoryAndResult:
+    def test_create_search_dispatch(self, search_setup):
+        _, evaluator = search_setup
+        assert isinstance(create_search(SearchAlgorithm.GREEDY, evaluator), GreedySearch)
+        assert isinstance(create_search(SearchAlgorithm.GREEDY_HEURISTIC, evaluator),
+                          GreedyWithHeuristicsSearch)
+        assert isinstance(create_search(SearchAlgorithm.TOP_DOWN, evaluator),
+                          TopDownSearch)
+        with pytest.raises(ValueError):
+            create_search("nonsense", evaluator)  # type: ignore[arg-type]
+
+    def test_result_describe_and_counters(self, search_setup):
+        generalization, evaluator = search_setup
+        result = _make(GreedySearch, evaluator, 8 * 1024.0).search(
+            generalization.candidates, generalization.dag)
+        assert result.evaluations_performed > 0
+        text = result.describe()
+        assert "greedy" in text and "KiB" in text

@@ -1,0 +1,145 @@
+"""Unit tests for the two new EXPLAIN modes (the paper's optimizer extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.definition import IndexConfiguration, IndexDefinition
+from repro.optimizer.explain import (
+    ExplainMode,
+    enumerate_indexes,
+    evaluate_indexes,
+)
+from repro.optimizer.optimizer import Optimizer
+from repro.xquery.model import ValueType
+from repro.xquery.normalizer import normalize_statement
+
+
+QUERY = ('for $i in doc("x")/site/regions/africa/item '
+         'where $i/quantity > 90 and $i/payment = "Creditcard" return $i/name')
+
+
+class TestEnumerateIndexesMode:
+    def test_candidates_match_query_predicates(self, varied_database):
+        query = normalize_statement(QUERY)
+        result = enumerate_indexes(query, varied_database)
+        patterns = {c.pattern.to_text(): c for c in result.candidates}
+        assert "/site/regions/africa/item/quantity" in patterns
+        assert patterns["/site/regions/africa/item/quantity"].value_type is ValueType.DOUBLE
+        assert "/site/regions/africa/item/payment" in patterns
+        assert patterns["/site/regions/africa/item/payment"].value_type is ValueType.VARCHAR
+
+    def test_attribute_predicates_enumerated(self, varied_database):
+        query = normalize_statement(
+            'for $p in doc("x")/site/people/person '
+            'where $p/profile/@income > 200000 return $p/name')
+        result = enumerate_indexes(query, varied_database)
+        patterns = {c.pattern.to_text() for c in result.candidates}
+        assert "/site/people/person/profile/@income" in patterns
+
+    def test_query_without_indexable_predicates(self, varied_database):
+        query = normalize_statement("/site/people/person/name")
+        result = enumerate_indexes(query, varied_database)
+        assert result.candidates == []
+
+    def test_costs_reported(self, varied_database):
+        query = normalize_statement(QUERY)
+        result = enumerate_indexes(query, varied_database)
+        assert result.cost_without_indexes > 0
+        assert result.cost_with_universal_indexes <= result.cost_without_indexes
+
+    def test_catalog_left_clean(self, varied_database):
+        query = normalize_statement(QUERY)
+        enumerate_indexes(query, varied_database)
+        assert varied_database.catalog.virtual_indexes == []
+
+    def test_candidates_deduplicated(self, varied_database):
+        query = normalize_statement(
+            'for $i in doc("x")//item where $i/quantity > 90 and $i/quantity < 95 return $i')
+        result = enumerate_indexes(query, varied_database)
+        patterns = [c.pattern.to_text() for c in result.candidates]
+        assert len(patterns) == len(set(patterns))
+
+    def test_render_output(self, varied_database):
+        query = normalize_statement(QUERY)
+        result = enumerate_indexes(query, varied_database)
+        text = result.render()
+        assert "ENUMERATE INDEXES" in text
+        assert "candidate:" in text
+
+    def test_spec_to_definition(self, varied_database):
+        query = normalize_statement(QUERY)
+        result = enumerate_indexes(query, varied_database)
+        definition = result.candidates[0].to_definition()
+        assert definition.is_virtual
+        assert definition.pattern == result.candidates[0].pattern
+
+
+class TestEvaluateIndexesMode:
+    def test_configuration_lowers_cost(self, varied_database):
+        query = normalize_statement(QUERY)
+        configuration = IndexConfiguration([
+            IndexDefinition.create("/site/regions/africa/item/quantity", ValueType.DOUBLE),
+            IndexDefinition.create("/site/regions/africa/item/payment", ValueType.VARCHAR),
+        ])
+        baseline = Optimizer(varied_database).optimize(query, candidate_indexes=[])
+        result = evaluate_indexes(query, varied_database, configuration)
+        assert result.estimated_cost <= baseline.total_cost
+        assert result.used_indexes  # at least one index used
+        assert result.plan.uses_indexes
+
+    def test_useless_configuration_reports_scan(self, varied_database):
+        query = normalize_statement(QUERY)
+        configuration = IndexConfiguration([
+            IndexDefinition.create("/site/people/person/name", ValueType.VARCHAR)])
+        result = evaluate_indexes(query, varied_database, configuration)
+        assert result.used_indexes == []
+        baseline = Optimizer(varied_database).optimize(query, candidate_indexes=[])
+        assert result.estimated_cost == pytest.approx(baseline.total_cost)
+
+    def test_accepts_plain_iterables(self, varied_database):
+        query = normalize_statement(QUERY)
+        result = evaluate_indexes(query, varied_database, [
+            IndexDefinition.create("/site/regions/africa/item/quantity", ValueType.DOUBLE)])
+        assert isinstance(result.configuration, IndexConfiguration)
+
+    def test_general_configuration_matches_specific_predicates(self, varied_database):
+        query = normalize_statement(QUERY)
+        general = IndexConfiguration([
+            IndexDefinition.create("/site/regions/*/item/quantity", ValueType.DOUBLE)])
+        result = evaluate_indexes(query, varied_database, general)
+        assert result.used_indexes
+        assert result.used_indexes[0].pattern.to_text() == "/site/regions/*/item/quantity"
+
+    def test_physical_indexes_hidden_by_default(self, varied_database):
+        physical = IndexDefinition.create("/site/regions/africa/item/quantity",
+                                          ValueType.DOUBLE, name="existing_phys")
+        varied_database.catalog.add_index(physical)
+        try:
+            query = normalize_statement(QUERY)
+            empty = evaluate_indexes(query, varied_database, IndexConfiguration())
+            assert empty.used_indexes == []
+            with_physical = evaluate_indexes(query, varied_database, IndexConfiguration(),
+                                             include_physical=True)
+            assert with_physical.estimated_cost <= empty.estimated_cost
+        finally:
+            varied_database.catalog.drop_index("existing_phys")
+
+    def test_catalog_restored_after_evaluation(self, varied_database):
+        query = normalize_statement(QUERY)
+        evaluate_indexes(query, varied_database, [
+            IndexDefinition.create("/site/regions/africa/item/quantity", ValueType.DOUBLE)])
+        assert varied_database.catalog.virtual_indexes == []
+
+    def test_render_output(self, varied_database):
+        query = normalize_statement(QUERY)
+        result = evaluate_indexes(query, varied_database, [
+            IndexDefinition.create("/site/regions/africa/item/quantity", ValueType.DOUBLE)])
+        assert "EVALUATE INDEXES" in result.render()
+
+
+class TestExplainModeEnum:
+    def test_modes_exist(self):
+        assert ExplainMode.NORMAL.value == "normal"
+        assert ExplainMode.ENUMERATE_INDEXES.value == "enumerate indexes"
+        assert ExplainMode.EVALUATE_INDEXES.value == "evaluate indexes"

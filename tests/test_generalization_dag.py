@@ -1,0 +1,157 @@
+"""Unit tests for candidate generalization and the generalization DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.candidates import CandidateIndex, CandidateSet
+from repro.advisor.config import AdvisorParameters
+from repro.advisor.dag import GeneralizationDag
+from repro.advisor.generalization import generalize_candidates
+from repro.xpath.patterns import PathPattern
+from repro.xquery.model import ValueType
+
+
+def _basic(pattern, value_type=ValueType.DOUBLE, queries=()):
+    return CandidateIndex(pattern=PathPattern.parse(pattern), value_type=value_type,
+                          source="basic", benefiting_queries=set(queries))
+
+
+@pytest.fixture
+def paper_candidates():
+    """The running example of Section 2.2."""
+    return CandidateSet([
+        _basic("/regions/namerica/item/quantity", queries={"q1"}),
+        _basic("/regions/africa/item/quantity", queries={"q2"}),
+        _basic("/regions/samerica/item/price", queries={"q3"}),
+    ])
+
+
+class TestGeneralizationRules:
+    def test_paper_example_patterns_generated(self, paper_candidates):
+        result = generalize_candidates(paper_candidates)
+        patterns = {c.pattern.to_text() for c in result.candidates}
+        assert "/regions/*/item/quantity" in patterns
+        assert "/regions/*/item/*" in patterns
+
+    def test_generalized_candidates_marked_and_counted(self, paper_candidates):
+        result = generalize_candidates(paper_candidates)
+        assert result.basic_count == 3
+        assert result.generalized_count == len(result.candidates) - 3
+        generalized = result.candidates.get(("/regions/*/item/quantity", "DOUBLE"))
+        assert generalized.is_generalized
+
+    def test_query_attribution_propagates_to_general_candidates(self, paper_candidates):
+        result = generalize_candidates(paper_candidates)
+        star = result.candidates.get(("/regions/*/item/*", "DOUBLE"))
+        assert {"q1", "q2", "q3"} <= star.benefiting_queries
+
+    def test_value_types_not_mixed(self):
+        candidates = CandidateSet([
+            _basic("/a/b/c", ValueType.DOUBLE),
+            _basic("/a/x/c", ValueType.VARCHAR),
+        ])
+        result = generalize_candidates(candidates)
+        assert result.candidates.get(("/a/*/c", "DOUBLE")) is None
+        assert result.candidates.get(("/a/*/c", "VARCHAR")) is None
+
+    def test_zero_rounds_keeps_basic_only(self, paper_candidates):
+        result = generalize_candidates(paper_candidates,
+                                       AdvisorParameters(generalization_rounds=0))
+        assert len(result.candidates) == 3
+        assert result.rounds_used == 0
+
+    def test_fixpoint_reached_before_round_limit(self, paper_candidates):
+        few = generalize_candidates(paper_candidates,
+                                    AdvisorParameters(generalization_rounds=3))
+        many = generalize_candidates(paper_candidates,
+                                     AdvisorParameters(generalization_rounds=10))
+        assert {c.key for c in few.candidates} == {c.key for c in many.candidates}
+
+    def test_max_candidates_cap(self, paper_candidates):
+        result = generalize_candidates(paper_candidates,
+                                       AdvisorParameters(max_candidates=4))
+        assert len(result.candidates) <= 4
+
+    def test_prefix_generalization_toggle(self):
+        candidates = CandidateSet([
+            _basic("/site/people/person/name", ValueType.VARCHAR),
+            _basic("/site/people/person/address/city", ValueType.VARCHAR),
+        ])
+        with_prefix = generalize_candidates(
+            candidates, AdvisorParameters(enable_prefix_generalization=True))
+        without_prefix = generalize_candidates(
+            candidates, AdvisorParameters(enable_prefix_generalization=False))
+        assert with_prefix.candidates.get(("/site/people/person//*", "VARCHAR")) is not None
+        assert without_prefix.candidates.get(("/site/people/person//*", "VARCHAR")) is None
+
+    def test_describe(self, paper_candidates):
+        result = generalize_candidates(paper_candidates)
+        assert "generalization" in result.describe()
+
+
+class TestGeneralizationDag:
+    def test_parents_are_direct_generalizations(self, paper_candidates):
+        result = generalize_candidates(paper_candidates)
+        dag = result.dag
+        specific = result.candidates.get(("/regions/africa/item/quantity", "DOUBLE"))
+        parent_patterns = {p.pattern.to_text() for p in dag.parents_of(specific)}
+        assert "/regions/*/item/quantity" in parent_patterns
+        # /regions/*/item/* is an ancestor but NOT a direct parent.
+        assert "/regions/*/item/*" not in parent_patterns
+
+    def test_children_inverse_of_parents(self, paper_candidates):
+        dag = generalize_candidates(paper_candidates).dag
+        for candidate in dag.candidates:
+            for parent in dag.parents_of(candidate):
+                child_keys = {c.key for c in dag.children_of(parent)}
+                assert candidate.key in child_keys
+
+    def test_roots_have_no_parents_and_cover_all(self, paper_candidates):
+        result = generalize_candidates(paper_candidates)
+        dag = result.dag
+        roots = dag.roots
+        assert roots
+        for root in roots:
+            assert dag.parents_of(root) == []
+        # Every candidate is a descendant of (or is) some root.
+        covered = {root.key for root in roots}
+        for root in roots:
+            covered.update(c.key for c in dag.descendants_of(root))
+        assert covered == {c.key for c in result.candidates}
+
+    def test_leaves_are_most_specific(self, paper_candidates):
+        dag = generalize_candidates(paper_candidates).dag
+        leaf_patterns = {c.pattern.to_text() for c in dag.leaves}
+        assert "/regions/africa/item/quantity" in leaf_patterns
+        assert "/regions/*/item/*" not in leaf_patterns
+
+    def test_depth_at_least_two_for_generalized_set(self, paper_candidates):
+        dag = generalize_candidates(paper_candidates).dag
+        assert dag.depth() >= 2
+
+    def test_edge_and_node_counts(self, paper_candidates):
+        dag = generalize_candidates(paper_candidates).dag
+        assert dag.node_count == len(dag.candidates)
+        assert dag.edge_count >= dag.node_count - len(dag.roots)
+
+    def test_render_contains_roots_and_indentation(self, paper_candidates):
+        dag = generalize_candidates(paper_candidates).dag
+        text = dag.render()
+        assert "generalization DAG" in text
+        assert "/regions/*/item/*" in text
+
+    def test_dag_over_basic_only_is_flat(self):
+        candidates = CandidateSet([_basic("/a/b"), _basic("/c/d")])
+        dag = GeneralizationDag(candidates)
+        assert dag.depth() == 1
+        assert len(dag.roots) == 2
+        assert dag.edge_count == 0
+
+    def test_same_pattern_different_types_are_unrelated(self):
+        candidates = CandidateSet([
+            _basic("/a/*", ValueType.DOUBLE),
+            _basic("/a/b", ValueType.VARCHAR),
+        ])
+        dag = GeneralizationDag(candidates)
+        assert len(dag.roots) == 2

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the whole demo flow on real benchmarks.
+
+These tests walk the same path as the paper's demonstration (Section 3):
+enumerate candidates for a benchmark workload, recommend a configuration
+under a budget, analyze it against the no-index and overtrained
+configurations, check the value of generalization on unseen queries, and
+finally create the indexes and actually execute the workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.advisor import XmlIndexAdvisor
+from repro.advisor.analysis import RecommendationAnalysis
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.executor.measurement import measure_workload
+from repro.optimizer.explain import enumerate_indexes
+from repro.optimizer.optimizer import Optimizer
+from repro.workloads.tpox import tpox_workload
+from repro.workloads.xmark import xmark_unseen_queries
+from repro.xquery.normalizer import normalize_workload
+
+
+@pytest.fixture(scope="module")
+def xmark_recommendation(xmark_database, xmark_workload):
+    advisor = XmlIndexAdvisor(xmark_database,
+                              AdvisorParameters(disk_budget_bytes=96 * 1024))
+    return advisor.recommend(xmark_workload)
+
+
+class TestXmarkEndToEnd:
+    def test_enumerate_mode_finds_candidates_for_most_queries(self, xmark_database,
+                                                              xmark_workload):
+        optimizer = Optimizer(xmark_database)
+        queries = [q for q in normalize_workload(xmark_workload) if not q.is_update]
+        with_candidates = 0
+        for query in queries:
+            result = enumerate_indexes(query, xmark_database, optimizer)
+            if result.candidates:
+                with_candidates += 1
+        assert with_candidates >= 0.8 * len(queries)
+
+    def test_recommendation_improves_workload(self, xmark_recommendation):
+        assert xmark_recommendation.total_benefit > 0
+        assert xmark_recommendation.improvement_percent() > 10.0
+        assert xmark_recommendation.total_size_bytes <= 96 * 1024 + 1e-6
+
+    def test_generalized_candidates_exist(self, xmark_recommendation):
+        assert len(xmark_recommendation.candidates.generalized_candidates) > 0
+        assert xmark_recommendation.dag.depth() >= 2
+
+    def test_analysis_recommended_close_to_overtrained(self, xmark_database,
+                                                       xmark_recommendation):
+        analysis = RecommendationAnalysis(xmark_database, xmark_recommendation)
+        summary = analysis.summary()
+        assert summary["improvement_recommended_pct"] > 0
+        assert summary["improvement_recommended_pct"] <= \
+            summary["improvement_overtrained_pct"] + 1e-6
+        # The recommendation should capture a substantial share of the
+        # overtrained bound (the paper's point is that a budgeted config
+        # gets close to the maximum).
+        assert summary["improvement_recommended_pct"] >= \
+            0.5 * summary["improvement_overtrained_pct"]
+
+    def test_topdown_generalization_helps_unseen_queries(self, xmark_database,
+                                                         xmark_workload):
+        budget = 64 * 1024.0
+        top_down = XmlIndexAdvisor(
+            xmark_database, AdvisorParameters(disk_budget_bytes=budget,
+                                              search_algorithm=SearchAlgorithm.TOP_DOWN)
+        ).recommend(xmark_workload)
+        analysis = RecommendationAnalysis(xmark_database, top_down)
+        unseen_rows = analysis.evaluate_additional_queries(xmark_unseen_queries())
+        helped = [row for row in unseen_rows if row.speedup_recommended > 1.01]
+        assert helped, "a generalized configuration should help unseen queries"
+
+    def test_execution_confirms_estimated_benefit(self, xmark_database,
+                                                  xmark_recommendation):
+        measurements = measure_workload(xmark_database, xmark_recommendation.queries,
+                                        xmark_recommendation.configuration)
+        baseline = measurements["no-indexes"]
+        indexed = measurements["recommended"]
+        assert indexed.queries_using_indexes > 0
+        assert indexed.documents_examined <= baseline.documents_examined
+        for base_row, indexed_row in zip(baseline.per_query, indexed.per_query):
+            assert base_row.result_count == indexed_row.result_count
+
+
+class TestTpoxEndToEnd:
+    def test_update_ratio_sweep_shrinks_benefit(self, tpox_database):
+        benefits = []
+        for update_ratio in (0.0, 0.5, 0.9):
+            advisor = XmlIndexAdvisor(tpox_database,
+                                      AdvisorParameters(disk_budget_bytes=64 * 1024))
+            recommendation = advisor.recommend(tpox_workload(update_ratio=update_ratio))
+            benefits.append(recommendation.total_benefit)
+        assert benefits[0] > benefits[1] >= benefits[2] >= 0.0
+
+    def test_sqlxml_queries_get_recommendations(self, tpox_database):
+        advisor = XmlIndexAdvisor(tpox_database,
+                                  AdvisorParameters(disk_budget_bytes=64 * 1024))
+        recommendation = advisor.recommend(tpox_workload(update_ratio=0.0))
+        patterns = {d.pattern.to_text() for d in recommendation.configuration}
+        assert patterns, "TPoX workload should produce a recommendation"
+        # Order-by-id is the most frequent lookup; its path (or a pattern
+        # containing it) must be covered.
+        from repro.xpath.patterns import PathPattern, pattern_contains
+
+        order_id = PathPattern.parse("/FIXML/Order/@ID")
+        assert any(pattern_contains(PathPattern.parse(p), order_id) for p in patterns)
+
+    def test_budget_sweep_monotone_benefit(self, tpox_database):
+        workload = tpox_workload(update_ratio=0.0)
+        benefits = []
+        for budget_kb in (4, 16, 256):
+            advisor = XmlIndexAdvisor(
+                tpox_database, AdvisorParameters(disk_budget_bytes=budget_kb * 1024.0))
+            benefits.append(advisor.recommend(workload).total_benefit)
+        assert benefits[0] <= benefits[1] <= benefits[2]

@@ -1,0 +1,124 @@
+"""Additional coverage: parameter objects, describe() helpers, edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import __version__
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.index.definition import IndexDefinition
+from repro.index.matching import index_matches_predicate
+from repro.advisor.enumeration import SearchStep
+from repro.optimizer.cost_model import CostParameters
+from repro.storage.pages import (
+    PAGE_SIZE_BYTES,
+    bytes_to_pages,
+    index_entry_bytes,
+    index_size_bytes,
+    pages_to_bytes,
+)
+from repro.xpath.ast import BinaryOp
+from repro.xpath.patterns import PathPattern
+from repro.xquery.model import PathPredicate, ValueType
+
+
+class TestVersionAndPublicApi:
+    def test_version_string(self):
+        assert __version__.count(".") == 2
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestPages:
+    def test_bytes_to_pages_rounding(self):
+        assert bytes_to_pages(0) == 0
+        assert bytes_to_pages(1) == 1
+        assert bytes_to_pages(PAGE_SIZE_BYTES) == 1
+        assert bytes_to_pages(PAGE_SIZE_BYTES + 1) == 2
+
+    def test_pages_to_bytes_inverse(self):
+        assert pages_to_bytes(bytes_to_pages(10000)) >= 10000
+
+    def test_index_size_accounts_for_fill_factor(self):
+        raw = 100 * index_entry_bytes(8.0)
+        assert index_size_bytes(100, 8.0) > raw
+        assert index_size_bytes(0, 8.0) == 0.0
+
+
+class TestAdvisorParameters:
+    def test_defaults_are_valid(self):
+        parameters = AdvisorParameters()
+        parameters.validate()
+        assert parameters.search_algorithm is SearchAlgorithm.GREEDY_HEURISTIC
+        assert parameters.disk_budget_pages is None
+
+    def test_budget_pages_conversion(self):
+        parameters = AdvisorParameters(disk_budget_bytes=8 * PAGE_SIZE_BYTES)
+        assert parameters.disk_budget_pages == pytest.approx(8.0)
+
+    def test_describe_mentions_budget_and_algorithm(self):
+        parameters = AdvisorParameters(disk_budget_bytes=64 * 1024,
+                                       search_algorithm=SearchAlgorithm.TOP_DOWN)
+        text = parameters.describe()
+        assert "64 KiB" in text and "top-down" in text
+        unlimited = AdvisorParameters().describe()
+        assert "unlimited" in unlimited
+
+    def test_invalid_max_candidates(self):
+        with pytest.raises(ValueError):
+            AdvisorParameters(max_candidates=0).validate()
+
+    def test_cost_parameters_frozen(self):
+        parameters = CostParameters()
+        with pytest.raises(Exception):
+            parameters.sequential_page_cost = 9.0  # type: ignore[misc]
+
+
+class TestDescribeHelpers:
+    def test_index_match_describe(self):
+        index = IndexDefinition.create("/a/*/c", ValueType.VARCHAR)
+        predicate = PathPredicate(pattern=PathPattern.parse("/a/b/c"),
+                                  op=BinaryOp.EQ, value="x")
+        match = index_matches_predicate(index, predicate)
+        assert "matches" in match.describe()
+
+    def test_search_step_describe(self):
+        assert SearchStep("add", "/a/b", "why").describe() == "add: /a/b (why)"
+        assert SearchStep("drop", "/a/b").describe() == "drop: /a/b"
+
+    def test_index_definition_describe(self):
+        definition = IndexDefinition.create("/a/b", ValueType.DOUBLE, is_virtual=True)
+        assert "virtual" in definition.describe()
+
+
+class TestPredicateEdgeCases:
+    def test_range_predicate_on_string_stays_varchar(self):
+        from repro.xquery.normalizer import normalize_statement
+
+        query = normalize_statement(
+            'for $p in doc("x")/site/people/person where $p/name > "M" return $p')
+        predicate = [p for p in query.predicates if p.op is not None][0]
+        assert predicate.value_type is ValueType.VARCHAR
+
+    def test_or_predicates_both_collected(self):
+        from repro.xquery.normalizer import normalize_statement
+
+        query = normalize_statement(
+            'for $i in doc("x")//item where $i/quantity > 9 or $i/price > 400 return $i')
+        patterns = {p.pattern.to_text() for p in query.predicates if p.op is not None}
+        assert patterns == {"//item/quantity", "//item/price"}
+
+    def test_join_style_comparison_yields_structural_predicates(self):
+        from repro.xquery.normalizer import normalize_statement
+
+        query = normalize_statement(
+            'for $a in doc("x")/site/open_auctions/open_auction, '
+            '$p in doc("x")/site/people/person '
+            'where $a/seller/@person = $p/@id return $p/name')
+        patterns = {p.pattern.to_text() for p in query.predicates}
+        assert "/site/open_auctions/open_auction/seller/@person" in patterns
+        assert "/site/people/person/@id" in patterns

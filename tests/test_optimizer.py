@@ -1,0 +1,176 @@
+"""Unit tests for plan selection (the optimizer proper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.definition import IndexDefinition
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plans import DocumentScan, IndexScan, QueryPlan
+from repro.xquery.model import ValueType
+from repro.xquery.normalizer import normalize_statement
+
+
+@pytest.fixture
+def optimizer(varied_database):
+    return Optimizer(varied_database)
+
+
+SELECTIVE_QUERY = ('for $p in doc("x")/site/people/person '
+                   'where $p/@id = "p7" return $p/name')
+RANGE_QUERY = ('for $i in doc("x")/site/regions/africa/item '
+               'where $i/quantity > 90 return $i/name')
+
+
+class TestPlanSelection:
+    def test_no_indexes_means_document_scan(self, optimizer):
+        query = normalize_statement(SELECTIVE_QUERY)
+        plan = optimizer.optimize(query, candidate_indexes=[])
+        assert not plan.uses_indexes
+        assert isinstance(plan.root, DocumentScan)
+        assert plan.total_cost > 0
+
+    def test_matching_index_is_used_when_cheaper(self, optimizer):
+        query = normalize_statement(SELECTIVE_QUERY)
+        index = IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR)
+        plan = optimizer.optimize(query, candidate_indexes=[index])
+        assert plan.uses_indexes
+        assert index.key in {i.key for i in plan.used_indexes}
+        scan_cost = optimizer.optimize(query, candidate_indexes=[]).total_cost
+        assert plan.total_cost < scan_cost
+
+    def test_incompatible_type_index_not_used(self, optimizer):
+        query = normalize_statement(SELECTIVE_QUERY)
+        wrong_type = IndexDefinition.create("/site/people/person/@id", ValueType.DOUBLE)
+        plan = optimizer.optimize(query, candidate_indexes=[wrong_type])
+        assert not plan.uses_indexes
+
+    def test_irrelevant_index_not_used(self, optimizer):
+        query = normalize_statement(SELECTIVE_QUERY)
+        irrelevant = IndexDefinition.create("/site/regions/africa/item/price",
+                                            ValueType.DOUBLE)
+        plan = optimizer.optimize(query, candidate_indexes=[irrelevant])
+        assert not plan.uses_indexes
+
+    def test_exact_index_preferred_over_general(self, optimizer):
+        query = normalize_statement(RANGE_QUERY)
+        exact = IndexDefinition.create("/site/regions/africa/item/quantity",
+                                       ValueType.DOUBLE, name="exact")
+        general = IndexDefinition.create("//*", ValueType.DOUBLE, name="general")
+        plan = optimizer.optimize(query, candidate_indexes=[general, exact])
+        assert plan.uses_indexes
+        assert "exact" in plan.used_index_names
+        assert "general" not in plan.used_index_names
+
+    def test_general_index_still_used_when_only_option(self, optimizer):
+        query = normalize_statement(SELECTIVE_QUERY)
+        general = IndexDefinition.create("/site/people/person/@*", ValueType.VARCHAR)
+        plan = optimizer.optimize(query, candidate_indexes=[general])
+        assert plan.uses_indexes
+
+    def test_multiple_predicates_can_and_indexes(self, optimizer):
+        query = normalize_statement(
+            'for $i in doc("x")/site/regions/africa/item '
+            'where $i/quantity > 90 and $i/payment = "Creditcard" return $i/name')
+        quantity_index = IndexDefinition.create("/site/regions/africa/item/quantity",
+                                                ValueType.DOUBLE)
+        payment_index = IndexDefinition.create("/site/regions/africa/item/payment",
+                                               ValueType.VARCHAR)
+        plan = optimizer.optimize(query, candidate_indexes=[quantity_index, payment_index])
+        assert plan.uses_indexes
+        assert len(plan.used_indexes) >= 1
+
+    def test_catalog_indexes_used_by_default(self, varied_database):
+        index = IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR,
+                                       name="cat_idx")
+        varied_database.catalog.add_index(index)
+        try:
+            optimizer = Optimizer(varied_database)
+            plan = optimizer.optimize(normalize_statement(SELECTIVE_QUERY))
+            assert "cat_idx" in plan.used_index_names
+        finally:
+            varied_database.catalog.drop_index("cat_idx")
+
+    def test_query_without_predicates_scans(self, optimizer):
+        query = normalize_statement("/site/people/person/name")
+        index = IndexDefinition.create("/site/people/person/name", ValueType.VARCHAR)
+        plan = optimizer.optimize(query, candidate_indexes=[index])
+        assert isinstance(plan, QueryPlan)
+        # Extraction-only queries have no indexable predicate: scan.
+        assert not plan.uses_indexes
+
+
+class TestPlanStructure:
+    def test_plan_render_mentions_operators(self, optimizer):
+        query = normalize_statement(SELECTIVE_QUERY)
+        index = IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR)
+        plan = optimizer.optimize(query, candidate_indexes=[index])
+        rendering = plan.render()
+        assert "XISCAN" in rendering
+        assert "FETCH" in rendering
+        assert "plan for" in rendering
+
+    def test_matched_predicates_reported(self, optimizer):
+        query = normalize_statement(SELECTIVE_QUERY)
+        index = IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR)
+        plan = optimizer.optimize(query, candidate_indexes=[index])
+        matched = plan.matched_predicates()
+        assert any(p.pattern.to_text() == "/site/people/person/@id" for p in matched)
+
+    def test_document_scan_render(self, optimizer):
+        plan = optimizer.optimize(normalize_statement("/site/people/person"),
+                                  candidate_indexes=[])
+        assert "XSCAN" in plan.render()
+
+
+class TestUpdatePlanning:
+    def test_update_plan_charges_affected_indexes(self, optimizer):
+        update = normalize_statement(
+            'replace value of node /site/regions/africa/item/quantity with "3"')
+        affected = IndexDefinition.create("/site/regions/*/item/quantity",
+                                          ValueType.DOUBLE)
+        unaffected = IndexDefinition.create("/site/people/person/name",
+                                            ValueType.VARCHAR)
+        plan = optimizer.plan_update(update, candidate_indexes=[affected, unaffected])
+        charged = {m.index.key for m in plan.maintenance_costs}
+        assert affected.key in charged
+        assert unaffected.key not in charged
+        assert plan.total_cost > plan.base_cost
+        assert "maintain" in plan.render()
+
+    def test_update_through_optimize_wrapper(self, optimizer):
+        update = normalize_statement("delete node /site/people/person")
+        plan = optimizer.optimize(update, candidate_indexes=[])
+        assert not plan.uses_indexes
+        assert plan.total_cost > 0
+
+    def test_more_indexes_cost_more_to_maintain(self, optimizer):
+        update = normalize_statement("insert node <item/> into /site/regions/africa")
+        few = optimizer.plan_update(update, candidate_indexes=[
+            IndexDefinition.create("/site/regions/africa/item/quantity",
+                                   ValueType.DOUBLE)])
+        many = optimizer.plan_update(update, candidate_indexes=[
+            IndexDefinition.create("/site/regions/africa/item/quantity", ValueType.DOUBLE),
+            IndexDefinition.create("/site/regions/africa/item/price", ValueType.DOUBLE),
+            IndexDefinition.create("/site/regions/africa/item/payment", ValueType.VARCHAR),
+        ])
+        assert many.total_cost > few.total_cost
+
+
+class TestWorkloadCosting:
+    def test_estimate_workload_cost_weighted_by_frequency(self, optimizer, tiny_workload):
+        from repro.xquery.normalizer import normalize_workload
+
+        queries = normalize_workload(tiny_workload)
+        total = optimizer.estimate_workload_cost(queries, candidate_indexes=[])
+        unweighted = sum(optimizer.optimize(q, candidate_indexes=[]).total_cost
+                         for q in queries)
+        assert total > unweighted  # frequencies are > 1 for some statements
+
+    def test_cost_model_refreshes_with_statistics(self, tiny_database):
+        optimizer = Optimizer(tiny_database)
+        first_model = optimizer.cost_model
+        tiny_database.add_document("site", "<site><regions/></site>")
+        tiny_database.invalidate_statistics()
+        second_model = optimizer.cost_model
+        assert second_model is not first_model

@@ -1,0 +1,119 @@
+"""Tests for the text reports and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.advisor import XmlIndexAdvisor
+from repro.advisor.analysis import RecommendationAnalysis
+from repro.advisor.config import AdvisorParameters
+from repro.index.definition import IndexDefinition
+from repro.optimizer.explain import enumerate_indexes, evaluate_indexes
+from repro.tools.cli import build_parser, main
+from repro.tools.report import (
+    candidate_report,
+    dag_report,
+    enumerate_report,
+    evaluate_report,
+    recommendation_report,
+    render_table,
+)
+from repro.xquery.model import ValueType, Workload
+from repro.xquery.normalizer import normalize_statement
+
+
+@pytest.fixture(scope="module")
+def report_recommendation(varied_database):
+    workload = Workload(name="rep")
+    workload.add('for $i in doc("x")/site/regions/africa/item '
+                 'where $i/quantity > 90 return $i/name', frequency=2.0)
+    workload.add('for $p in doc("x")/site/people/person '
+                 'where $p/@id = "p5" return $p/name', frequency=3.0)
+    advisor = XmlIndexAdvisor(varied_database,
+                              AdvisorParameters(disk_budget_bytes=32 * 1024))
+    return advisor.recommend(workload)
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        table = render_table(["a", "bb"], [["x", 1.5], ["yyyyyyyy", 2]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        assert "1.5" in table
+
+    def test_ragged_rows_padded(self):
+        table = render_table(["a", "b", "c"], [["only"]])
+        assert "only" in table
+
+
+class TestReports:
+    def test_enumerate_report(self, varied_database):
+        query = normalize_statement(
+            'for $i in doc("x")/site/regions/africa/item '
+            'where $i/quantity > 90 return $i/name')
+        result = enumerate_indexes(query, varied_database)
+        report = enumerate_report([result])
+        assert "/site/regions/africa/item/quantity" in report
+        assert "DOUBLE" in report
+
+    def test_evaluate_report(self, varied_database):
+        query = normalize_statement(
+            'for $p in doc("x")/site/people/person where $p/@id = "p5" return $p/name')
+        result = evaluate_indexes(query, varied_database, [
+            IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR)])
+        report = evaluate_report([result])
+        assert "estimated cost" in report
+        assert "/site/people/person/@id" in report
+
+    def test_candidate_and_dag_reports(self, report_recommendation):
+        candidates = candidate_report(report_recommendation.candidates)
+        assert "basic" in candidates
+        dag = dag_report(report_recommendation.dag)
+        assert "generalization DAG" in dag
+
+    def test_recommendation_report_with_analysis(self, varied_database,
+                                                 report_recommendation):
+        analysis = RecommendationAnalysis(varied_database, report_recommendation)
+        report = recommendation_report(report_recommendation, analysis)
+        assert "CREATE INDEX" in report
+        assert "workload improvement" in report
+        assert "overtrained" in report
+
+    def test_recommendation_report_without_analysis(self, report_recommendation):
+        report = recommendation_report(report_recommendation)
+        assert "DDL" in report
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["recommend", "--scenario", "xmark-small",
+                                  "--budget-kb", "128", "--algorithm", "top-down"])
+        assert args.command == "recommend"
+        assert args.budget_kb == pytest.approx(128.0)
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "xmark-small" in out
+
+    def test_enumerate_command_with_single_query(self, capsys):
+        code = main(["enumerate", "--scenario", "xmark-small", "--query",
+                     'for $i in doc("x")/site/regions/africa/item '
+                     'where $i/quantity > 7 return $i/name'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/site/regions/africa/item/quantity" in out
+
+    def test_recommend_command(self, capsys):
+        code = main(["recommend", "--scenario", "xmark-small",
+                     "--budget-kb", "128", "--show-candidates"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CREATE INDEX" in out
+        assert "workload improvement" in out
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--algorithm", "bogus"])

@@ -1,0 +1,111 @@
+"""Unit tests for the workload model (Workload, WorkloadStatement, PathPredicate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath.ast import BinaryOp
+from repro.xpath.patterns import PathPattern
+from repro.xquery.errors import WorkloadError
+from repro.xquery.model import (
+    NormalizedQuery,
+    PathPredicate,
+    QueryLanguage,
+    ValueType,
+    Workload,
+    WorkloadStatement,
+)
+
+
+class TestPathPredicate:
+    def test_equality_and_range_flags(self):
+        pattern = PathPattern.parse("/a/b")
+        eq = PathPredicate(pattern=pattern, op=BinaryOp.EQ, value="x")
+        rng = PathPredicate(pattern=pattern, op=BinaryOp.GT, value=5.0,
+                            value_type=ValueType.DOUBLE)
+        exist = PathPredicate(pattern=pattern)
+        assert eq.is_equality and not eq.is_range and not eq.is_existence
+        assert rng.is_range and not rng.is_equality
+        assert exist.is_existence
+
+    def test_describe_formats_values(self):
+        pattern = PathPattern.parse("/a/b")
+        assert PathPredicate(pattern=pattern).describe() == "/a/b"
+        numeric = PathPredicate(pattern=pattern, op=BinaryOp.GT, value=5.0,
+                                value_type=ValueType.DOUBLE)
+        assert numeric.describe() == "/a/b > 5"
+        text = PathPredicate(pattern=pattern, op=BinaryOp.EQ, value="x")
+        assert "x" in text.describe()
+
+    def test_predicates_are_hashable(self):
+        pattern = PathPattern.parse("/a/b")
+        first = PathPredicate(pattern=pattern, op=BinaryOp.EQ, value="x")
+        second = PathPredicate(pattern=pattern, op=BinaryOp.EQ, value="x")
+        assert first == second
+        assert len({first, second}) == 1
+
+
+class TestWorkloadStatement:
+    def test_positive_frequency_required(self):
+        with pytest.raises(WorkloadError):
+            WorkloadStatement(text="/a", frequency=0.0)
+        with pytest.raises(WorkloadError):
+            WorkloadStatement(text="/a", frequency=-1.0)
+
+
+class TestWorkload:
+    def test_add_strings_and_statements(self):
+        workload = Workload(name="w")
+        workload.add("/a/b", frequency=2.0)
+        workload.add(WorkloadStatement(text="/c/d", frequency=3.0))
+        assert len(workload) == 2
+        assert workload.total_frequency == pytest.approx(5.0)
+        assert workload[0].statement_id == "w-q1"
+
+    def test_iteration_preserves_order(self):
+        workload = Workload(name="w")
+        for index in range(5):
+            workload.add(f"/p{index}")
+        assert [s.text for s in workload] == [f"/p{i}" for i in range(5)]
+
+    def test_scaled_multiplies_frequencies(self):
+        workload = Workload(name="w")
+        workload.add("/a", frequency=2.0)
+        scaled = workload.scaled(3.0)
+        assert scaled.total_frequency == pytest.approx(6.0)
+        # Original untouched.
+        assert workload.total_frequency == pytest.approx(2.0)
+
+    def test_merged_with(self):
+        first = Workload(name="a")
+        first.add("/a")
+        second = Workload(name="b")
+        second.add("/b")
+        merged = first.merged_with(second)
+        assert len(merged) == 2
+        assert merged.name == "a+b"
+
+    def test_extend(self):
+        workload = Workload(name="w")
+        workload.extend(["/a", "/b", "/c"])
+        assert len(workload) == 3
+
+    def test_describe_counts_queries_and_updates(self):
+        workload = Workload(name="w")
+        workload.add("/a/b")
+        workload.add("insert node <x/> into /a")
+        description = workload.describe()
+        assert "1 queries" in description
+        assert "1 updates" in description
+
+
+class TestNormalizedQuery:
+    def test_all_patterns_combines_predicates_and_extraction(self):
+        pattern_a = PathPattern.parse("/a/b")
+        pattern_c = PathPattern.parse("/c/d")
+        query = NormalizedQuery(
+            query_id="q", text="/a/b", language=QueryLanguage.XPATH,
+            predicates=[PathPredicate(pattern=pattern_a)],
+            extraction_paths=[pattern_c])
+        patterns = {p.to_text() for p in query.all_patterns()}
+        assert patterns == {"/a/b", "/c/d"}

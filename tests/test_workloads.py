@@ -1,0 +1,220 @@
+"""Tests for the XMark/TPoX-style generators and the synthetic workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.document_store import XmlDatabase
+from repro.workloads.loader import build_scenario, list_scenarios
+from repro.workloads.synthetic import SyntheticWorkloadGenerator
+from repro.workloads.tpox import (
+    TpoxConfig,
+    generate_tpox_database,
+    tpox_query_workload,
+    tpox_update_statements,
+    tpox_workload,
+)
+from repro.workloads.xmark import (
+    REGIONS,
+    XMarkConfig,
+    generate_xmark_database,
+    xmark_query_workload,
+    xmark_unseen_queries,
+)
+from repro.xquery.normalizer import normalize_statement, normalize_workload
+
+
+class TestXMarkGenerator:
+    def test_deterministic_for_fixed_seed(self):
+        config = XMarkConfig(scale=0.02, seed=11)
+        first = generate_xmark_database(config)
+        second = generate_xmark_database(config)
+        assert first.statistics.total_node_count == second.statistics.total_node_count
+        assert first.statistics.distinct_paths == second.statistics.distinct_paths
+
+    def test_scale_controls_size(self):
+        small = generate_xmark_database(XMarkConfig(scale=0.02, seed=1))
+        large = generate_xmark_database(XMarkConfig(scale=0.1, seed=1))
+        assert large.statistics.document_count > small.statistics.document_count
+        assert large.statistics.total_node_count > small.statistics.total_node_count
+
+    def test_schema_paths_present(self, xmark_database):
+        paths = set(xmark_database.statistics.path_stats)
+        expected = [
+            "/site/regions/africa/item/quantity",
+            "/site/regions/namerica/item/price",
+            "/site/regions/europe/item/@id",
+            "/site/people/person/profile/@income",
+            "/site/people/person/address/city",
+            "/site/open_auctions/open_auction/current",
+            "/site/open_auctions/open_auction/bidder/increase",
+            "/site/closed_auctions/closed_auction/price",
+            "/site/categories/category/@id",
+        ]
+        for path in expected:
+            assert path in paths, f"missing {path}"
+
+    def test_region_skew(self, xmark_database):
+        stats = xmark_database.statistics
+        namerica = stats.stats_for_path("/site/regions/namerica/item").node_count
+        africa = stats.stats_for_path("/site/regions/africa/item").node_count
+        assert namerica > africa
+
+    def test_numeric_leaves_are_numeric(self, xmark_database):
+        stats = xmark_database.statistics
+        for path in ["/site/regions/namerica/item/quantity",
+                     "/site/people/person/profile/@income",
+                     "/site/open_auctions/open_auction/current"]:
+            assert stats.stats_for_path(path).mostly_numeric
+
+    def test_explicit_document_count(self):
+        database = generate_xmark_database(XMarkConfig(documents=3, seed=5))
+        assert database.statistics.document_count == 3
+
+    def test_region_weights_cover_six_regions(self):
+        assert len(REGIONS) == 6
+
+
+class TestXMarkWorkloads:
+    def test_training_workload_parses_completely(self, xmark_database, xmark_workload):
+        queries = normalize_workload(xmark_workload)
+        assert len(queries) == len(xmark_workload)
+        # Every query must produce at least one indexable predicate or an
+        # extraction path (i.e. the front end understood it).
+        for query in queries:
+            assert query.predicates or query.extraction_paths
+
+    def test_training_workload_mixes_languages(self, xmark_workload):
+        texts = [s.text for s in xmark_workload]
+        assert any("XMLEXISTS" in t for t in texts)
+        assert any(t.startswith("for ") for t in texts)
+
+    def test_predicate_paths_exist_in_generated_data(self, xmark_database,
+                                                     xmark_workload):
+        stats = xmark_database.statistics
+        queries = normalize_workload(xmark_workload)
+        missing = []
+        for query in queries:
+            for predicate in query.predicates:
+                if stats.cardinality(predicate.pattern) == 0:
+                    missing.append(predicate.pattern.to_text())
+        assert missing == [], f"workload predicates over non-existent paths: {missing}"
+
+    def test_unseen_queries_differ_from_training(self, xmark_workload):
+        unseen = xmark_unseen_queries()
+        training_texts = {s.text for s in xmark_workload}
+        assert all(s.text not in training_texts for s in unseen)
+
+    def test_workload_without_synthetic_queries_is_smaller(self):
+        full = xmark_query_workload()
+        standard_only = xmark_query_workload(include_synthetic=False)
+        assert len(standard_only) < len(full)
+
+
+class TestTpoxGenerator:
+    def test_three_collections(self, tpox_database):
+        assert set(tpox_database.collection_names) == {"order", "security", "custacc"}
+
+    def test_schema_paths_present(self, tpox_database):
+        paths = set(tpox_database.statistics.path_stats)
+        for path in ["/FIXML/Order/@ID", "/FIXML/Order/Instrmt/@Sym",
+                     "/FIXML/Order/OrdQty/@Qty", "/Security/Symbol",
+                     "/Security/Price/LastTrade", "/Customer/@id",
+                     "/Customer/Accounts/Account/@balance"]:
+            assert path in paths, f"missing {path}"
+
+    def test_deterministic_for_fixed_seed(self):
+        config = TpoxConfig(scale=0.02, seed=3)
+        first = generate_tpox_database(config)
+        second = generate_tpox_database(config)
+        assert first.statistics.total_node_count == second.statistics.total_node_count
+
+    def test_many_small_documents(self, tpox_database):
+        stats = tpox_database.statistics
+        assert stats.document_count >= 40
+        assert stats.total_node_count / stats.document_count < 60
+
+
+class TestTpoxWorkloads:
+    def test_query_workload_parses(self, tpox_database, tpox_mixed_workload):
+        queries = normalize_workload(tpox_mixed_workload)
+        assert len(queries) == len(tpox_mixed_workload)
+
+    def test_update_ratio_controls_frequency_share(self):
+        mixed = tpox_workload(update_ratio=0.5)
+        queries = normalize_workload(mixed)
+        update_frequency = sum(q.frequency for q in queries if q.is_update)
+        total_frequency = sum(q.frequency for q in queries)
+        assert update_frequency / total_frequency == pytest.approx(0.5, abs=0.02)
+
+    def test_zero_update_ratio_is_read_only(self):
+        queries = normalize_workload(tpox_workload(update_ratio=0.0))
+        assert not any(q.is_update for q in queries)
+
+    def test_invalid_update_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            tpox_workload(update_ratio=1.0)
+        with pytest.raises(ValueError):
+            tpox_workload(update_ratio=-0.1)
+
+    def test_update_statements_normalize_as_updates(self):
+        for statement in tpox_update_statements():
+            query = normalize_statement(statement.text)
+            assert query.is_update
+            assert query.touched_patterns
+
+    def test_query_predicates_hit_generated_data(self, tpox_database):
+        stats = tpox_database.statistics
+        queries = normalize_workload(tpox_query_workload())
+        for query in queries:
+            for predicate in query.predicates:
+                assert stats.cardinality(predicate.pattern) > 0, \
+                    predicate.pattern.to_text()
+
+
+class TestSyntheticWorkload:
+    def test_generated_queries_parse_and_hit_data(self, xmark_database):
+        generator = SyntheticWorkloadGenerator(xmark_database, seed=3)
+        workload = generator.generate(query_count=10, predicates_per_query=2)
+        assert len(workload) == 10
+        queries = normalize_workload(workload)
+        stats = xmark_database.statistics
+        hit = 0
+        for query in queries:
+            for predicate in query.predicates:
+                if stats.cardinality(predicate.pattern) > 0:
+                    hit += 1
+                    break
+        assert hit >= 8  # the generator samples real paths, so nearly all hit
+
+    def test_deterministic_for_seed(self, xmark_database):
+        first = SyntheticWorkloadGenerator(xmark_database, seed=5).generate(5)
+        second = SyntheticWorkloadGenerator(xmark_database, seed=5).generate(5)
+        assert [s.text for s in first] == [s.text for s in second]
+
+    def test_requires_value_paths(self):
+        empty = XmlDatabase("empty")
+        empty.add_document("c", "<a><b/></a>")
+        with pytest.raises(ValueError):
+            SyntheticWorkloadGenerator(empty).generate(1)
+
+    def test_indexable_path_count_positive(self, xmark_database):
+        generator = SyntheticWorkloadGenerator(xmark_database)
+        assert generator.indexable_path_count > 20
+
+
+class TestScenarios:
+    def test_list_scenarios_nonempty(self):
+        names = list_scenarios()
+        assert "xmark-small" in names and "tpox-small" in names
+
+    def test_build_named_scenario(self):
+        scenario = build_scenario("xmark-small")
+        assert scenario.database.statistics.document_count > 0
+        assert len(scenario.workload) > 0
+        assert scenario.description
+
+    def test_unknown_scenario_raises_with_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            build_scenario("nope")
+        assert "xmark-small" in str(excinfo.value)

@@ -1,0 +1,139 @@
+"""Unit tests for the XML parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmldb.errors import XmlParseError
+from repro.xmldb.nodes import NodeKind
+from repro.xmldb.parser import parse_document, parse_fragment
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse_document("<a/>")
+        assert doc.root_element.name == "a"
+        assert doc.root_element.children == []
+
+    def test_nested_elements_and_text(self):
+        doc = parse_document("<a><b>hello</b><c>world</c></a>")
+        root = doc.root_element
+        assert [c.name for c in root.element_children()] == ["b", "c"]
+        assert root.string_value() == "helloworld"
+
+    def test_attributes_single_and_double_quotes(self):
+        doc = parse_document("""<a x="1" y='two'/>""")
+        root = doc.root_element
+        assert root.get_attribute("x") == "1"
+        assert root.get_attribute("y") == "two"
+
+    def test_xml_declaration_and_whitespace(self):
+        doc = parse_document('<?xml version="1.0" encoding="UTF-8"?>\n  <a/>\n')
+        assert doc.root_element.name == "a"
+
+    def test_doctype_is_skipped(self):
+        doc = parse_document('<!DOCTYPE site SYSTEM "auction.dtd"><site/>')
+        assert doc.root_element.name == "site"
+
+    def test_doctype_with_internal_subset(self):
+        doc = parse_document('<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>')
+        assert doc.root_element.string_value() == "x"
+
+    def test_bytes_input_utf8(self):
+        doc = parse_document("<a>é</a>".encode("utf-8"))
+        assert doc.root_element.string_value() == "é"
+
+    def test_node_ids_assigned(self):
+        doc = parse_document("<a><b/><c/></a>")
+        ids = [e.node_id for e in doc.descendant_elements()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_namespace_prefixes_preserved(self):
+        doc = parse_document('<ns:a xmlns:ns="urn:x"><ns:b/></ns:a>')
+        assert doc.root_element.name == "ns:a"
+        assert doc.root_element.get_attribute("xmlns:ns") == "urn:x"
+
+
+class TestEntitiesAndSpecialContent:
+    def test_predefined_entities_in_text(self):
+        doc = parse_document("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>")
+        assert doc.root_element.string_value() == "<x> & \"y\" 'z'"
+
+    def test_numeric_character_references(self):
+        doc = parse_document("<a>&#65;&#x42;</a>")
+        assert doc.root_element.string_value() == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_document('<a title="Tom &amp; Jerry"/>')
+        assert doc.root_element.get_attribute("title") == "Tom & Jerry"
+
+    def test_cdata_section(self):
+        doc = parse_document("<a><![CDATA[<not><parsed>&amp;]]></a>")
+        assert doc.root_element.string_value() == "<not><parsed>&amp;"
+
+    def test_comments_are_kept(self):
+        doc = parse_document("<a><!-- note --><b/></a>")
+        kinds = [c.kind for c in doc.root_element.children]
+        assert NodeKind.COMMENT in kinds
+
+    def test_processing_instruction(self):
+        doc = parse_document('<a><?style type="css"?></a>')
+        pi = [c for c in doc.root_element.children
+              if c.kind is NodeKind.PROCESSING_INSTRUCTION][0]
+        assert pi.name == "style"
+        assert "css" in pi.value
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "   ",
+        "<a>",                      # unterminated
+        "<a></b>",                  # mismatched close
+        "<a><b></a></b>",           # interleaved
+        "<a attr></a>",             # attribute without value
+        "<a attr=value/>",          # unquoted attribute
+        "<a>&unknown;</a>",         # unknown entity
+        "<a/><b/>",                 # two roots
+        "text only",                # no element
+        "<a><!-- unterminated </a>",
+        "<1abc/>",                  # invalid name start
+    ])
+    def test_malformed_documents_raise(self, text):
+        with pytest.raises(XmlParseError):
+            parse_document(text)
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(XmlParseError) as excinfo:
+            parse_document("<a>\n  <b></c>\n</a>")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column > 0
+
+
+class TestFragmentParsing:
+    def test_fragment_with_multiple_roots(self):
+        nodes = parse_fragment("<a/><b>x</b>")
+        assert [n.name for n in nodes] == ["a", "b"]
+
+    def test_fragment_ignores_pure_whitespace_text(self):
+        nodes = parse_fragment("  <a/>   <b/>  ")
+        assert [n.name for n in nodes] == ["a", "b"]
+
+
+class TestRealisticDocuments:
+    def test_tiny_site_structure(self, tiny_document):
+        root = tiny_document.root_element
+        assert root.name == "site"
+        items = [e for e in tiny_document.descendant_elements() if e.name == "item"]
+        assert len(items) == 3
+        assert items[0].get_attribute("id") == "i1"
+
+    def test_deeply_nested_document(self):
+        depth = 60
+        text = "".join(f"<n{i}>" for i in range(depth)) + "x" + \
+               "".join(f"</n{i}>" for i in reversed(range(depth)))
+        doc = parse_document(text)
+        leaf_path = doc.root_element.simple_path()
+        assert leaf_path == "/n0"
+        assert sum(1 for _ in doc.descendant_elements()) == depth

@@ -1,0 +1,73 @@
+"""Unit tests for the XML serializer (including parse/serialize round-trips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmldb.errors import XmlSerializeError
+from repro.xmldb.nodes import AttributeNode, ElementNode, build_document
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serializer import serialize
+
+
+class TestSerialization:
+    def test_empty_element_self_closes(self):
+        assert serialize(ElementNode("a")) == "<a/>"
+
+    def test_element_with_text(self):
+        node = ElementNode("a")
+        node.add_text("hello")
+        assert serialize(node) == "<a>hello</a>"
+
+    def test_attributes_are_escaped(self):
+        node = ElementNode("a")
+        node.set_attribute("title", 'Tom & "Jerry" <x>')
+        out = serialize(node)
+        assert "&amp;" in out and "&quot;" in out and "&lt;" in out
+
+    def test_text_is_escaped(self):
+        node = ElementNode("a")
+        node.add_text("1 < 2 & 3 > 2")
+        out = serialize(node)
+        assert "&lt;" in out and "&amp;" in out and "&gt;" in out
+
+    def test_document_emits_declaration(self):
+        doc, _ = build_document("site")
+        out = serialize(doc)
+        assert out.startswith('<?xml version="1.0"')
+        assert "<site/>" in out
+
+    def test_attribute_node_alone_raises(self):
+        with pytest.raises(XmlSerializeError):
+            serialize(AttributeNode("id", "1"))
+
+    def test_indentation_only_affects_structural_whitespace(self):
+        doc = parse_document("<a><b><c>x</c></b></a>")
+        pretty = serialize(doc, indent=True)
+        assert "<c>x</c>" in pretty
+        assert pretty.count("\n") >= 3
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "<a/>",
+        "<a><b>x</b><b>y</b></a>",
+        '<a id="1"><b attr="v">text</b></a>',
+        "<a>&lt;escaped&gt; &amp; fine</a>",
+        '<site><regions><africa><item id="i1"><quantity>7</quantity></item>'
+        "</africa></regions></site>",
+    ])
+    def test_parse_serialize_parse_is_stable(self, text):
+        first = parse_document(text)
+        serialized = serialize(first)
+        second = parse_document(serialized)
+        assert serialize(second) == serialized
+
+    def test_round_trip_preserves_paths_and_values(self, tiny_document):
+        serialized = serialize(tiny_document)
+        reparsed = parse_document(serialized)
+        original_paths = sorted(e.simple_path() for e in tiny_document.descendant_elements())
+        new_paths = sorted(e.simple_path() for e in reparsed.descendant_elements())
+        assert original_paths == new_paths
+        assert (tiny_document.root_element.string_value().split()
+                == reparsed.root_element.string_value().split())

@@ -1,0 +1,163 @@
+"""Unit tests for the XPath evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmldb.parser import parse_document
+from repro.xpath.errors import XPathTypeError
+from repro.xpath.evaluator import XPathEvaluator, evaluate_path
+
+
+@pytest.fixture
+def evaluator(tiny_document):
+    return XPathEvaluator(tiny_document)
+
+
+class TestPathSelection:
+    def test_absolute_child_path(self, evaluator):
+        nodes = evaluator.select_nodes("/site/regions/africa/item")
+        assert len(nodes) == 2
+        assert {n.get_attribute("id") for n in nodes} == {"i1", "i2"}
+
+    def test_descendant_path(self, evaluator):
+        nodes = evaluator.select_nodes("//item")
+        assert len(nodes) == 3
+
+    def test_wildcard_step(self, evaluator):
+        nodes = evaluator.select_nodes("/site/regions/*/item")
+        assert len(nodes) == 3
+
+    def test_attribute_selection(self, evaluator):
+        nodes = evaluator.select_nodes("/site/people/person/@id")
+        assert sorted(n.value for n in nodes) == ["p1", "p2"]
+
+    def test_descendant_attribute(self, evaluator):
+        nodes = evaluator.select_nodes("//@id")
+        assert len(nodes) == 5  # 3 items + 2 persons
+
+    def test_missing_path_returns_empty(self, evaluator):
+        assert evaluator.select_nodes("/site/nonexistent/thing") == []
+
+    def test_text_step(self, evaluator):
+        nodes = evaluator.select_nodes("/site/people/person/name/text()")
+        assert sorted(n.value for n in nodes) == ["Alice", "Bob"]
+
+    def test_duplicate_elimination_with_descendant(self, tiny_document):
+        evaluator = XPathEvaluator(tiny_document)
+        nodes = evaluator.select_nodes("//regions//item")
+        assert len(nodes) == 3
+
+
+class TestPredicates:
+    def test_numeric_comparison_predicate(self, evaluator):
+        nodes = evaluator.select_nodes("/site/regions/africa/item[quantity > 5]")
+        assert len(nodes) == 1
+        assert nodes[0].get_attribute("id") == "i1"
+
+    def test_string_equality_predicate(self, evaluator):
+        nodes = evaluator.select_nodes('//item[payment = "Creditcard"]/@id')
+        assert sorted(n.value for n in nodes) == ["i1", "i3"]
+
+    def test_existence_predicate(self, evaluator):
+        nodes = evaluator.select_nodes("/site/people/person[profile]/name")
+        assert len(nodes) == 2
+
+    def test_attribute_predicate(self, evaluator):
+        nodes = evaluator.select_nodes('/site/people/person[@id = "p2"]/name')
+        assert [n.string_value() for n in nodes] == ["Bob"]
+
+    def test_nested_path_predicate(self, evaluator):
+        nodes = evaluator.select_nodes("/site/people/person[profile/age > 60]/name")
+        assert [n.string_value() for n in nodes] == ["Bob"]
+
+    def test_conjunction_inside_predicate(self, evaluator):
+        nodes = evaluator.select_nodes(
+            '//item[quantity > 5 and payment = "Creditcard"]')
+        assert {n.get_attribute("id") for n in nodes} == {"i1", "i3"}
+
+    def test_chained_predicates(self, evaluator):
+        nodes = evaluator.select_nodes('//item[quantity > 1][price < 200]')
+        assert {n.get_attribute("id") for n in nodes} == {"i1", "i2"}
+
+
+class TestComparisons:
+    def test_top_level_comparison_true(self, evaluator):
+        assert evaluator.evaluate('/site/people/person/@id = "p1"') is True
+
+    def test_top_level_comparison_false(self, evaluator):
+        assert evaluator.evaluate('/site/people/person/@id = "p99"') is False
+
+    def test_existential_semantics_over_node_sets(self, evaluator):
+        # At least one quantity > 8 (i3 has 9).
+        assert evaluator.evaluate("//item/quantity > 8") is True
+        assert evaluator.evaluate("//item/quantity > 9") is False
+
+    @pytest.mark.parametrize("expr,expected", [
+        ("//item/quantity >= 9", True),
+        ("//item/quantity < 2", False),
+        ("//item/quantity <= 2", True),
+        ("//item/quantity != 7", True),
+        ('//item/payment = "Cash"', True),
+        ('//item/payment = "Barter"', False),
+    ])
+    def test_various_operators(self, evaluator, expr, expected):
+        assert evaluator.evaluate(expr) is expected
+
+    def test_and_or(self, evaluator):
+        assert evaluator.evaluate(
+            '//item/quantity > 8 and //item/payment = "Cash"') is True
+        assert evaluator.evaluate(
+            '//item/quantity > 20 or //item/payment = "Cash"') is True
+        assert evaluator.evaluate(
+            '//item/quantity > 20 and //item/payment = "Cash"') is False
+
+
+class TestFunctions:
+    def test_contains(self, evaluator):
+        assert evaluator.evaluate('contains(/site/regions/namerica/item/name, "lamp")') is True
+        assert evaluator.evaluate('contains(/site/regions/namerica/item/name, "xyz")') is False
+
+    def test_starts_with(self, evaluator):
+        assert evaluator.evaluate('starts-with(/site/people/person/name, "Al")') is True
+
+    def test_not(self, evaluator):
+        assert evaluator.evaluate('not(//item[quantity > 100])') is True
+
+    def test_count(self, evaluator):
+        assert evaluator.evaluate("count(//item)") == pytest.approx(3.0)
+
+    def test_exists(self, evaluator):
+        assert evaluator.evaluate("exists(//person)") is True
+        assert evaluator.evaluate("exists(//robot)") is False
+
+    def test_number_and_string(self, evaluator):
+        assert evaluator.evaluate("number(/site/regions/africa/item/quantity)") == pytest.approx(7.0)
+        assert evaluator.evaluate("string(/site/people/person/name)") == "Alice"
+
+    def test_unknown_function_raises(self, evaluator):
+        with pytest.raises(XPathTypeError):
+            evaluator.evaluate("frobnicate(//item)")
+
+    def test_wrong_arity_raises(self, evaluator):
+        with pytest.raises(XPathTypeError):
+            evaluator.evaluate('contains(//item)')
+
+
+class TestContextAndHelpers:
+    def test_relative_path_with_context(self, evaluator, tiny_document):
+        person = evaluator.select_nodes("/site/people/person")[1]
+        ages = evaluator.select_nodes("profile/age", context=person)
+        assert [a.string_value() for a in ages] == ["67"]
+
+    def test_select_nodes_rejects_scalar_result(self, evaluator):
+        with pytest.raises(XPathTypeError):
+            evaluator.select_nodes("count(//item)")
+
+    def test_evaluate_boolean_coercion(self, evaluator):
+        assert evaluator.evaluate_boolean("//item") is True
+        assert evaluator.evaluate_boolean("//widget") is False
+
+    def test_module_level_helper(self, tiny_document):
+        result = evaluate_path(tiny_document, "/site/people/person/@id")
+        assert len(result) == 2

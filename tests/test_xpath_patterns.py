@@ -1,0 +1,230 @@
+"""Unit tests for index patterns: parsing, matching, containment, generalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath.errors import XPathParseError
+from repro.xpath.patterns import (
+    UNIVERSAL_ATTRIBUTE_PATTERN,
+    UNIVERSAL_ELEMENT_PATTERN,
+    PathPattern,
+    common_prefix_length,
+    generalize_pair,
+    generalize_prefix,
+    generalize_tail,
+    pattern_contains,
+    split_simple_path,
+)
+
+
+class TestParsingAndRendering:
+    @pytest.mark.parametrize("text", [
+        "/a", "/a/b/c", "//a", "/a//b", "/a/*/c", "//*", "//@*",
+        "/site/regions/*/item/quantity", "/a/b/@id", "//item/@id",
+    ])
+    def test_round_trip(self, text):
+        assert PathPattern.parse(text).to_text() == text
+
+    def test_unrooted_pattern_gets_rooted(self):
+        assert PathPattern.parse("a/b").to_text() == "/a/b"
+
+    def test_steps_and_flags(self):
+        pattern = PathPattern.parse("/site//item/@id")
+        assert pattern.length == 3
+        assert not pattern.steps[0].descendant
+        assert pattern.steps[1].descendant
+        assert pattern.last_step.is_attribute
+        assert pattern.indexes_attribute
+        assert pattern.has_descendant_step
+
+    @pytest.mark.parametrize("text", ["", "   ", "/a[b]", "/a(b)", "/a//", "//", "/a/b/"])
+    def test_invalid_patterns_raise(self, text):
+        with pytest.raises(XPathParseError):
+            PathPattern.parse(text)
+
+    def test_patterns_are_hashable_and_equal_by_value(self):
+        a = PathPattern.parse("/a/b")
+        b = PathPattern.parse("/a/b")
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestSplitSimplePath:
+    def test_basic(self):
+        assert split_simple_path("/a/b/@c") == ["a", "b", "@c"]
+
+    def test_root(self):
+        assert split_simple_path("/") == []
+        assert split_simple_path("") == []
+
+
+class TestMatching:
+    @pytest.mark.parametrize("pattern,path,expected", [
+        ("/a/b", "/a/b", True),
+        ("/a/b", "/a/b/c", False),
+        ("/a/b", "/a", False),
+        ("/a/*/c", "/a/b/c", True),
+        ("/a/*/c", "/a/b/d", False),
+        ("//c", "/a/b/c", True),
+        ("//c", "/c", True),
+        ("//c", "/a/c/b", False),
+        ("/a//c", "/a/x/y/c", True),
+        ("/a//c", "/b/x/c", False),
+        ("//*", "/a/b/c", True),
+        ("//*", "/a/b/@id", False),
+        ("//@*", "/a/b/@id", True),
+        ("//@id", "/a/b/@id", True),
+        ("//@id", "/a/b/@other", False),
+        ("/a/b/@id", "/a/b/@id", True),
+        ("/a/*", "/a/@id", False),
+        ("/a/@*", "/a/@id", True),
+        ("/site/regions/*/item/quantity", "/site/regions/africa/item/quantity", True),
+        ("/site/regions/*/item/quantity", "/site/regions/africa/item/price", False),
+        ("/site//item//date", "/site/regions/africa/item/mailbox/mail/date", True),
+    ])
+    def test_matches(self, pattern, path, expected):
+        assert PathPattern.parse(pattern).matches(path) is expected
+
+    def test_matching_paths_filter(self):
+        pattern = PathPattern.parse("/a/*/c")
+        paths = ["/a/b/c", "/a/x/c", "/a/b/d", "/z/b/c"]
+        assert pattern.matching_paths(paths) == ["/a/b/c", "/a/x/c"]
+
+
+class TestContainment:
+    @pytest.mark.parametrize("general,specific,expected", [
+        ("/a/b", "/a/b", True),
+        ("/a/*", "/a/b", True),
+        ("/a/b", "/a/*", False),
+        ("//b", "/a/b", True),
+        ("/a/b", "//b", False),
+        ("//*", "/a/b/c", True),
+        ("//*", "//b", True),
+        ("//*", "//@id", False),
+        ("//@*", "//@id", True),
+        ("/a//c", "/a/b/c", True),
+        ("/a/b/c", "/a//c", False),
+        ("/site/regions/*/item/quantity", "/site/regions/africa/item/quantity", True),
+        ("/site/regions/africa/item/quantity", "/site/regions/*/item/quantity", False),
+        ("/site/regions/*/item/*", "/site/regions/*/item/quantity", True),
+        ("/site//item", "/site/regions/*/item", True),
+        ("/site/regions/*/item", "/site//item", False),
+        ("/a/*/c", "/a//c", False),          # // can skip several levels
+        ("/a//c", "/a/*/c", True),
+        ("//a//b", "//a/b", True),
+        ("//a/b", "//a//b", False),
+        ("/a", "/b", False),
+        ("/a/*", "/a/@id", False),
+        ("/a/@*", "/a/@id", True),
+    ])
+    def test_pattern_contains(self, general, specific, expected):
+        assert pattern_contains(PathPattern.parse(general),
+                                PathPattern.parse(specific)) is expected
+
+    def test_containment_is_reflexive(self):
+        for text in ["/a/b", "//a", "/a/*/c", "//*"]:
+            pattern = PathPattern.parse(text)
+            assert pattern.contains(pattern)
+
+    def test_equivalence(self):
+        assert PathPattern.parse("/a/b").equivalent(PathPattern.parse("/a/b"))
+        assert not PathPattern.parse("/a/*").equivalent(PathPattern.parse("/a/b"))
+
+    def test_universal_patterns(self):
+        assert UNIVERSAL_ELEMENT_PATTERN.contains(PathPattern.parse("/any/depth/path"))
+        assert UNIVERSAL_ATTRIBUTE_PATTERN.contains(PathPattern.parse("/any/path/@attr"))
+        assert not UNIVERSAL_ELEMENT_PATTERN.contains(PathPattern.parse("/a/@attr"))
+
+
+class TestGeneralization:
+    def test_paper_example_first_step(self):
+        first = PathPattern.parse("/regions/namerica/item/quantity")
+        second = PathPattern.parse("/regions/africa/item/quantity")
+        result = generalize_pair(first, second)
+        assert result is not None
+        assert result.to_text() == "/regions/*/item/quantity"
+
+    def test_paper_example_second_step(self):
+        generalized = PathPattern.parse("/regions/*/item/quantity")
+        third = PathPattern.parse("/regions/samerica/item/price")
+        result = generalize_pair(generalized, third)
+        assert result is not None
+        assert result.to_text() == "/regions/*/item/*"
+
+    def test_generalized_pattern_contains_sources(self):
+        first = PathPattern.parse("/regions/namerica/item/quantity")
+        second = PathPattern.parse("/regions/africa/item/quantity")
+        result = generalize_pair(first, second)
+        assert result.contains(first) and result.contains(second)
+
+    def test_no_generalization_for_identical_patterns(self):
+        pattern = PathPattern.parse("/a/b/c")
+        assert generalize_pair(pattern, pattern) is None
+
+    def test_no_generalization_for_different_lengths(self):
+        assert generalize_pair(PathPattern.parse("/a/b"),
+                               PathPattern.parse("/a/b/c")) is None
+
+    def test_no_generalization_across_axes(self):
+        assert generalize_pair(PathPattern.parse("/a/b"),
+                               PathPattern.parse("/a//b")) is None
+
+    def test_no_generalization_mixing_element_and_attribute(self):
+        assert generalize_pair(PathPattern.parse("/a/b"),
+                               PathPattern.parse("/a/@b")) is None
+
+    def test_no_result_when_nothing_new(self):
+        # Second pattern already contained in the first at the same arity.
+        assert generalize_pair(PathPattern.parse("/a/*"),
+                               PathPattern.parse("/a/b")) is None
+
+    def test_attribute_wildcard_generalization(self):
+        result = generalize_pair(PathPattern.parse("/a/b/@id"),
+                                 PathPattern.parse("/a/b/@key"))
+        assert result.to_text() == "/a/b/@*"
+
+    def test_generalize_tail(self):
+        assert generalize_tail(PathPattern.parse("/a/b/c")).to_text() == "/a/b/*"
+        assert generalize_tail(PathPattern.parse("/a/b/*")) is None
+        assert generalize_tail(PathPattern.parse("/a/b/@id")).to_text() == "/a/b/@*"
+
+    def test_generalize_prefix(self):
+        result = generalize_prefix(PathPattern.parse("/site/people/person/name"),
+                                   PathPattern.parse("/site/people/person/profile/age"))
+        assert result.to_text() == "/site/people/person//*"
+
+    def test_generalize_prefix_requires_divergence(self):
+        assert generalize_prefix(PathPattern.parse("/a/b"),
+                                 PathPattern.parse("/a/b/c")) is None
+        assert generalize_prefix(PathPattern.parse("/a/b"),
+                                 PathPattern.parse("/x/y")) is None
+
+    def test_common_prefix_length(self):
+        assert common_prefix_length(PathPattern.parse("/a/b/c"),
+                                    PathPattern.parse("/a/b/d")) == 2
+        assert common_prefix_length(PathPattern.parse("/a"),
+                                    PathPattern.parse("/b")) == 0
+
+
+class TestPatternHelpers:
+    def test_with_wildcard_at(self):
+        pattern = PathPattern.parse("/a/b/c")
+        assert pattern.with_wildcard_at(1).to_text() == "/a/*/c"
+        with pytest.raises(Exception):
+            pattern.with_wildcard_at(9)
+
+    def test_prefix_and_append(self):
+        pattern = PathPattern.parse("/a/b/c")
+        assert pattern.prefix(2).to_text() == "/a/b"
+        assert pattern.prefix(2).append_step("*", descendant=True).to_text() == "/a/b//*"
+
+    def test_generality_score_orders_sensibly(self):
+        specific = PathPattern.parse("/site/regions/africa/item/quantity")
+        wildcard = PathPattern.parse("/site/regions/*/item/quantity")
+        universal = PathPattern.parse("//*")
+        assert specific.generality_score() < wildcard.generality_score()
+        assert wildcard.generality_score() < universal.generality_score()
+
+    def test_wildcard_count(self):
+        assert PathPattern.parse("/a/*/b/*").wildcard_count == 2

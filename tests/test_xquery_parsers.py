@@ -1,0 +1,148 @@
+"""Unit tests for the XQuery (FLWOR) and SQL/XML front-end parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xquery.errors import QueryParseError
+from repro.xquery.sqlxml_parser import looks_like_sqlxml, parse_sqlxml
+from repro.xquery.xquery_parser import parse_xquery, strip_doc_function
+
+
+class TestStripDocFunction:
+    @pytest.mark.parametrize("text,expected", [
+        ('doc("xmark.xml")/site/regions', "/site/regions"),
+        ("doc('x.xml')//item", "//item"),
+        ('collection("orders")/FIXML/Order', "/FIXML/Order"),
+        ('db2-fn:xmlcolumn("T.DOC")/Customer', "/Customer"),
+        ("/already/plain", "/already/plain"),
+        ('doc("only.xml")', "/"),
+    ])
+    def test_stripping(self, text, expected):
+        assert strip_doc_function(text) == expected
+
+
+class TestXQueryParsing:
+    def test_simple_flwor(self):
+        ast = parse_xquery(
+            'for $i in doc("x")/site/regions/africa/item '
+            'where $i/quantity > 5 return $i/name')
+        assert len(ast.bindings) == 1
+        binding = ast.bindings[0]
+        assert binding.variable == "i"
+        assert binding.kind == "for"
+        assert binding.source.to_xpath() == "/site/regions/africa/item"
+        assert ast.where is not None
+        assert len(ast.return_paths) == 1
+        assert ast.return_paths[0].to_xpath() == "$i/name"
+
+    def test_multiple_for_bindings(self):
+        ast = parse_xquery(
+            'for $a in doc("x")/site/open_auctions/open_auction, '
+            '$p in doc("x")/site/people/person '
+            'where $a/seller/@person = "p1" return $a/current')
+        assert [b.variable for b in ast.bindings] == ["a", "p"]
+
+    def test_let_binding(self):
+        ast = parse_xquery(
+            'for $i in doc("x")/site/regions/africa/item '
+            'let $q := $i/quantity '
+            'where $q > 5 return $i/name')
+        kinds = [b.kind for b in ast.bindings]
+        assert kinds == ["for", "let"]
+        assert ast.bindings[1].source.variable == "i"
+
+    def test_order_by_clause(self):
+        ast = parse_xquery(
+            'for $i in doc("x")//item order by $i/name descending return $i/name')
+        assert len(ast.order_by) == 1
+        assert ast.order_by[0].to_xpath() == "$i/name"
+
+    def test_return_with_element_constructor(self):
+        ast = parse_xquery(
+            'for $i in doc("x")//item where $i/quantity > 5 '
+            'return <result>{$i/name}{$i/price}</result>')
+        rendered = {p.to_xpath() for p in ast.return_paths}
+        assert "$i/name" in rendered and "$i/price" in rendered
+
+    def test_binding_source_with_predicate(self):
+        ast = parse_xquery(
+            'for $p in doc("x")/site/people/person[profile/age > 30] return $p/name')
+        assert ast.bindings[0].source.has_predicates()
+
+    def test_plain_path_query(self):
+        ast = parse_xquery('doc("x.xml")/site/regions/africa/item/name')
+        assert ast.body_path is not None
+        assert not ast.bindings
+        assert ast.body_path.to_xpath() == "/site/regions/africa/item/name"
+
+    def test_where_with_conjunction(self):
+        ast = parse_xquery(
+            'for $i in doc("x")//item '
+            'where $i/quantity > 5 and $i/payment = "Cash" return $i')
+        assert ast.where is not None
+
+    @pytest.mark.parametrize("text", [
+        "",
+        "   ",
+        "for $i in return $i",
+        "for $i doc('x')/a return $i",           # missing 'in'
+        'for $i in doc("x")/a where $i/b > 1',   # missing return
+        "let $x = /a return $x",                  # '=' instead of ':='
+    ])
+    def test_malformed_queries_raise(self, text):
+        with pytest.raises(QueryParseError):
+            parse_xquery(text)
+
+
+class TestSqlXmlParsing:
+    def test_xmlexists_extraction(self):
+        ast = parse_sqlxml(
+            'SELECT id FROM orders WHERE XMLEXISTS('
+            '\'$d/FIXML/Order[@Side = "2"]\' PASSING orders.doc AS "d")')
+        assert len(ast.expressions) == 1
+        expression = ast.expressions[0]
+        assert expression.is_predicate
+        assert expression.passing_variable == "d"
+        assert expression.xpath_text.startswith("$d/FIXML/Order")
+
+    def test_xmlquery_extraction(self):
+        ast = parse_sqlxml(
+            "SELECT XMLQUERY('$d/Security/Price/LastTrade' PASSING doc AS \"d\") "
+            "FROM security")
+        assert len(ast.expressions) == 1
+        assert not ast.expressions[0].is_predicate
+
+    def test_multiple_embedded_expressions(self):
+        ast = parse_sqlxml(
+            "SELECT XMLQUERY('$d/Customer/Name' PASSING doc AS \"d\") FROM custacc "
+            "WHERE XMLEXISTS('$d/Customer[@id = \"7\"]' PASSING doc AS \"d\") "
+            "AND XMLEXISTS('$d/Customer[PremiumCustomer = \"true\"]' PASSING doc AS \"d\")")
+        predicates = [e for e in ast.expressions if e.is_predicate]
+        extractions = [e for e in ast.expressions if not e.is_predicate]
+        assert len(predicates) == 2 and len(extractions) == 1
+
+    def test_update_statement_flag(self):
+        ast = parse_sqlxml(
+            "INSERT INTO orders VALUES (XMLPARSE(DOCUMENT '<FIXML/>'))")
+        assert ast.is_update
+
+    def test_missing_xpath_literal_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_sqlxml("SELECT 1 FROM t WHERE XMLEXISTS(doc)")
+
+    def test_select_without_xml_functions_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_sqlxml("SELECT a FROM t WHERE b = 1")
+
+    def test_unbalanced_parentheses_raise(self):
+        with pytest.raises(QueryParseError):
+            parse_sqlxml("SELECT 1 FROM t WHERE XMLEXISTS('$d/a' PASSING doc AS \"d\"")
+
+    @pytest.mark.parametrize("text,expected", [
+        ("SELECT 1 FROM t WHERE XMLEXISTS('$d/a' PASSING d AS \"d\")", True),
+        ("for $i in doc('x')/a return $i", False),
+        ("/site/people/person", False),
+    ])
+    def test_looks_like_sqlxml(self, text, expected):
+        assert looks_like_sqlxml(text) is expected

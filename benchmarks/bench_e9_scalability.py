@@ -13,16 +13,17 @@ from __future__ import annotations
 
 import time
 
-from conftest import print_section
+from conftest import BENCH_SMOKE, MIN_SUMMARY_SPEEDUP, print_section
 
 from repro.advisor.advisor import XmlIndexAdvisor
 from repro.advisor.config import AdvisorParameters
+from repro.executor.measurement import measure_scan_modes
 from repro.tools.report import render_table
 from repro.workloads.synthetic import SyntheticWorkloadGenerator
 from repro.workloads.xmark import XMarkConfig, generate_xmark_database
 
-WORKLOAD_SIZES = (5, 10, 20, 40)
-DATABASE_SCALES = (0.05, 0.1, 0.25)
+WORKLOAD_SIZES = (5, 10) if BENCH_SMOKE else (5, 10, 20, 40)
+DATABASE_SCALES = (0.05, 0.1) if BENCH_SMOKE else (0.05, 0.1, 0.25)
 BUDGET_BYTES = 128 * 1024.0
 
 
@@ -86,3 +87,44 @@ def test_e9_database_scale_scaling(benchmark, xmark_train):
     assert all(r["seconds"] < 60.0 for r in rows)
     # Bigger databases benefit at least as much from indexing (scans cost more).
     assert rows[-1]["improvement_pct"] >= rows[0]["improvement_pct"] - 5.0
+
+
+def test_e9_summary_speedup_scaling(benchmark, xmark_train):
+    """Structural-summary scan speedup as the database scale grows.
+
+    The interpretive scan re-walks every node tree once per location
+    step, so its cost grows with total nodes; the summary answers the
+    same lookups from per-path dictionaries.  Expected shape: the
+    speedup holds (or grows) as the database gets bigger.
+    """
+    databases = {scale: generate_xmark_database(XMarkConfig(scale=scale, seed=42))
+                 for scale in DATABASE_SCALES}
+
+    def _sweep():
+        rows = []
+        for scale, database in databases.items():
+            measurements = measure_scan_modes(database, xmark_train)
+            interpretive = measurements["scan-interpretive"]
+            summary = measurements["scan-summary"]
+            rows.append({
+                "scale": scale,
+                "documents": database.statistics.document_count,
+                "interpretive_ms": interpretive.total_seconds * 1000,
+                "summary_ms": summary.total_seconds * 1000,
+                "speedup": (interpretive.total_seconds / summary.total_seconds
+                            if summary.total_seconds > 0 else float("inf")),
+                "equal": all(a.result_count == b.result_count
+                             for a, b in zip(interpretive.per_query,
+                                             summary.per_query)),
+            })
+        return rows
+
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["scale", "documents", "interpretive (ms)", "summary (ms)", "speedup"],
+        [[f"{r['scale']:.2f}", r["documents"], f"{r['interpretive_ms']:.1f}",
+          f"{r['summary_ms']:.1f}", f"{r['speedup']:.2f}x"] for r in rows])
+    print_section("E9c - structural-summary scan speedup vs. database scale", table)
+    assert all(r["equal"] for r in rows)
+    # At the largest scale the structural summary must be a clear win.
+    assert rows[-1]["speedup"] >= MIN_SUMMARY_SPEEDUP

@@ -28,10 +28,31 @@ from repro.workloads import (
     xmark_unseen_queries,
 )
 
+def _env_float(name: str, default: float) -> float:
+    """Read a float-valued env override (ignored when unparsable)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+#: Smoke mode (``REPRO_BENCH_SMOKE=1``) caps every workload size so the
+#: benchmark bodies double as fast regression checks; explicit
+#: ``REPRO_BENCH_XMARK_SCALE`` / ``REPRO_BENCH_TPOX_SCALE`` overrides win.
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").lower() not in ("", "0", "false")
+
 #: Scale used by the benchmarks: big enough that index plans clearly win,
 #: small enough that the whole benchmark suite runs in well under a minute.
-XMARK_SCALE = 0.25
-TPOX_SCALE = 0.25
+XMARK_SCALE = _env_float("REPRO_BENCH_XMARK_SCALE", 0.05 if BENCH_SMOKE else 0.25)
+TPOX_SCALE = _env_float("REPRO_BENCH_TPOX_SCALE", 0.05 if BENCH_SMOKE else 0.25)
+
+#: Minimum accepted scan-vs-summary speedup.  At the full benchmark
+#: scale the structural summary wins by ~10x, so 5x leaves headroom; at
+#: the tiny smoke scales runs are noisy and the floor is conservative.
+MIN_SUMMARY_SPEEDUP = 2.0 if BENCH_SMOKE else 5.0
 
 
 @pytest.fixture(scope="session")

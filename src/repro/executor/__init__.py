@@ -15,11 +15,16 @@ that reproducible:
 """
 
 from repro.executor.executor import ExecutionResult, QueryExecutor
-from repro.executor.measurement import WorkloadMeasurement, measure_workload
+from repro.executor.measurement import (
+    WorkloadMeasurement,
+    measure_scan_modes,
+    measure_workload,
+)
 
 __all__ = [
     "ExecutionResult",
     "QueryExecutor",
     "WorkloadMeasurement",
+    "measure_scan_modes",
     "measure_workload",
 ]

@@ -1,9 +1,13 @@
-"""Interpretive query executor over the document store.
+"""Query executor over the document store.
 
 Execution follows the optimizer's plan choice:
 
-* **Document scan plans** evaluate the query's predicates and extraction
-  paths against every document with the XPath evaluator.
+* **Document scan plans** check the query's predicates and extraction
+  paths against every document.  The per-document node sets come from
+  the collection's structural
+  :class:`~repro.storage.path_summary.PathSummary` (dictionary lookups)
+  whenever the path shape allows it; the interpretive XPath evaluator
+  handles the residue (see :mod:`repro.xpath.compiler`).
 * **Index plans** probe the physical indexes chosen by the optimizer to
   obtain candidate document ids, intersect them across predicates
   (index ANDing), and then evaluate the full query only on the
@@ -25,9 +29,12 @@ from repro.index.physical import PhysicalPathIndex, build_physical_index
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.plans import IndexScan, QueryPlan
 from repro.storage.document_store import XmlDatabase
-from repro.xmldb.nodes import DocumentNode
+from repro.storage.path_summary import PathSummary
+from repro.xmldb.nodes import DocumentNode, XmlNode
+from repro.xpath.compiler import compile_pattern
 from repro.xpath.evaluator import XPathEvaluator
 from repro.xpath.ast import BinaryOp
+from repro.xpath.patterns import PathPattern
 from repro.xquery.model import NormalizedQuery, PathPredicate
 from repro.xquery.normalizer import normalize_statement
 
@@ -53,15 +60,25 @@ class ExecutionResult:
 
 
 class QueryExecutor:
-    """Executes normalized queries against a database's documents."""
+    """Executes normalized queries against a database's documents.
+
+    ``use_path_summary`` selects the scan engine: ``True`` (default)
+    answers path lookups from each collection's structural
+    :class:`~repro.storage.path_summary.PathSummary`; ``False`` forces
+    the legacy per-document interpretive evaluation (kept for
+    benchmarking and equivalence testing).
+    """
 
     def __init__(self, database: XmlDatabase,
-                 optimizer: Optional[Optimizer] = None) -> None:
+                 optimizer: Optional[Optimizer] = None,
+                 use_path_summary: bool = True) -> None:
         self.database = database
         self.optimizer = optimizer or Optimizer(database)
+        self.use_path_summary = use_path_summary
         #: Physical index structures keyed by definition key.
         self._indexes: Dict[Tuple[str, str], PhysicalPathIndex] = {}
         self._doc_lookup: Dict[Tuple[str, int], DocumentNode] = {}
+        self._lookup_signature: Optional[Tuple[Tuple[str, int], ...]] = None
         self._refresh_document_lookup()
 
     # ------------------------------------------------------------------
@@ -84,6 +101,12 @@ class QueryExecutor:
                 built.append(physical.name)
         return built
 
+    def _rebuild_indexes(self) -> None:
+        """Re-materialize every built index against the current documents."""
+        for key, physical in list(self._indexes.items()):
+            self._indexes[key] = build_physical_index(physical.definition,
+                                                      self.database)
+
     def drop_all_indexes(self) -> None:
         """Drop every physical index (catalog entries and structures)."""
         for definition in list(self.database.catalog.physical_indexes):
@@ -105,6 +128,13 @@ class QueryExecutor:
             raise ValueError(
                 "the executor runs read queries; updates are costed by the optimizer")
         start = time.perf_counter()
+        if self._lookup_signature != self.database.data_signature():
+            # Documents were added/removed since the executor's derived
+            # state was built: refresh the document lookup and rebuild
+            # the materialized indexes, so index plans neither miss new
+            # documents nor return entries with reassigned document ids.
+            self._refresh_document_lookup()
+            self._rebuild_indexes()
         plan = self.optimizer.optimize(
             query, candidate_indexes=self.database.catalog.physical_indexes)
         if plan.uses_indexes and self._plan_indexes_materialized(plan):
@@ -125,9 +155,10 @@ class QueryExecutor:
         matching_docs = 0
         examined = 0
         for collection in self.database.collections:
+            summary = collection.path_summary if self.use_path_summary else None
             for document in collection:
                 examined += 1
-                if self._document_matches(document, query):
+                if self._document_matches(document, query, summary):
                     matching_docs += 1
         return ExecutionResult(query_id=query.query_id, result_count=matching_docs,
                                documents_examined=examined, index_entries_scanned=0,
@@ -156,12 +187,18 @@ class QueryExecutor:
         candidate_docs = candidate_docs or set()
         matching = 0
         examined = 0
+        summaries: Dict[str, Optional[PathSummary]] = {}
         for key in candidate_docs:
             document = self._doc_lookup.get(key)
             if document is None:
                 continue
+            collection_name = key[0]
+            if collection_name not in summaries:
+                summaries[collection_name] = (
+                    self.database.collection(collection_name).path_summary
+                    if self.use_path_summary else None)
             examined += 1
-            if self._document_matches(document, query):
+            if self._document_matches(document, query, summaries[collection_name]):
                 matching += 1
         return ExecutionResult(query_id=query.query_id, result_count=matching,
                                documents_examined=examined,
@@ -195,24 +232,37 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Residual evaluation
     # ------------------------------------------------------------------
-    def _document_matches(self, document: DocumentNode,
-                          query: NormalizedQuery) -> bool:
-        evaluator = XPathEvaluator(document)
+    def _document_matches(self, document: DocumentNode, query: NormalizedQuery,
+                          summary: Optional[PathSummary] = None) -> bool:
+        evaluator: Optional[XPathEvaluator] = None
+
+        def nodes_for(pattern: PathPattern) -> List[XmlNode]:
+            # Compiled patterns answer from the summary; without one
+            # (legacy mode) or for summary-unsafe ``//`` shapes, the
+            # compiled form delegates to the interpretive evaluator,
+            # which is created once per document and reused.
+            nonlocal evaluator
+            compiled = compile_pattern(pattern)
+            if evaluator is None and (summary is None
+                                      or not compiled.is_summary_backed):
+                evaluator = XPathEvaluator(document)
+            return compiled.select_nodes(summary, document, evaluator)
+
         for predicate in query.predicates:
-            if not self._predicate_holds(evaluator, predicate):
+            if not self._predicate_holds(nodes_for(predicate.pattern), predicate):
                 return False
         if not query.predicates:
             # Pure navigation query: the document qualifies when the first
             # extraction path is non-empty.
             for pattern in query.extraction_paths:
-                if evaluator.select_nodes(_pattern_to_xpath(pattern)):
+                if nodes_for(pattern):
                     return True
             return False
         return True
 
-    def _predicate_holds(self, evaluator: XPathEvaluator,
+    @staticmethod
+    def _predicate_holds(nodes: List[XmlNode],
                          predicate: PathPredicate) -> bool:
-        nodes = evaluator.select_nodes(_pattern_to_xpath(predicate.pattern))
         if predicate.op is None or predicate.value is None:
             return bool(nodes)
         for node in nodes:
@@ -225,11 +275,7 @@ class QueryExecutor:
         for collection in self.database.collections:
             for document in collection:
                 self._doc_lookup[(collection.name, document.doc_id)] = document
-
-
-def _pattern_to_xpath(pattern) -> str:
-    """Index patterns are already valid XPath location paths."""
-    return pattern.to_text()
+        self._lookup_signature = self.database.data_signature()
 
 
 def _compare_node(node, predicate: PathPredicate) -> bool:

@@ -87,3 +87,30 @@ def measure_workload(database: XmlDatabase,
         # later advisor runs start from a clean slate.
         indexed_executor.drop_all_indexes()
     return results
+
+
+def measure_scan_modes(database: XmlDatabase,
+                       workload: Union[Workload, Sequence[NormalizedQuery]]
+                       ) -> Dict[str, WorkloadMeasurement]:
+    """Execute ``workload`` as document scans under both scan engines.
+
+    Returns measurements keyed ``"scan-interpretive"`` (the legacy
+    per-document XPath interpreter) and ``"scan-summary"`` (path lookups
+    answered from each collection's structural path summary), so
+    benchmarks can report the structural-summary speedup.  No indexes
+    are used in either run.
+    """
+    if isinstance(workload, Workload):
+        queries = normalize_workload(workload)
+    else:
+        queries = list(workload)
+    queries = [q for q in queries if not q.is_update]
+
+    results: Dict[str, WorkloadMeasurement] = {}
+    for label, use_summary in (("scan-interpretive", False),
+                               ("scan-summary", True)):
+        executor = QueryExecutor(database, use_path_summary=use_summary)
+        executor.drop_all_indexes()
+        executor.execute_workload(queries)  # warm caches and summaries
+        results[label] = _run(executor, queries, label)
+    return results

@@ -17,7 +17,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.index.definition import IndexDefinition
 from repro.storage import pages
 from repro.storage.document_store import XmlDatabase
-from repro.xmldb.nodes import DocumentNode, NodeKind
+from repro.xmldb.nodes import NodeKind
 from repro.xpath.ast import BinaryOp
 from repro.xquery.model import ValueType
 
@@ -150,44 +150,40 @@ def build_physical_index(definition: IndexDefinition,
     index pattern contributes one entry keyed by its value (direct text
     for elements, attribute value for attributes).  DOUBLE indexes skip
     nodes whose value does not cast, matching DB2 semantics.
+
+    The candidate nodes come from each collection's structural
+    :class:`~repro.storage.path_summary.PathSummary`: the pattern is
+    matched once against the collection's distinct paths and only the
+    nodes on matching paths are visited, instead of re-walking every
+    document tree per index build.
     """
     index = PhysicalPathIndex(definition.as_physical())
     collections = database.collections
     if definition.collection is not None:
         collections = [database.collection(definition.collection)]
+    numeric = definition.value_type is ValueType.DOUBLE
     for collection in collections:
-        for document in collection:
-            _index_document(index, definition, collection.name, document)
+        summary = collection.path_summary
+        for path in summary.paths_matching(definition.pattern):
+            for doc_id, nodes in summary.doc_nodes_for_path(path).items():
+                for node in nodes:
+                    _insert_node(index, collection.name, doc_id, node, numeric)
     return index.finalize()
 
 
-def _index_document(index: PhysicalPathIndex, definition: IndexDefinition,
-                    collection_name: str, document: DocumentNode) -> None:
-    pattern = definition.pattern
-    numeric = definition.value_type is ValueType.DOUBLE
-    for element in document.descendant_elements():
-        path = element.simple_path()
-        if pattern.matches(path):
-            value = _direct_text(element)
-            key: Union[str, float, None]
-            if numeric:
-                key = element.double_value() if value else None
-            else:
-                key = " ".join(value.split())
-            if key is not None:
-                index.insert(key, collection_name, document.doc_id, element.node_id)
-        for attribute in element.attributes:
-            attr_path = attribute.simple_path()
-            if pattern.matches(attr_path):
-                if numeric:
-                    attr_key = attribute.double_value()
-                    if attr_key is None:
-                        continue
-                    index.insert(attr_key, collection_name, document.doc_id,
-                                 attribute.node_id)
-                else:
-                    index.insert(attribute.typed_value(), collection_name,
-                                 document.doc_id, attribute.node_id)
+def _insert_node(index: PhysicalPathIndex, collection_name: str, doc_id: int,
+                 node, numeric: bool) -> None:
+    key: Union[str, float, None]
+    if node.kind == NodeKind.ATTRIBUTE:
+        key = node.double_value() if numeric else node.typed_value()
+    else:
+        value = _direct_text(node)
+        if numeric:
+            key = node.double_value() if value else None
+        else:
+            key = " ".join(value.split())
+    if key is not None:
+        index.insert(key, collection_name, doc_id, node.node_id)
 
 
 def _direct_text(element) -> str:

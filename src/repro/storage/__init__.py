@@ -5,10 +5,16 @@ This package stands in for DB2's pureXML storage layer.  It provides:
 * :class:`~repro.storage.document_store.XmlCollection` and
   :class:`~repro.storage.document_store.XmlDatabase` -- named collections
   of XML documents (the analogue of tables with an XML column);
+* :class:`~repro.storage.path_summary.PathSummary` -- the structural
+  path index: one O(nodes) pass maps every distinct rooted simple path
+  to its element/attribute nodes per document.  Statistics collection,
+  physical index materialization and the executor's document-scan path
+  all share this summary instead of re-walking the node trees;
 * :class:`~repro.storage.statistics.DatabaseStatistics` -- the per-path
   synopsis (cardinalities, distinct values, value ranges, key widths)
   that RUNSTATS would gather and that both the optimizer's cost model and
-  the advisor's index-size estimation read;
+  the advisor's index-size estimation read.  It is derived from the
+  path summary and invalidated alongside it on document add/remove;
 * :class:`~repro.storage.catalog.Catalog` -- the system catalog holding
   physical and *virtual* index definitions.  Virtual indexes are the
   paper's central mechanism: they exist only in the catalog so the
@@ -20,10 +26,12 @@ This package stands in for DB2's pureXML storage layer.  It provides:
 from repro.storage.catalog import Catalog, CatalogError
 from repro.storage.document_store import StorageError, XmlCollection, XmlDatabase
 from repro.storage.pages import PAGE_SIZE_BYTES, bytes_to_pages, pages_to_bytes
+from repro.storage.path_summary import PathSummary, build_path_summary
 from repro.storage.statistics import (
     DatabaseStatistics,
     PathStatistics,
     collect_statistics,
+    collect_statistics_from_summary,
 )
 
 __all__ = [
@@ -32,10 +40,13 @@ __all__ = [
     "DatabaseStatistics",
     "PAGE_SIZE_BYTES",
     "PathStatistics",
+    "PathSummary",
     "StorageError",
     "XmlCollection",
     "XmlDatabase",
+    "build_path_summary",
     "bytes_to_pages",
     "collect_statistics",
+    "collect_statistics_from_summary",
     "pages_to_bytes",
 ]

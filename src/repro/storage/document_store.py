@@ -9,10 +9,14 @@ the advisor, and the executor are handed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.storage.catalog import Catalog
-from repro.storage.statistics import DatabaseStatistics, collect_statistics
+from repro.storage.path_summary import PathSummary, build_path_summary
+from repro.storage.statistics import (
+    DatabaseStatistics,
+    collect_statistics_from_summary,
+)
 from repro.xmldb.nodes import DocumentNode
 from repro.xmldb.parser import parse_document
 
@@ -28,6 +32,11 @@ class XmlCollection:
         self.name = name
         self._documents: List[DocumentNode] = []
         self._statistics: Optional[DatabaseStatistics] = None
+        self._summary: Optional[PathSummary] = None
+        #: Monotonic data version, bumped on every document add/remove so
+        #: consumers holding derived state (the executor's document
+        #: lookup, merged database statistics) can detect staleness.
+        self._version = 0
 
     # ------------------------------------------------------------------
     def add_document(self, document: Union[DocumentNode, str, bytes],
@@ -42,7 +51,7 @@ class XmlCollection:
         if document.node_id < 0:
             document.assign_node_ids()
         self._documents.append(document)
-        self._statistics = None  # invalidate
+        self._invalidate_derived()
         return document
 
     def add_documents(self, documents: Iterable[Union[DocumentNode, str, bytes]]) -> None:
@@ -56,7 +65,18 @@ class XmlCollection:
         del self._documents[doc_id]
         for index, document in enumerate(self._documents):
             document.doc_id = index
+        self._invalidate_derived()
+
+    def _invalidate_derived(self) -> None:
+        """Drop the cached statistics and path summary; bump the version."""
         self._statistics = None
+        self._summary = None
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Data version: increments whenever a document is added/removed."""
+        return self._version
 
     # ------------------------------------------------------------------
     @property
@@ -76,15 +96,31 @@ class XmlCollection:
 
     # ------------------------------------------------------------------
     @property
+    def path_summary(self) -> PathSummary:
+        """The structural path summary (built lazily in one O(nodes) pass).
+
+        Invalidated together with the statistics whenever a document is
+        added or removed; do not hold a summary across such updates.
+        """
+        if self._summary is None:
+            self._summary = build_path_summary(self._documents)
+        return self._summary
+
+    @property
     def statistics(self) -> DatabaseStatistics:
-        """The path synopsis for this collection (collected lazily, cached)."""
+        """The path synopsis for this collection (collected lazily, cached).
+
+        Derived from :attr:`path_summary`, so statistics collection and
+        structural lookups share a single traversal of the documents.
+        """
         if self._statistics is None:
-            self._statistics = collect_statistics(self._documents)
+            self._statistics = collect_statistics_from_summary(self.path_summary)
         return self._statistics
 
     def invalidate_statistics(self) -> None:
-        """Force statistics to be re-collected (after bulk document edits)."""
-        self._statistics = None
+        """Force statistics and the path summary to be re-collected
+        (after bulk in-place document edits)."""
+        self._invalidate_derived()
 
 
 class XmlDatabase:
@@ -100,6 +136,7 @@ class XmlDatabase:
         self._collections: Dict[str, XmlCollection] = {}
         self.catalog = Catalog()
         self._merged_statistics: Optional[DatabaseStatistics] = None
+        self._merged_signature: Optional[Tuple[Tuple[str, int], ...]] = None
 
     # ------------------------------------------------------------------
     # Collections
@@ -143,19 +180,39 @@ class XmlDatabase:
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+    def data_signature(self) -> Tuple[Tuple[str, int], ...]:
+        """A cheap fingerprint of the database contents.
+
+        Changes whenever a collection is created or any collection's
+        documents change; consumers (merged statistics, the executor's
+        document lookup) compare signatures to detect staleness.
+        """
+        return tuple(sorted((collection.name, collection.version)
+                            for collection in self._collections.values()))
+
     @property
     def statistics(self) -> DatabaseStatistics:
-        """Merged statistics over every collection (the optimizer's view)."""
-        if self._merged_statistics is None:
+        """Merged statistics over every collection (the optimizer's view).
+
+        Recomputed automatically when any collection's documents change
+        -- including documents added directly via
+        ``collection.add_document`` -- so the optimizer never costs plans
+        against a stale synopsis.
+        """
+        signature = self.data_signature()
+        if self._merged_statistics is None or signature != self._merged_signature:
             merged = DatabaseStatistics()
             for collection in self._collections.values():
                 merged.merge(collection.statistics)
             self._merged_statistics = merged
+            self._merged_signature = signature
         return self._merged_statistics
 
     def invalidate_statistics(self) -> None:
-        """Invalidate cached statistics on the database and all collections."""
+        """Invalidate cached statistics (and path summaries) on the
+        database and all collections."""
         self._merged_statistics = None
+        self._merged_signature = None
         for collection in self._collections.values():
             collection.invalidate_statistics()
 

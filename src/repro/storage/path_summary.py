@@ -1,0 +1,201 @@
+"""Structural path summary: the per-collection path index of the engine.
+
+A :class:`PathSummary` maps every distinct rooted *simple path* that
+occurs in a set of documents (``/site/regions/africa/item``,
+``/site/people/person/@id``, ...) to the element/attribute nodes that
+carry it, grouped per document.  It is built in a single O(nodes) pass
+and is exactly the structural synopsis the paper's "Cost estimation
+using DB statistics" component assumes: statistics collection
+(:func:`repro.storage.statistics.collect_statistics_from_summary`),
+physical index materialization
+(:func:`repro.index.physical.build_physical_index`) and the executor's
+document-scan path all read it instead of re-walking node trees.
+
+The summary answers two kinds of questions:
+
+* *path lookups* -- the nodes with one concrete simple path, optionally
+  restricted to one document;
+* *pattern lookups* -- the nodes matched by a linear
+  :class:`~repro.xpath.patterns.PathPattern` (wildcards and ``//``
+  allowed).  Pattern-to-path matching is memoized per summary, so a
+  workload that probes the same patterns over many documents pays the
+  NFA match once.
+
+Invalidation contract: a summary is immutable once built.  It is cached
+on :class:`~repro.storage.document_store.XmlCollection` and invalidated
+together with the collection's statistics whenever a document is added
+or removed; consumers must therefore re-fetch
+``collection.path_summary`` instead of holding one across updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.xmldb.nodes import DocumentNode, XmlNode
+from repro.xpath.patterns import PathPattern
+
+#: Shared empty list returned by lookups that match nothing.  Callers
+#: must treat lookup results as read-only.
+_NO_NODES: List[XmlNode] = []
+
+
+class PathSummary:
+    """Maps each distinct rooted simple path to its nodes, per document.
+
+    Instances are built with :func:`build_path_summary` (or by repeated
+    :meth:`add_document` calls) and are then treated as immutable.
+    """
+
+    def __init__(self) -> None:
+        #: path -> doc key -> nodes with that path, in document order.
+        self._doc_nodes: Dict[str, Dict[int, List[XmlNode]]] = {}
+        #: Memo of pattern -> tuple of matching distinct paths.
+        self._pattern_paths: Dict[PathPattern, Tuple[str, ...]] = {}
+        self.document_count = 0
+        self.total_element_count = 0
+        self.total_attribute_count = 0
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def add_document(self, document: DocumentNode,
+                     doc_key: Optional[int] = None) -> None:
+        """Fold one document into the summary (one pass over its nodes).
+
+        ``doc_key`` defaults to ``document.doc_id`` (the key the executor
+        looks nodes up by); callers summarizing documents that do not
+        live in a collection pass an explicit key.
+        """
+        key = document.doc_id if doc_key is None else doc_key
+        self.document_count += 1
+        doc_nodes = self._doc_nodes
+        for element in document.descendant_elements():
+            self._add(doc_nodes, element.simple_path(), key, element)
+            self.total_element_count += 1
+            for attribute in element.attributes:
+                self._add(doc_nodes, attribute.simple_path(), key, attribute)
+                self.total_attribute_count += 1
+        self._pattern_paths.clear()
+
+    @staticmethod
+    def _add(doc_nodes: Dict[str, Dict[int, List[XmlNode]]], path: str,
+             key: int, node: XmlNode) -> None:
+        per_doc = doc_nodes.get(path)
+        if per_doc is None:
+            per_doc = doc_nodes[path] = {}
+        nodes = per_doc.get(key)
+        if nodes is None:
+            nodes = per_doc[key] = []
+        nodes.append(node)
+
+    # ------------------------------------------------------------------
+    # Path lookups
+    # ------------------------------------------------------------------
+    @property
+    def distinct_paths(self) -> List[str]:
+        """The distinct simple paths, sorted."""
+        return sorted(self._doc_nodes)
+
+    @property
+    def path_count(self) -> int:
+        return len(self._doc_nodes)
+
+    def has_path(self, path: str) -> bool:
+        return path in self._doc_nodes
+
+    def nodes_for_path(self, path: str,
+                       doc_id: Optional[int] = None) -> List[XmlNode]:
+        """Nodes with simple path ``path`` (in one document, or all).
+
+        The returned list must be treated as read-only.
+        """
+        per_doc = self._doc_nodes.get(path)
+        if per_doc is None:
+            return _NO_NODES
+        if doc_id is not None:
+            return per_doc.get(doc_id, _NO_NODES)
+        merged: List[XmlNode] = []
+        for nodes in per_doc.values():
+            merged.extend(nodes)
+        return merged
+
+    def doc_nodes_for_path(self, path: str) -> Dict[int, List[XmlNode]]:
+        """The per-document node lists for ``path`` (read-only)."""
+        return self._doc_nodes.get(path, {})
+
+    # ------------------------------------------------------------------
+    # Pattern lookups
+    # ------------------------------------------------------------------
+    def paths_matching(self, pattern: PathPattern) -> Tuple[str, ...]:
+        """The distinct paths matched by ``pattern`` (memoized)."""
+        cached = self._pattern_paths.get(pattern)
+        if cached is None:
+            cached = tuple(path for path in self._doc_nodes
+                           if pattern.matches(path))
+            self._pattern_paths[pattern] = cached
+        return cached
+
+    def nodes_for_pattern(self, pattern: PathPattern,
+                          doc_id: Optional[int] = None) -> List[XmlNode]:
+        """Nodes matched by ``pattern`` (in one document, or all).
+
+        The returned list must be treated as read-only.
+        """
+        paths = self.paths_matching(pattern)
+        if not paths:
+            return _NO_NODES
+        if len(paths) == 1:
+            return self.nodes_for_path(paths[0], doc_id)
+        merged: List[XmlNode] = []
+        for path in paths:
+            nodes = self.nodes_for_path(path, doc_id)
+            if nodes:
+                merged.extend(nodes)
+        return merged
+
+    def has_match(self, pattern: PathPattern,
+                  doc_id: Optional[int] = None) -> bool:
+        """Existence test: does any node match ``pattern`` (in ``doc_id``)?"""
+        paths = self.paths_matching(pattern)
+        if doc_id is None:
+            return bool(paths)
+        return any(doc_id in self._doc_nodes[path] for path in paths)
+
+    def document_ids_for_pattern(self, pattern: PathPattern) -> Set[int]:
+        """The document keys containing at least one matching node."""
+        ids: Set[int] = set()
+        for path in self.paths_matching(pattern):
+            ids.update(self._doc_nodes[path])
+        return ids
+
+    def node_count_for_pattern(self, pattern: PathPattern) -> int:
+        """Number of nodes matched by ``pattern`` across all documents."""
+        total = 0
+        for path in self.paths_matching(pattern):
+            for nodes in self._doc_nodes[path].values():
+                total += len(nodes)
+        return total
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (f"path summary: {self.document_count} document(s), "
+                f"{self.path_count} distinct paths, "
+                f"{self.total_element_count} elements, "
+                f"{self.total_attribute_count} attributes")
+
+
+def build_path_summary(documents: Iterable[DocumentNode],
+                       renumber: bool = False) -> PathSummary:
+    """Build a :class:`PathSummary` over ``documents`` in one pass.
+
+    With ``renumber=True`` the documents are keyed by their position in
+    the iterable instead of their ``doc_id`` -- used when summarizing
+    documents that have not been added to a collection (whose ids may
+    all still be ``-1``).
+    """
+    summary = PathSummary()
+    for position, document in enumerate(documents):
+        summary.add_document(document,
+                             doc_key=position if renumber else None)
+    return summary

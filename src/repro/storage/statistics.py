@@ -9,7 +9,10 @@ statistics DB2 collects and the paper's cost estimation relies on
 ("Cost estimation using DB statistics" in Figure 1).
 
 Statistics are collected once per collection and merged per database;
-collection is O(total nodes).
+collection is O(total nodes).  Collection no longer walks the node trees
+itself: it derives the synopsis from the collection's structural
+:class:`~repro.storage.path_summary.PathSummary`, so statistics, index
+builds and scan execution all share one traversal of the data.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.storage.path_summary import PathSummary, build_path_summary
 from repro.xmldb.nodes import DocumentNode, NodeKind
 from repro.xpath.ast import BinaryOp
 from repro.xpath.patterns import PathPattern
@@ -251,28 +255,46 @@ def collect_statistics(documents: Iterable[DocumentNode]) -> DatabaseStatistics:
     descendant text is *not* used: only direct text children count as the
     element's indexable value, matching how leaf-value indexes behave);
     attribute paths record the attribute value.
+
+    The documents are summarized in one structural pass and the synopsis
+    is derived from the summary (see
+    :func:`collect_statistics_from_summary`).
+    """
+    return collect_statistics_from_summary(
+        build_path_summary(documents, renumber=True))
+
+
+def collect_statistics_from_summary(summary: PathSummary) -> DatabaseStatistics:
+    """Derive the path synopsis from an already-built structural summary.
+
+    This is the shared-traversal entry point: the collection builds its
+    :class:`~repro.storage.path_summary.PathSummary` once, and
+    statistics are computed from the summary's per-path node lists
+    without touching the document trees again (apart from reading each
+    node's direct text value).
     """
     stats = DatabaseStatistics()
     value_sets: Dict[str, set] = {}
     docs_seen: Dict[str, set] = {}
 
-    for doc_index, document in enumerate(documents):
-        stats.document_count += 1
-        stats.total_node_count += 1  # the document node itself
-        for element in document.descendant_elements():
-            path = element.simple_path()
-            stats.total_node_count += 1
-            stats.total_element_count += 1
-            direct_text = "".join(child.value for child in element.children
-                                  if child.kind == NodeKind.TEXT).strip()
-            _record(stats, value_sets, docs_seen, path, direct_text, doc_index)
-            stats.total_text_bytes += len(direct_text)
-            for attribute in element.attributes:
-                attr_path = attribute.simple_path()
+    stats.document_count = summary.document_count
+    stats.total_node_count = summary.document_count  # the document nodes
+    for path in summary.distinct_paths:
+        for doc_key, nodes in summary.doc_nodes_for_path(path).items():
+            for node in nodes:
                 stats.total_node_count += 1
-                _record(stats, value_sets, docs_seen, attr_path,
-                        attribute.value.strip(), doc_index)
-                stats.total_text_bytes += len(attribute.value)
+                if node.kind == NodeKind.ATTRIBUTE:
+                    _record(stats, value_sets, docs_seen, path,
+                            node.value.strip(), doc_key)
+                    stats.total_text_bytes += len(node.value)
+                else:
+                    stats.total_element_count += 1
+                    direct_text = "".join(
+                        child.value for child in node.children
+                        if child.kind == NodeKind.TEXT).strip()
+                    _record(stats, value_sets, docs_seen, path,
+                            direct_text, doc_key)
+                    stats.total_text_bytes += len(direct_text)
 
     for path, values in value_sets.items():
         stats.path_stats[path].distinct_values = len(values)

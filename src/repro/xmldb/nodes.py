@@ -63,6 +63,7 @@ class XmlNode:
         "attributes",
         "node_id",
         "_simple_path",
+        "_typed_value",
     )
 
     def __init__(self, kind: NodeKind, name: str = "", value: str = "") -> None:
@@ -74,6 +75,7 @@ class XmlNode:
         self.attributes: List[AttributeNode] = []
         self.node_id: int = -1
         self._simple_path: Optional[str] = None
+        self._typed_value: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Tree construction
@@ -86,13 +88,27 @@ class XmlNode:
             raise XmlNodeError("attributes must be added with set_attribute()")
         child.parent = self
         self.children.append(child)
+        self._invalidate_cached_values()
         return child
+
+    def _invalidate_cached_values(self) -> None:
+        """Drop the cached typed value of this node and its ancestors.
+
+        Called on every structural mutation; an element's typed value
+        concatenates descendant text, so appending a child can change
+        the value of every ancestor.
+        """
+        node: Optional[XmlNode] = self
+        while node is not None:
+            node._typed_value = None
+            node = node.parent
 
     def set_attribute(self, name: str, value: str) -> "AttributeNode":
         """Add (or replace) an attribute and return its node."""
         for existing in self.attributes:
             if existing.name == name:
                 existing.value = value
+                existing._typed_value = None
                 return existing
         attr = AttributeNode(name, value)
         attr.parent = self
@@ -168,8 +184,18 @@ class XmlNode:
         return "".join(parts)
 
     def typed_value(self) -> str:
-        """Whitespace-normalized string value used as index key."""
-        return " ".join(self.string_value().split())
+        """Whitespace-normalized string value used as index key.
+
+        Cached: scan predicates, index builds and statistics all read
+        the same values repeatedly.  The cache is invalidated by
+        :meth:`append_child` / :meth:`set_attribute` (structural
+        mutations walk the ancestor chain, since an element's value
+        concatenates descendant text).
+        """
+        cached = self._typed_value
+        if cached is None:
+            cached = self._typed_value = " ".join(self.string_value().split())
+        return cached
 
     def double_value(self) -> Optional[float]:
         """The value cast to DOUBLE, or ``None`` if it is not numeric.
@@ -190,24 +216,34 @@ class XmlNode:
 
         Attribute nodes get a trailing ``@name`` step
         (``/site/regions/africa/item/@id``).  Text nodes share the path
-        of their parent element.  The result is cached because paths are
-        requested heavily by statistics collection and index building.
+        of their parent element.  The result is cached, and the parent's
+        cached path is reused, so computing the paths of a whole document
+        (as statistics collection, path-summary construction and index
+        building do) is O(nodes) rather than O(nodes x depth).
         """
         if self._simple_path is not None:
             return self._simple_path
         if self.kind == NodeKind.DOCUMENT:
             self._simple_path = "/"
             return self._simple_path
-        steps: List[str] = []
-        node: Optional[XmlNode] = self
-        while node is not None and node.kind != NodeKind.DOCUMENT:
-            if node.kind == NodeKind.ELEMENT:
-                steps.append(node.name)
-            elif node.kind == NodeKind.ATTRIBUTE:
-                steps.append("@" + node.name)
+        if self.kind == NodeKind.ELEMENT:
+            own: Optional[str] = self.name
+        elif self.kind == NodeKind.ATTRIBUTE:
+            own = "@" + self.name
+        else:
             # text/comment/PI nodes contribute no step of their own
-            node = node.parent
-        path = "/" + "/".join(reversed(steps)) if steps else "/"
+            own = None
+        parent = self.parent
+        if parent is None:
+            parent_path = "/"
+        else:
+            parent_path = parent.simple_path()
+        if own is None:
+            path = parent_path
+        elif parent_path == "/":
+            path = "/" + own
+        else:
+            path = parent_path + "/" + own
         self._simple_path = path
         return path
 

@@ -86,6 +86,12 @@ class Literal(PathExpr):
 
     def to_xpath(self) -> str:
         if isinstance(self.value, float):
+            # int(inf)/int(nan) raise; render non-finite literals the way
+            # XPath 1.0 strings them.
+            if self.value != self.value:
+                return "NaN"
+            if self.value in (float("inf"), float("-inf")):
+                return "Infinity" if self.value > 0 else "-Infinity"
             if self.value == int(self.value):
                 return str(int(self.value))
             return repr(self.value)

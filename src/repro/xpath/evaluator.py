@@ -117,7 +117,7 @@ class XPathEvaluator:
         return current
 
     def _step_candidates(self, node: XmlNode, step: Step) -> Iterable[XmlNode]:
-        if step.axis is Axis.ATTRIBUTE:
+        if step.axis is Axis.ATTRIBUTE or step.node_test.startswith("@"):
             yield from self._attribute_candidates(node, step)
             return
         if step.axis is Axis.DESCENDANT_OR_SELF:
@@ -137,22 +137,44 @@ class XPathEvaluator:
                 yield element
 
     def _attribute_candidates(self, node: XmlNode, step: Step) -> Iterable[XmlNode]:
-        # ``//@id`` and ``/a/@id`` both funnel through here: the previous
-        # step already determined the owning elements, except for the
-        # ``//@x`` form where the attribute step itself is descendant.
+        # ``//@id`` and ``/a/@id`` both funnel through here.  The parser
+        # normalizes descendant attribute steps into ``//*`` + ``@x``, so
+        # a plain attribute step only inspects the context node's own
+        # attributes -- but directly-constructed ASTs may carry a
+        # descendant-or-self attribute step, which must enumerate the
+        # attributes of the context node *and* all descendant elements.
+        name_test = step.node_test
+        if name_test.startswith("@"):
+            name_test = name_test[1:]
+        wildcard = name_test == "*"
         owners: Iterable[XmlNode]
-        owners = [node]
+        if step.axis is Axis.DESCENDANT_OR_SELF:
+            owners = node.descendant_elements(
+                include_self=node.kind == NodeKind.ELEMENT)
+        else:
+            owners = (node,)
         for owner in owners:
             for attr in owner.attributes:
-                if step.is_wildcard or attr.name == step.node_test:
+                if wildcard or attr.name == name_test:
                     yield attr
 
-    def _passes_predicates(self, node: XmlNode, predicates: Sequence[Predicate]) -> bool:
+    def passes_predicates(self, node: XmlNode,
+                          predicates: Sequence[Predicate]) -> bool:
+        """Does ``node`` satisfy every predicate (with itself as context)?
+
+        Public because the compiled path engine
+        (:mod:`repro.xpath.compiler`) delegates residual predicate
+        evaluation here after answering the path spine from the
+        structural summary.
+        """
         for predicate in predicates:
             value = self._evaluate(predicate.expression, node)
             if not _to_boolean(value):
                 return False
         return True
+
+    # Backwards-compatible alias (pre-compiler internal name).
+    _passes_predicates = passes_predicates
 
     # ------------------------------------------------------------------
     # Comparisons
@@ -225,6 +247,15 @@ def _to_string(value: XPathValue) -> str:
     if isinstance(value, bool):
         return "true" if value else "false"
     if isinstance(value, float):
+        # Guard non-finite floats: int(inf) raises OverflowError and
+        # int(nan) raises ValueError.  XPath 1.0 renders them as
+        # Infinity / -Infinity / NaN.
+        if value != value:  # NaN compares unequal to itself
+            return "NaN"
+        if value == float("inf"):
+            return "Infinity"
+        if value == float("-inf"):
+            return "-Infinity"
         if value == int(value):
             return str(int(value))
         return str(value)

@@ -17,6 +17,8 @@ if _SRC not in sys.path:
 import pytest
 
 from repro.storage import XmlDatabase
+
+
 from repro.workloads import (
     TpoxConfig,
     XMarkConfig,
@@ -27,30 +29,16 @@ from repro.workloads import (
 )
 from repro.xquery.model import Workload
 
-#: A small hand-written document used by many unit tests: predictable
-#: values, both elements and attributes, two regions.
-TINY_SITE_XML = """
-<site>
-  <regions>
-    <africa>
-      <item id="i1"><quantity>7</quantity><price>120.5</price>
-        <name>carved mask</name><payment>Creditcard</payment></item>
-      <item id="i2"><quantity>2</quantity><price>30.0</price>
-        <name>drum</name><payment>Cash</payment></item>
-    </africa>
-    <namerica>
-      <item id="i3"><quantity>9</quantity><price>450.0</price>
-        <name>vintage lamp</name><payment>Creditcard</payment></item>
-    </namerica>
-  </regions>
-  <people>
-    <person id="p1"><name>Alice</name>
-      <profile income="95000.0"><age>34</age></profile></person>
-    <person id="p2"><name>Bob</name>
-      <profile income="42000.0"><age>67</age></profile></person>
-  </people>
-</site>
-"""
+from _support import TINY_SITE_XML, build_varied_database
+
+__all__ = ["TINY_SITE_XML", "build_varied_database"]
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: env-capped benchmark smoke checks (perf regressions in "
+        "the structural path-summary subsystem); deselect with -m 'not bench_smoke'")
 
 
 @pytest.fixture
@@ -72,41 +60,6 @@ def tiny_database(tiny_document):
     return database
 
 
-def build_varied_database(documents: int = 120, name: str = "varied") -> XmlDatabase:
-    """A mid-sized database with the tiny <site> schema but varied values.
-
-    Unlike ``tiny_database`` (three identical documents, where scanning is
-    always the best plan), this database has enough documents and value
-    diversity that selective predicates genuinely benefit from indexes --
-    which is what the optimizer/advisor behaviour tests need.
-    """
-    from repro.xmldb.nodes import build_document
-
-    regions = ["africa", "namerica", "asia", "europe"]
-    payments = ["Creditcard", "Cash"]
-    locations = ["United States", "Germany", "Egypt", "Japan"]
-    database = XmlDatabase(name)
-    collection = database.create_collection("site")
-    for d in range(documents):
-        doc, site = build_document("site")
-        region = site.add_element("regions").add_element(regions[d % len(regions)])
-        for k in range(5):
-            item = region.add_element("item", attributes={"id": f"item{d}_{k}"})
-            item.add_element("quantity", str(((d * 13 + k * 7) % 100) + 1))
-            item.add_element("price", f"{((d * 17 + k * 29) % 500) + 1}.0")
-            item.add_element("name", f"thing {d} {k}")
-            item.add_element("payment", payments[(d + k) % 2])
-            item.add_element("location", locations[(d + k) % len(locations)])
-        people = site.add_element("people")
-        for k in range(2):
-            person = people.add_element("person", attributes={"id": f"p{2 * d + k}"})
-            person.add_element("name", f"Person {d} {k}")
-            profile = person.add_element("profile", attributes={
-                "income": f"{10000 + ((d * 37 + k * 11) % 200) * 1000}.0"})
-            profile.add_element("age", str(18 + ((d + k * 31) % 72)))
-        doc.assign_node_ids()
-        collection.add_document(doc)
-    return database
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,98 @@
+"""Benchmark smoke checks: env-capped perf regression guards for tier 1.
+
+The real experiment benchmarks (``benchmarks/bench_e*.py``) run at
+scales that take tens of seconds.  These smoke checks exercise the same
+measurement paths at tiny, environment-overridable sizes so a perf
+regression in the structural path-summary subsystem fails the ordinary
+test run within a couple of seconds.
+
+Sizes are capped by environment variables:
+
+``REPRO_SMOKE_XMARK_SCALE``
+    XMark database scale for the smoke run (default ``0.05``).
+``REPRO_SMOKE_MIN_SPEEDUP``
+    Minimum accepted scan-vs-summary speedup (default ``1.5``; the full
+    benchmarks assert >= 5x at their larger scales, the smoke floor is
+    deliberately conservative because tiny runs on loaded or
+    instrumented CI are noisy -- a genuine subsystem regression drops
+    the ratio to ~1x or below, which even the soft floor catches).
+
+Deselect with ``-m "not bench_smoke"`` if an environment is too noisy
+for any timing assertion.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.executor.measurement import measure_scan_modes, measure_workload
+from repro.workloads.xmark import (
+    XMarkConfig,
+    generate_xmark_database,
+    xmark_query_workload,
+)
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+SMOKE_SCALE = _env_float("REPRO_SMOKE_XMARK_SCALE", 0.05)
+MIN_SPEEDUP = _env_float("REPRO_SMOKE_MIN_SPEEDUP", 1.5)
+
+
+@pytest.fixture(scope="module")
+def smoke_db():
+    return generate_xmark_database(XMarkConfig(scale=SMOKE_SCALE, seed=42))
+
+
+@pytest.fixture(scope="module")
+def smoke_workload():
+    return xmark_query_workload(name="smoke-train")
+
+
+def test_smoke_summary_scan_faster_and_equivalent(smoke_db, smoke_workload):
+    """The structural-summary scan must beat the interpretive scan and
+    return identical per-query result counts (E5b at smoke scale)."""
+    best_speedup = 0.0
+    for _ in range(3):  # best-of-3 damps scheduler noise on tiny runs
+        measurements = measure_scan_modes(smoke_db, smoke_workload)
+        interpretive = measurements["scan-interpretive"]
+        summary = measurements["scan-summary"]
+        for interp_row, summary_row in zip(interpretive.per_query,
+                                           summary.per_query):
+            assert interp_row.result_count == summary_row.result_count
+        if summary.total_seconds > 0:
+            best_speedup = max(best_speedup,
+                               interpretive.total_seconds / summary.total_seconds)
+        else:
+            best_speedup = float("inf")
+    assert best_speedup >= MIN_SPEEDUP, (
+        f"structural-summary scan speedup regressed: best-of-3 "
+        f"{best_speedup:.2f}x < {MIN_SPEEDUP:.1f}x at scale {SMOKE_SCALE}")
+
+
+def test_smoke_index_measurement_consistent(smoke_db, smoke_workload):
+    """measure_workload still agrees between scan and summary-backed
+    residual evaluation at smoke scale (E5 shape, no recommendation)."""
+    from repro.index.definition import IndexConfiguration, IndexDefinition
+    from repro.xquery.model import ValueType
+
+    configuration = IndexConfiguration([
+        IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR),
+        IndexDefinition.create("/site/regions/*/item/quantity", ValueType.DOUBLE),
+    ])
+    measurements = measure_workload(smoke_db, smoke_workload, configuration)
+    baseline = measurements["no-indexes"]
+    indexed = measurements["recommended"]
+    assert indexed.queries_using_indexes >= 1
+    for base_row, indexed_row in zip(baseline.per_query, indexed.per_query):
+        assert base_row.result_count == indexed_row.result_count
+    assert smoke_db.catalog.physical_indexes == []

@@ -1,0 +1,328 @@
+"""Tests for the structural path-summary subsystem and the XPath compiler.
+
+Covers:
+
+* :class:`repro.storage.path_summary.PathSummary` construction, lookup
+  semantics and the collection-level invalidation contract;
+* :mod:`repro.xpath.compiler` lowering rules, fallback classification
+  and the parse/compile LRU caches;
+* node-set equivalence between compiled summary lookups and the
+  interpretive :class:`~repro.xpath.evaluator.XPathEvaluator` across
+  the synthetic and XMark workloads (the property the executor's
+  summary-backed scan engine relies on);
+* statistics derived from the summary matching the direct collection
+  path;
+* executor behaviour: summary scans vs. legacy interpretive scans, and
+  physical index builds sourced from the summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import TINY_SITE_XML, build_varied_database
+from repro.executor.executor import QueryExecutor
+from repro.index.definition import IndexDefinition
+from repro.storage import XmlDatabase
+from repro.storage.path_summary import PathSummary, build_path_summary
+from repro.storage.statistics import (
+    collect_statistics,
+    collect_statistics_from_summary,
+)
+from repro.workloads.synthetic import SyntheticWorkloadGenerator
+from repro.xmldb import parse_document
+from repro.xpath.compiler import (
+    clear_compiler_caches,
+    compile_xpath,
+    parse_xpath_cached,
+    pattern_summary_safe,
+)
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.patterns import PathPattern
+from repro.xquery.model import ValueType
+from repro.xquery.normalizer import normalize_workload
+
+
+# ----------------------------------------------------------------------
+# PathSummary core
+# ----------------------------------------------------------------------
+class TestPathSummary:
+    def test_build_counts_and_paths(self, tiny_document):
+        summary = build_path_summary([tiny_document], renumber=True)
+        assert summary.document_count == 1
+        assert summary.has_path("/site/regions/africa/item")
+        assert summary.has_path("/site/people/person/@id")
+        assert not summary.has_path("/site/nowhere")
+        # 3 items, 2 persons carry @id.
+        assert len(summary.nodes_for_path("/site/regions/africa/item")) == 2
+        assert summary.total_element_count == sum(
+            1 for _ in tiny_document.descendant_elements())
+
+    def test_pattern_lookup_with_wildcards_and_descendants(self, tiny_document):
+        summary = build_path_summary([tiny_document], renumber=True)
+        items = summary.nodes_for_pattern(PathPattern.parse("/site/regions/*/item"))
+        assert len(items) == 3
+        ids = summary.nodes_for_pattern(PathPattern.parse("//@id"))
+        assert sorted(n.value for n in ids) == ["i1", "i2", "i3", "p1", "p2"]
+        assert summary.node_count_for_pattern(PathPattern.parse("//item")) == 3
+
+    def test_per_document_lookup_and_document_ids(self):
+        database = XmlDatabase("t")
+        collection = database.create_collection("site")
+        collection.add_document(parse_document(TINY_SITE_XML))
+        collection.add_document(parse_document("<site><people/></site>"))
+        summary = collection.path_summary
+        pattern = PathPattern.parse("//item")
+        assert summary.document_ids_for_pattern(pattern) == {0}
+        assert summary.nodes_for_pattern(pattern, doc_id=1) == []
+        assert summary.has_match(pattern, doc_id=0)
+        assert not summary.has_match(pattern, doc_id=1)
+
+    def test_collection_invalidates_summary_on_add_and_remove(self):
+        database = XmlDatabase("t")
+        collection = database.create_collection("site")
+        collection.add_document(parse_document(TINY_SITE_XML))
+        first = collection.path_summary
+        assert collection.path_summary is first  # cached
+        version = collection.version
+        collection.add_document(parse_document(TINY_SITE_XML))
+        assert collection.version > version
+        second = collection.path_summary
+        assert second is not first
+        assert second.document_count == 2
+        collection.remove_document(0)
+        assert collection.path_summary.document_count == 1
+
+    def test_invalidate_statistics_also_drops_summary(self):
+        database = XmlDatabase("t")
+        collection = database.create_collection("site")
+        collection.add_document(parse_document(TINY_SITE_XML))
+        first = collection.path_summary
+        collection.invalidate_statistics()
+        assert collection.path_summary is not first
+
+    def test_describe_mentions_counts(self, tiny_document):
+        summary = build_path_summary([tiny_document], renumber=True)
+        text = summary.describe()
+        assert "distinct paths" in text and "1 document(s)" in text
+
+
+# ----------------------------------------------------------------------
+# Statistics share the summary traversal
+# ----------------------------------------------------------------------
+class TestStatisticsFromSummary:
+    def test_summary_statistics_match_direct_collection(self):
+        docs = [parse_document(TINY_SITE_XML),
+                parse_document("<site><people><person id='x'>"
+                               "<name>Zoe</name></person></people></site>")]
+        direct = collect_statistics(docs)
+        via_summary = collect_statistics_from_summary(
+            build_path_summary(docs, renumber=True))
+        assert direct.document_count == via_summary.document_count
+        assert direct.total_node_count == via_summary.total_node_count
+        assert direct.total_element_count == via_summary.total_element_count
+        assert direct.total_text_bytes == via_summary.total_text_bytes
+        assert direct.path_stats == via_summary.path_stats
+
+    def test_collection_statistics_derived_from_summary(self, xmark_database):
+        for collection in xmark_database.collections:
+            stats = collection.statistics
+            summary = collection.path_summary
+            assert stats.document_count == summary.document_count
+            assert stats.total_element_count == summary.total_element_count
+            assert set(stats.path_stats) == set(summary.distinct_paths)
+
+
+# ----------------------------------------------------------------------
+# Compiler lowering and caches
+# ----------------------------------------------------------------------
+class TestCompiler:
+    def test_predicate_free_paths_are_summary_backed(self):
+        for text in ("/site/people/person/@id", "//keyword",
+                     "/site/regions/*/item", "//item/name/text()",
+                     "/site//item/payment", "//@id"):
+            compiled = compile_xpath(text)
+            assert compiled.is_summary_backed, text
+            assert not compiled.residual_predicates
+
+    def test_final_step_predicates_become_residual(self):
+        compiled = compile_xpath("/site/regions/africa/item[quantity > 5]")
+        assert compiled.is_summary_backed
+        assert len(compiled.residual_predicates) == 1
+        assert compiled.pattern.to_text() == "/site/regions/africa/item"
+
+    @pytest.mark.parametrize("text,reason_fragment", [
+        ("item/name", "relative"),
+        ("$i/quantity", "variable"),
+        ("/", "document root"),
+        ("/site/person[@id = 'p']/name", "inner step"),
+        ("/a//a", "context"),
+        ("//site//*", "context"),
+        ("/site//text()", "text()"),
+        ("count(//item)", "not a location path"),
+    ])
+    def test_fallback_reasons(self, text, reason_fragment):
+        compiled = compile_xpath(text)
+        assert not compiled.is_summary_backed
+        assert reason_fragment in compiled.fallback_reason
+
+    def test_fallback_still_evaluates_via_interpreter(self, tiny_document):
+        compiled = compile_xpath("//person[@id = \"p1\"]/name")
+        assert not compiled.is_summary_backed
+        nodes = compiled.select_nodes(None, tiny_document)
+        assert [n.string_value() for n in nodes] == ["Alice"]
+
+    def test_compile_cache_returns_same_object(self):
+        clear_compiler_caches()
+        first = compile_xpath("/site/people/person")
+        second = compile_xpath("/site/people/person")
+        assert first is second
+        assert parse_xpath_cached("/site/people/person") is parse_xpath_cached(
+            "/site/people/person")
+
+    def test_pattern_summary_safety(self):
+        assert pattern_summary_safe(PathPattern.parse("/site/regions//item"))
+        assert pattern_summary_safe(PathPattern.parse("//item/@id"))
+        assert not pattern_summary_safe(PathPattern.parse("/a//a"))
+        assert not pattern_summary_safe(PathPattern.parse("//site//*"))
+
+
+# ----------------------------------------------------------------------
+# Compiled-vs-interpreter node-set equivalence (the core property)
+# ----------------------------------------------------------------------
+def _assert_equivalent(database, expressions):
+    checked = 0
+    for collection in database.collections:
+        summary = collection.path_summary
+        for document in collection:
+            evaluator = XPathEvaluator(document)
+            for text in expressions:
+                compiled = compile_xpath(text)
+                got = {id(n) for n in compiled.select_nodes(summary, document,
+                                                            evaluator)}
+                want = {id(n) for n in evaluator.select_nodes(text)}
+                assert got == want, (text, document.doc_id)
+                checked += 1
+    assert checked > 0
+
+
+HAND_EXPRESSIONS = [
+    "/site/people/person/@id",
+    "/site/regions/*/item",
+    "/site/regions/africa/item[quantity > 5]",
+    "//keyword",
+    "//@id",
+    "//item/name/text()",
+    "/site//item/payment",
+    "//regions//item",
+    "/site/people/person[profile/@income >= 42000]",
+    "/a//a",                      # fallback shape: must still agree
+    "//person[@id = \"p1\"]/name",  # inner predicate: interpreter both ways
+]
+
+
+def test_compiled_equivalence_tiny(tiny_database):
+    _assert_equivalent(tiny_database, HAND_EXPRESSIONS)
+
+
+def test_compiled_equivalence_xmark_workload(xmark_database, xmark_workload):
+    expressions = set(HAND_EXPRESSIONS)
+    for query in normalize_workload(xmark_workload):
+        for predicate in query.predicates:
+            expressions.add(predicate.pattern.to_text())
+        for pattern in query.extraction_paths:
+            expressions.add(pattern.to_text())
+    _assert_equivalent(xmark_database, sorted(expressions))
+
+
+def test_compiled_equivalence_synthetic_workload():
+    database = build_varied_database(documents=20, name="synth-equiv")
+    workload = SyntheticWorkloadGenerator(database, seed=5).generate(
+        12, predicates_per_query=2, name="synthetic-equivalence")
+    expressions = set()
+    for query in normalize_workload(workload):
+        for predicate in query.predicates:
+            expressions.add(predicate.pattern.to_text())
+        for pattern in query.extraction_paths:
+            expressions.add(pattern.to_text())
+    assert expressions
+    _assert_equivalent(database, sorted(expressions))
+
+
+# ----------------------------------------------------------------------
+# Executor integration
+# ----------------------------------------------------------------------
+class TestExecutorSummaryEngine:
+    QUERY = ('for $i in doc("x")/site/regions/africa/item '
+             'where $i/quantity > 90 return $i/name')
+
+    def test_summary_and_legacy_scans_agree(self, xmark_database, xmark_workload):
+        queries = [q for q in normalize_workload(xmark_workload)
+                   if not q.is_update]
+        summary_results = QueryExecutor(
+            xmark_database, use_path_summary=True).execute_workload(queries)
+        legacy_results = QueryExecutor(
+            xmark_database, use_path_summary=False).execute_workload(queries)
+        for with_summary, legacy in zip(summary_results, legacy_results):
+            assert with_summary.result_count == legacy.result_count
+            assert with_summary.documents_examined == legacy.documents_examined
+
+    def test_summary_index_build_matches_legacy_entries(self):
+        from repro.index.physical import build_physical_index
+
+        database = build_varied_database(documents=15, name="idx-equiv")
+        definition = IndexDefinition.create("/site/regions/*/item/quantity",
+                                            ValueType.DOUBLE)
+        index = build_physical_index(definition, database)
+        # Reference: brute-force walk of every document.
+        expected = []
+        for collection in database.collections:
+            for document in collection:
+                for element in document.descendant_elements():
+                    if definition.pattern.matches(element.simple_path()):
+                        key = element.double_value()
+                        if key is not None:
+                            expected.append((key, collection.name,
+                                             document.doc_id, element.node_id))
+        got = [(e.key, e.collection, e.doc_id, e.node_id)
+               for e in index.entries]
+        assert sorted(got) == sorted(expected)
+
+    def test_index_plan_sees_documents_added_after_construction(self):
+        database = build_varied_database(documents=10, name="stale-lookup")
+        executor = QueryExecutor(database)
+        # A document added *after* the executor was constructed...
+        late = parse_document(TINY_SITE_XML.replace('id="p1"', 'id="p777"'))
+        database.collection("site").add_document(late)
+        executor.create_indexes([
+            IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR)])
+        query = ('for $p in doc("x")/site/people/person '
+                 'where $p/@id = "p777" return $p/name')
+        result = executor.execute(query)
+        # ...must be found by the index plan (the lookup refreshes itself).
+        assert result.used_index_plan
+        assert result.result_count == 1
+
+    def test_index_built_before_add_is_rebuilt_on_execute(self):
+        # Regression: a physical index materialized *before* a document
+        # was added must be rebuilt, not just the doc lookup refreshed —
+        # otherwise the index plan silently misses the new document.
+        database = build_varied_database(documents=10, name="stale-index")
+        executor = QueryExecutor(database)
+        executor.create_indexes([
+            IndexDefinition.create("/site/people/person/@id", ValueType.VARCHAR)])
+        late = parse_document(TINY_SITE_XML.replace('id="p1"', 'id="p888"'))
+        database.collection("site").add_document(late)
+        query = ('for $p in doc("x")/site/people/person '
+                 'where $p/@id = "p888" return $p/name')
+        result = executor.execute(query)
+        assert result.used_index_plan
+        assert result.result_count == 1
+
+    def test_scan_sees_documents_added_after_construction(self):
+        database = build_varied_database(documents=5, name="stale-scan")
+        executor = QueryExecutor(database)
+        before = executor.execute(self.QUERY).documents_examined
+        database.collection("site").add_document(parse_document(TINY_SITE_XML))
+        after = executor.execute(self.QUERY).documents_examined
+        assert after == before + 1

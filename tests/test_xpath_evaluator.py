@@ -161,3 +161,72 @@ class TestContextAndHelpers:
     def test_module_level_helper(self, tiny_document):
         result = evaluate_path(tiny_document, "/site/people/person/@id")
         assert len(result) == 2
+
+
+class TestDescendantAttributeSteps:
+    """Regression: a descendant-or-self attribute step must enumerate the
+    attributes of the context node *and* all descendant elements, not
+    just the context node's own attributes."""
+
+    def _descendant_attr_path(self, name, absolute=True):
+        from repro.xpath.ast import Axis, LocationPath, Step
+
+        return LocationPath(
+            steps=[Step(axis=Axis.DESCENDANT_OR_SELF, node_test="@" + name)],
+            absolute=absolute)
+
+    def test_descendant_attribute_step_from_document(self, evaluator):
+        nodes = evaluator.select_nodes(self._descendant_attr_path("id"))
+        assert sorted(n.value for n in nodes) == ["i1", "i2", "i3", "p1", "p2"]
+
+    def test_descendant_attribute_step_from_element_context(self, evaluator,
+                                                            tiny_document):
+        people = evaluator.select_nodes("/site/people")[0]
+        nodes = evaluator.select_nodes(
+            self._descendant_attr_path("id", absolute=False), context=people)
+        assert sorted(n.value for n in nodes) == ["p1", "p2"]
+
+    def test_descendant_attribute_step_includes_own_attributes(self, evaluator):
+        person = evaluator.select_nodes("/site/people/person")[0]
+        nodes = evaluator.select_nodes(
+            self._descendant_attr_path("*", absolute=False), context=person)
+        # person's own @id plus its profile's @income.
+        assert sorted(n.name for n in nodes) == ["id", "income"]
+
+    def test_parsed_descendant_attribute_still_works(self, evaluator):
+        # The parser normalizes //@id to //*/@id; both forms must agree.
+        assert len(evaluator.select_nodes("//@id")) == 5
+
+
+class TestNonFiniteStringConversion:
+    """Regression: string() of non-finite floats raised
+    OverflowError/ValueError via ``int(value)``."""
+
+    def test_to_string_helper(self):
+        from repro.xpath.evaluator import _to_string
+
+        assert _to_string(float("inf")) == "Infinity"
+        assert _to_string(float("-inf")) == "-Infinity"
+        assert _to_string(float("nan")) == "NaN"
+        assert _to_string(2.0) == "2"
+        assert _to_string(2.5) == "2.5"
+
+    def test_string_of_nan_via_public_api(self, evaluator):
+        # number() of a non-numeric string is NaN in XPath 1.0.
+        assert evaluator.evaluate('string(number("not-a-number"))') == "NaN"
+
+    def test_string_of_infinity_via_public_api(self, evaluator):
+        # float("Infinity") parses, so number("Infinity") is +inf.
+        assert evaluator.evaluate('string(number("Infinity"))') == "Infinity"
+        assert evaluator.evaluate('string(number("-Infinity"))') == "-Infinity"
+
+    def test_contains_with_nan_string(self, evaluator):
+        assert evaluator.evaluate(
+            'contains(string(number("oops")), "NaN")') is True
+
+    def test_literal_to_xpath_non_finite(self):
+        from repro.xpath.ast import Literal
+
+        assert Literal(float("nan")).to_xpath() == "NaN"
+        assert Literal(float("inf")).to_xpath() == "Infinity"
+        assert Literal(float("-inf")).to_xpath() == "-Infinity"

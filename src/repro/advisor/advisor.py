@@ -105,7 +105,8 @@ class XmlIndexAdvisor:
         self.database = database
         self.parameters = parameters or AdvisorParameters()
         self.parameters.validate()
-        self.optimizer = Optimizer(database, self.parameters.cost_parameters)
+        self.optimizer = Optimizer(database, self.parameters.cost_parameters,
+                                   enable_plan_cache=self.parameters.enable_plan_cache)
 
     # ------------------------------------------------------------------
     # Pipeline steps (exposed individually for the demo/benchmarks)

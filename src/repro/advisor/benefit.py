@@ -16,9 +16,34 @@ shadowed by a better one contributes nothing, exactly as in the paper
 ("the benefit of an index can change depending on which other indexes
 are available").
 
-The evaluator memoizes per-query evaluations keyed by the subset of the
-configuration that could possibly matter to the query, which keeps the
-greedy search's repeated evaluations cheap.
+Incremental what-if engine
+--------------------------
+
+The configuration search evaluates thousands of closely-related
+configurations, so the evaluator is built around three incremental
+structures (all behind the ``AdvisorParameters.use_incremental`` escape
+hatch, which restores the legacy full re-evaluation):
+
+* an **inverted relevance map** ``index key -> affected query ids``,
+  computed once per (index pattern, value type) by a single
+  pattern-containment pass over the workload's predicates and touched
+  patterns -- ``evaluate`` and the searches stop re-deriving relevance
+  per call;
+* **delta evaluation**: :meth:`ConfigurationEvaluator.update` takes an
+  already-evaluated base configuration plus the indexes added/removed,
+  re-costs only the queries the relevance map says are affected, and
+  reuses every other per-query evaluation verbatim.  The result is
+  *exactly* what a full :meth:`evaluate` of the new configuration would
+  return, because a query's cost depends only on the subset of the
+  configuration relevant to it;
+* per-query **memoization** keyed by ``(query id, relevant index
+  keys)``, shared with the legacy path.
+
+Invalidation contract: all derived state (relevance map, query cache,
+size cache, baseline costs) is keyed to the database's
+``data_signature()``.  Every public entry point revalidates the
+signature and rebuilds from scratch when documents changed, so the
+evaluator can outlive data loads without serving stale costs.
 """
 
 from __future__ import annotations
@@ -91,12 +116,51 @@ class ConfigurationEvaluator:
         self.database = database
         self.queries = list(queries)
         self.parameters = parameters or AdvisorParameters()
-        self.optimizer = optimizer or Optimizer(database, self.parameters.cost_parameters)
+        self.use_incremental = self.parameters.use_incremental
+        self.optimizer = optimizer or Optimizer(
+            database, self.parameters.cost_parameters,
+            enable_plan_cache=self.parameters.enable_plan_cache)
         self._baseline: Dict[str, float] = {}
         self._query_cache: Dict[Tuple[str, FrozenSet[Tuple[str, str]]],
                                 Tuple[float, Tuple[Tuple[str, str], ...]]] = {}
-        self._size_cache: Dict[Tuple[str, str], float] = {}
+        #: Inverted relevance map: index key -> ids of affected queries.
+        self._relevance: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        self._signature = database.data_signature()
+        #: Full-workload evaluations performed (legacy path + evaluate()).
+        self.full_evaluations = 0
+        #: Delta evaluations performed (incremental update()/extend()).
+        self.delta_evaluations = 0
+        #: Per-query what-if cost requests issued (before the per-query
+        #: memo): the unit of work the delta engine saves.  A full
+        #: evaluation issues one per workload query; a delta evaluation
+        #: one per affected query.
+        self.query_costings = 0
         self._compute_baseline()
+
+    # ------------------------------------------------------------------
+    # Staleness / invalidation
+    # ------------------------------------------------------------------
+    @property
+    def data_signature(self) -> Tuple[Tuple[str, int], ...]:
+        """The database signature the cached state was derived from."""
+        return self._signature
+
+    def refresh(self) -> bool:
+        """Revalidate against the database; rebuild derived state if stale.
+
+        Returns True when the database changed and the relevance map,
+        query cache, size cache and baseline were dropped and recomputed.
+        Called automatically by every public evaluation entry point.
+        """
+        signature = self.database.data_signature()
+        if signature == self._signature:
+            return False
+        self._signature = signature
+        self._relevance.clear()
+        self._query_cache.clear()
+        self._baseline.clear()
+        self._compute_baseline()
+        return True
 
     # ------------------------------------------------------------------
     # Baseline
@@ -120,14 +184,58 @@ class ConfigurationEvaluator:
         return sum(self._baseline[q.query_id] * q.frequency for q in self.queries)
 
     # ------------------------------------------------------------------
+    # Relevance map
+    # ------------------------------------------------------------------
+    def relevant_queries(self, index: IndexDefinition) -> FrozenSet[str]:
+        """Ids of the workload queries ``index`` could affect (memoized).
+
+        For queries: the index pattern contains some predicate path of a
+        compatible value type.  For updates: the index pattern shares
+        data paths with the touched patterns.  Only these queries can
+        change cost when ``index`` enters or leaves a configuration.
+        """
+        cached = self._relevance.get(index.key)
+        if cached is None:
+            cached = frozenset(
+                query.query_id for query in self.queries
+                if self._index_relevant_to_query(index, query))
+            self._relevance[index.key] = cached
+        return cached
+
+    def prime_relevance(self, indexes: Iterable[IndexDefinition]) -> None:
+        """Precompute the relevance map for ``indexes`` in one pass."""
+        for index in indexes:
+            self.relevant_queries(index)
+
+    @property
+    def relevance_map(self) -> Dict[Tuple[str, str], FrozenSet[str]]:
+        """A copy of the inverted relevance map computed so far."""
+        return dict(self._relevance)
+
+    @staticmethod
+    def _index_relevant_to_query(index: IndexDefinition,
+                                 query: NormalizedQuery) -> bool:
+        if query.is_update:
+            for touched in query.touched_patterns:
+                if (pattern_contains(touched, index.pattern)
+                        or pattern_contains(index.pattern, touched)):
+                    return True
+            return False
+        for predicate in query.predicates:
+            if not predicate.is_existence and \
+                    predicate.value_type is not index.value_type:
+                continue
+            if pattern_contains(index.pattern, predicate.pattern):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     # Sizes
     # ------------------------------------------------------------------
     def index_size_bytes(self, index: IndexDefinition) -> float:
-        size = self._size_cache.get(index.key)
-        if size is None:
-            size = estimate_index_size_bytes(index, self.database.statistics)
-            self._size_cache[index.key] = size
-        return size
+        """Estimated size of ``index`` (memoized on the statistics object,
+        which is rebuilt -- invalidating the memo -- on data changes)."""
+        return estimate_index_size_bytes(index, self.database.statistics)
 
     def configuration_size_bytes(self, configuration: Iterable[IndexDefinition]) -> float:
         return sum(self.index_size_bytes(index) for index in configuration)
@@ -138,8 +246,13 @@ class ConfigurationEvaluator:
     def evaluate(self, configuration: "IndexConfiguration | Iterable[IndexDefinition]"
                  ) -> ConfigurationBenefit:
         """Estimate the benefit of ``configuration`` over the workload."""
+        self.refresh()
         if not isinstance(configuration, IndexConfiguration):
             configuration = IndexConfiguration(configuration)
+        self.full_evaluations += 1
+        return self._evaluate_now(configuration)
+
+    def _evaluate_now(self, configuration: IndexConfiguration) -> ConfigurationBenefit:
         evaluations: List[QueryEvaluation] = []
         for query in self.queries:
             cost, used = self._evaluate_query(query, configuration)
@@ -150,6 +263,10 @@ class ConfigurationEvaluator:
                 cost_with_configuration=cost,
                 used_index_keys=used,
             ))
+        return self._package(configuration, evaluations)
+
+    def _package(self, configuration: IndexConfiguration,
+                 evaluations: List[QueryEvaluation]) -> ConfigurationBenefit:
         total_benefit = sum(evaluation.benefit for evaluation in evaluations)
         sizes = {index.key: self.index_size_bytes(index) for index in configuration}
         return ConfigurationBenefit(configuration=configuration,
@@ -162,9 +279,64 @@ class ConfigurationEvaluator:
         """Benefit of a configuration containing only ``index``."""
         return self.evaluate(IndexConfiguration([index]))
 
+    def update(self, base: ConfigurationBenefit,
+               add: Sequence[IndexDefinition] = (),
+               remove: Sequence[IndexDefinition] = ()) -> ConfigurationBenefit:
+        """Delta evaluation: ``base``'s configuration with ``add`` added
+        and ``remove`` removed.
+
+        Only the queries the relevance map marks as affected by a
+        changed index are re-costed; every other per-query evaluation is
+        reused from ``base``.  The result equals a full
+        :meth:`evaluate` of the new configuration exactly (a query's
+        cost depends only on its relevant subset of the configuration).
+        With ``use_incremental`` disabled this falls back to the full
+        re-evaluation, as it does when the database changed since
+        ``base`` was computed (``base``'s rows are then stale for every
+        query, not just the affected ones).
+        """
+        data_changed = self.refresh()
+        configuration = base.configuration.copy()
+        changed: List[IndexDefinition] = []
+        for definition in remove:
+            if configuration.remove(definition):
+                changed.append(definition)
+        for definition in add:
+            if configuration.add(definition):
+                changed.append(definition)
+        if not self.use_incremental or data_changed:
+            self.full_evaluations += 1
+            return self._evaluate_now(configuration)
+        self.delta_evaluations += 1
+        affected: set = set()
+        for definition in changed:
+            affected.update(self.relevant_queries(definition))
+        base_rows = {row.query_id: row for row in base.query_evaluations}
+        evaluations: List[QueryEvaluation] = []
+        for query in self.queries:
+            row = base_rows.get(query.query_id)
+            if row is None or query.query_id in affected:
+                cost, used = self._evaluate_query(query, configuration)
+                row = QueryEvaluation(
+                    query_id=query.query_id,
+                    frequency=query.frequency,
+                    cost_without_indexes=self._baseline[query.query_id],
+                    cost_with_configuration=cost,
+                    used_index_keys=used,
+                )
+            evaluations.append(row)
+        return self._package(configuration, evaluations)
+
+    def extend(self, base: ConfigurationBenefit,
+               index: IndexDefinition) -> ConfigurationBenefit:
+        """Delta evaluation of ``base``'s configuration plus ``index``."""
+        return self.update(base, add=[index])
+
     def marginal_benefit(self, base: ConfigurationBenefit,
                          index: IndexDefinition) -> float:
         """Benefit gained by adding ``index`` to an already-evaluated config."""
+        if self.use_incremental:
+            return self.extend(base, index).total_benefit - base.total_benefit
         extended = base.configuration.copy()
         extended.add(index)
         return self.evaluate(extended).total_benefit - base.total_benefit
@@ -173,6 +345,7 @@ class ConfigurationEvaluator:
     def _evaluate_query(self, query: NormalizedQuery,
                         configuration: IndexConfiguration
                         ) -> Tuple[float, Tuple[Tuple[str, str], ...]]:
+        self.query_costings += 1
         relevant = self._relevant_indexes(query, configuration)
         cache_key = (query.query_id, frozenset(index.key for index in relevant))
         cached = self._query_cache.get(cache_key)
@@ -202,13 +375,17 @@ class ConfigurationEvaluator:
                           configuration: IndexConfiguration) -> List[IndexDefinition]:
         """The subset of the configuration that could affect ``query``.
 
-        For queries: indexes whose pattern contains some predicate path.
-        For updates: indexes whose pattern shares data paths with the
-        touched patterns (approximated by containment either way).
         Restricting evaluation to this subset makes caching effective
         without changing the result (other indexes cannot appear in the
-        query's plan or maintenance list).
+        query's plan or maintenance list).  The incremental engine
+        answers this from the inverted relevance map (two dict lookups
+        per index); the legacy path re-derives pattern containment per
+        call, as the original evaluator did.
         """
+        if self.use_incremental:
+            query_id = query.query_id
+            return [index for index in configuration
+                    if query_id in self.relevant_queries(index)]
         relevant: List[IndexDefinition] = []
         if query.is_update:
             for index in configuration:

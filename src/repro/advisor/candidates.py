@@ -37,6 +37,11 @@ class CandidateIndex:
     benefiting_queries: Set[str] = field(default_factory=set)
     #: The concrete workload predicates this candidate covers.
     covered_predicates: List[PathPredicate] = field(default_factory=list)
+    #: Memo of (is_virtual, collection) -> built definition; the search
+    #: loops call :meth:`to_definition` once per candidate per round and
+    #: the definition is immutable, so one build suffices.
+    _definitions: Dict[Tuple[bool, Optional[str]], IndexDefinition] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     @property
     def key(self) -> CandidateKey:
@@ -48,9 +53,15 @@ class CandidateIndex:
 
     def to_definition(self, is_virtual: bool = True,
                       collection: Optional[str] = None) -> IndexDefinition:
-        """The index definition this candidate corresponds to."""
-        return IndexDefinition.create(self.pattern, self.value_type,
-                                      collection=collection, is_virtual=is_virtual)
+        """The index definition this candidate corresponds to (memoized)."""
+        cache_key = (is_virtual, collection)
+        definition = self._definitions.get(cache_key)
+        if definition is None:
+            definition = IndexDefinition.create(self.pattern, self.value_type,
+                                                collection=collection,
+                                                is_virtual=is_virtual)
+            self._definitions[cache_key] = definition
+        return definition
 
     def covers(self, predicate: PathPredicate) -> bool:
         """Would an index with this pattern/type be usable for ``predicate``?"""

@@ -52,6 +52,17 @@ class AdvisorParameters:
     #: configuration at once).  Disabling this sums single-index benefits
     #: instead -- only used by the ablation benchmarks.
     model_index_interaction: bool = True
+    #: Use the incremental what-if evaluation engine: a precomputed
+    #: index-to-affected-queries relevance map, delta re-costing of only
+    #: the affected queries in :meth:`ConfigurationEvaluator.update`, and
+    #: the lazy-greedy (CELF-style) priority queues in the search
+    #: strategies.  Disabling it restores the legacy full re-evaluation
+    #: everywhere -- the escape hatch the equivalence tests and the E3
+    #: benchmarks compare against.
+    use_incremental: bool = True
+    #: Memoize what-if optimizer plans by (query, index keys, statistics
+    #: signature) on the :class:`~repro.optimizer.optimizer.Optimizer`.
+    enable_plan_cache: bool = True
     #: Cost model constants handed to the optimizer.
     cost_parameters: CostParameters = field(default_factory=CostParameters)
 

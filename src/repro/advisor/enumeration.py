@@ -25,18 +25,53 @@ Three strategies are provided (Section 2.3):
     the configuration fits in the budget.  The goal is the most general
     configuration that fits, which is the right choice when the training
     workload is only representative of the real one.
+
+Lazy-greedy evaluation
+----------------------
+
+With ``AdvisorParameters.use_incremental`` (the default) the two
+iterative strategies run on the evaluator's incremental what-if engine:
+
+* :class:`GreedyWithHeuristicsSearch` keeps candidates in a CELF-style
+  priority queue ordered by their last-computed benefit/size ratio.
+  A cached marginal benefit only becomes stale when an index whose
+  affected queries overlap the candidate's affected queries enters the
+  configuration (evicted indexes are unused by every plan, so removing
+  them never changes a query's cost); stale heap heads are re-evaluated
+  and re-inserted, and a head that is still fresh when popped is
+  selected without touching the other candidates.  Marginal benefits
+  are non-increasing as the configuration grows for workload shapes
+  without cross-index plan synergy, which makes stale entries upper
+  bounds and the lazy selection identical to the exhaustive rescans of
+  the legacy loop -- the randomized equivalence tests guard this.
+* :class:`TopDownSearch` keeps replacement victims in a size-ordered
+  heap (sizes are immutable per index) and re-costs each
+  replace/trim step through the evaluator's delta
+  :meth:`~repro.advisor.benefit.ConfigurationEvaluator.update` instead
+  of a full workload pass.
+
+``use_incremental=False`` restores the legacy exhaustive loops
+verbatim, which the equivalence tests and benchmarks compare against.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.advisor.benefit import ConfigurationBenefit, ConfigurationEvaluator
 from repro.advisor.candidates import CandidateIndex, CandidateSet
 from repro.advisor.config import AdvisorParameters, SearchAlgorithm
 from repro.advisor.dag import GeneralizationDag
 from repro.index.definition import IndexConfiguration, IndexDefinition
+
+#: Marginal gains at or below this are treated as "no benefit".
+_MIN_GAIN = 1e-9
+#: Benefit/size ratios at or below this floor are never selected (the
+#: legacy scan's ``ratio > best_ratio + 1e-12`` with ``best_ratio``
+#: starting at 0.0).
+_MIN_RATIO = 1e-12
 
 
 @dataclass
@@ -94,12 +129,23 @@ class _SearchBase:
         self._evaluations = 0
 
     # -- helpers ---------------------------------------------------------
+    @property
+    def _incremental(self) -> bool:
+        return self.parameters.use_incremental
+
     def _evaluate(self, configuration: IndexConfiguration) -> ConfigurationBenefit:
         self._evaluations += 1
         return self.evaluator.evaluate(configuration)
 
+    def _update(self, base: ConfigurationBenefit,
+                add: Sequence[IndexDefinition] = (),
+                remove: Sequence[IndexDefinition] = ()) -> ConfigurationBenefit:
+        """Delta re-cost of ``base`` after adding/removing definitions."""
+        self._evaluations += 1
+        return self.evaluator.update(base, add=add, remove=remove)
+
     def _definition_for(self, candidate: CandidateIndex) -> IndexDefinition:
-        return candidate.to_definition(is_virtual=True)
+        return candidate.to_definition(is_virtual=True)  # memoized by candidate
 
     def _budget(self) -> Optional[float]:
         return self.parameters.disk_budget_bytes
@@ -129,7 +175,7 @@ class GreedySearch(_SearchBase):
     def search(self, candidates: CandidateSet,
                dag: Optional[GeneralizationDag] = None) -> SearchResult:
         trace: List[SearchStep] = []
-        scored: List[Tuple[float, float, CandidateIndex, IndexDefinition]] = []
+        scored: List[Tuple[float, float, float, CandidateIndex, IndexDefinition]] = []
         for candidate in candidates:
             definition = self._definition_for(candidate)
             size = self.evaluator.index_size_bytes(definition)
@@ -138,13 +184,12 @@ class GreedySearch(_SearchBase):
                 trace.append(SearchStep("skip (no benefit)", candidate.pattern.to_text()))
                 continue
             ratio = benefit / max(size, 1.0)
-            scored.append((ratio, benefit, candidate, definition))
+            scored.append((ratio, benefit, size, candidate, definition))
         scored.sort(key=lambda item: item[0], reverse=True)
 
         configuration = IndexConfiguration(name="greedy")
         used_bytes = 0.0
-        for ratio, benefit, candidate, definition in scored:
-            size = self.evaluator.index_size_bytes(definition)
+        for ratio, benefit, size, candidate, definition in scored:
             if not self._fits(used_bytes + size):
                 trace.append(SearchStep("skip (budget)", candidate.pattern.to_text(),
                                         f"size {size / 1024:.1f} KiB"))
@@ -163,6 +208,178 @@ class GreedyWithHeuristicsSearch(_SearchBase):
 
     def search(self, candidates: CandidateSet,
                dag: Optional[GeneralizationDag] = None) -> SearchResult:
+        if self._incremental:
+            return self._search_lazy(candidates)
+        return self._search_full(candidates)
+
+    # -- lazy-greedy (CELF-style) -----------------------------------------
+    def _search_lazy(self, candidates: CandidateSet) -> SearchResult:
+        trace: List[SearchStep] = []
+        configuration = IndexConfiguration(name="greedy-heuristic")
+        current = self._evaluate(configuration)
+        covered_predicates: Set[str] = set()
+        budget = self._budget()
+
+        #: Queries whose cost under a growing configuration is *not*
+        #: guaranteed to make cached marginal gains upper bounds: a
+        #: multi-predicate query's index-ANDing plan can make an index
+        #: *more* attractive once a partner index is present.  Gains of
+        #: candidates overlapping a dirtied volatile query are
+        #: re-evaluated eagerly; single-predicate queries (best single
+        #: leg, monotone) and updates (additive maintenance) stay lazy.
+        volatile_ids = frozenset(
+            query.query_id for query in self.evaluator.queries
+            if not query.is_update and len(query.predicates) >= 2)
+
+        by_key: Dict[Tuple[str, str], CandidateIndex] = {}
+        definitions: Dict[Tuple[str, str], IndexDefinition] = {}
+        sizes: Dict[Tuple[str, str], float] = {}
+        seqs: Dict[Tuple[str, str], int] = {}
+        relevance: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        #: key -> (gain, config version the gain was computed at).  A
+        #: gain stays a valid upper bound until an addition touches one
+        #: of the candidate's affected queries.
+        gains: Dict[Tuple[str, str], Tuple[float, int]] = {}
+        #: Monotonic count of configuration additions; per-query version
+        #: of the last addition that affected the query.
+        change_version = 0
+        query_version: Dict[str, int] = {}
+        #: Heap entries: (-ratio, insertion seq, key, gain version).
+        #: Insertion order breaks ties exactly like the legacy
+        #: first-max scan; the version lets superseded duplicates (left
+        #: behind by eager re-evaluation) be discarded on pop.
+        heap: List[Tuple[float, int, Tuple[str, str], int]] = []
+        #: Entries that did not fit the budget when popped; re-inserted
+        #: only after an eviction frees space (the configuration never
+        #: shrinks otherwise).
+        parked: List[Tuple[float, int, Tuple[str, str], int]] = []
+
+        def compute_gain(key: Tuple[str, str]) -> float:
+            extended = self._update(current, add=[definitions[key]])
+            return extended.total_benefit - current.total_benefit
+
+        def push(key: Tuple[str, str], gain: float) -> None:
+            gains[key] = (gain, change_version)
+            heapq.heappush(heap, (-(gain / max(sizes[key], 1.0)),
+                                  seqs[key], key, change_version))
+
+        def is_stale(key: Tuple[str, str], version: int) -> bool:
+            for query_id in relevance[key]:
+                if query_version.get(query_id, 0) > version:
+                    return True
+            return False
+
+        for seq, candidate in enumerate(candidates):
+            key = candidate.key
+            definition = self._definition_for(candidate)
+            size = self.evaluator.index_size_bytes(definition)
+            if budget is not None and size > budget + 1e-6:
+                continue  # can never fit, even into an empty configuration
+            if not self._covered_patterns(candidate):
+                continue  # covers no workload pattern: redundant forever
+            by_key[key] = candidate
+            definitions[key] = definition
+            sizes[key] = size
+            seqs[key] = seq
+            relevance[key] = self.evaluator.relevant_queries(definition)
+            push(key, compute_gain(key))
+
+        while heap:
+            neg_ratio, seq, key, entry_version = heapq.heappop(heap)
+            candidate = by_key.get(key)
+            if candidate is None:
+                continue  # already selected or dropped
+            if entry_version != gains[key][1]:
+                continue  # superseded by an eager re-evaluation
+            if not self._newly_covered(candidate, covered_predicates):
+                # Redundant: every workload pattern it would serve is
+                # already covered.  The covered set only grows, so the
+                # candidate can be dropped for good.
+                del by_key[key]
+                continue
+            size = sizes[key]
+            if not self._fits(current.total_size_bytes + size):
+                parked.append((neg_ratio, seq, key, entry_version))
+                continue
+            gain, version = gains[key]
+            if is_stale(key, version):
+                push(key, compute_gain(key))
+                continue
+            if gain / max(size, 1.0) <= _MIN_RATIO:
+                # The fresh head's ratio is below the selection floor,
+                # and it bounds every remaining entry's ratio: nothing
+                # left is selectable (mirrors the legacy scan finding no
+                # ratio above ``best_ratio + 1e-12``).
+                break
+            if gain <= _MIN_GAIN:
+                # Ineligible now; only an eager volatile re-evaluation
+                # can revive it, so drop this entry (not the candidate).
+                continue
+            # Select the head: its gain is current, and every other
+            # entry's (upper-bound) ratio is at most this one's.  The
+            # delta update re-costs only the affected queries, all of
+            # which are already in the per-query cache from the gain
+            # computation when nothing changed in between.  It must run
+            # before ``configuration`` is mutated: the update is applied
+            # against ``current.configuration``, which aliases
+            # ``configuration`` until the first delta de-aliases it.
+            del by_key[key]
+            definition = definitions[key]
+            current = self._update(current, add=[definition])
+            configuration.add(definition)
+            covered_predicates.update(self._covered_patterns(candidate))
+            trace.append(SearchStep("add", candidate.pattern.to_text(),
+                                    f"marginal benefit {gain:.1f}, "
+                                    f"ratio {gain / max(size, 1.0):.4f}"))
+            affected = relevance[key]
+            change_version += 1
+            for query_id in affected:
+                query_version[query_id] = change_version
+            volatile_dirty = affected & volatile_ids
+            if volatile_dirty:
+                # Gains touching a dirtied multi-predicate query may have
+                # *risen* (ANDing synergy), so their stale heap entries
+                # are not upper bounds; re-evaluate them eagerly and let
+                # the version check discard the superseded entries.
+                for other_key in list(by_key):
+                    if not relevance[other_key] & volatile_dirty:
+                        continue
+                    other = by_key[other_key]
+                    if not self._newly_covered(other, covered_predicates):
+                        del by_key[other_key]
+                        continue
+                    push(other_key, compute_gain(other_key))
+            evicted = current.unused_indexes
+            if evicted:
+                # Evicted indexes were used by no plan, so current costs
+                # are unchanged and size shrinks, which can let parked
+                # candidates back in.  Cached gains overlapping a
+                # volatile query may still have priced an ANDing plan
+                # with the evicted index, so mark those queries dirty --
+                # losing a partner can only *lower* such gains, so the
+                # stale values stay upper bounds and lazy re-evaluation
+                # at the heap head remains exact.
+                evicted_volatile: Set[str] = set()
+                for index in evicted:
+                    evicted_volatile |= (
+                        self.evaluator.relevant_queries(index) & volatile_ids)
+                if evicted_volatile:
+                    change_version += 1
+                    for query_id in evicted_volatile:
+                        query_version[query_id] = change_version
+                current = self._update(current, remove=evicted)
+                for index in evicted:
+                    configuration.remove(index)
+                    trace.append(SearchStep("evict (unused)",
+                                            index.pattern.to_text()))
+                if parked:
+                    for entry in parked:
+                        heapq.heappush(heap, entry)
+                    parked = []
+        return self._result(configuration, trace)
+
+    # -- legacy exhaustive loop -------------------------------------------
+    def _search_full(self, candidates: CandidateSet) -> SearchResult:
         trace: List[SearchStep] = []
         remaining: Dict[Tuple[str, str], CandidateIndex] = {
             c.key: c for c in candidates}
@@ -189,10 +406,14 @@ class GreedyWithHeuristicsSearch(_SearchBase):
                     continue
                 gain = self.evaluator.marginal_benefit(current, definition)
                 self._evaluations += 1
-                if gain <= 1e-9:
+                if gain <= _MIN_GAIN:
                     continue
                 ratio = gain / max(size, 1.0)
-                if ratio > best_ratio + 1e-12:
+                # Strict comparison (first max in iteration order wins
+                # ties) -- the exact semantics of the lazy heap's
+                # (-ratio, insertion seq) ordering, so the two paths
+                # cannot diverge on near-tied ratios.
+                if ratio > best_ratio and ratio > _MIN_RATIO:
                     best_ratio = ratio
                     best_gain = gain
                     best_key = key
@@ -223,14 +444,15 @@ class GreedyWithHeuristicsSearch(_SearchBase):
 
     def _evict_unused(self, configuration: IndexConfiguration,
                       current: ConfigurationBenefit,
-                      trace: List[SearchStep]) -> bool:
-        """Remove configuration members no query plan uses (space reclaim)."""
-        unused = current.unused_indexes
-        evicted = False
-        for index in unused:
+                      trace: List[SearchStep]) -> List[IndexDefinition]:
+        """Remove configuration members no query plan uses (space reclaim).
+
+        Returns the evicted definitions (empty list when none)."""
+        evicted: List[IndexDefinition] = []
+        for index in current.unused_indexes:
             configuration.remove(index)
             trace.append(SearchStep("evict (unused)", index.pattern.to_text()))
-            evicted = True
+            evicted.append(index)
         return evicted
 
 
@@ -247,28 +469,44 @@ class TopDownSearch(_SearchBase):
 
         configuration = IndexConfiguration(name="top-down")
         members: Dict[Tuple[str, str], CandidateIndex] = {}
+        #: Victim queue: (-size, insertion seq, key).  Index sizes never
+        #: change, so the heap never goes stale; popped keys that left
+        #: ``members`` are skipped.
+        victim_heap: List[Tuple[float, int, Tuple[str, str]]] = []
+        insertion_seq = 0
+
+        def admit(candidate: CandidateIndex) -> IndexDefinition:
+            nonlocal insertion_seq
+            definition = self._definition_for(candidate)
+            members[candidate.key] = candidate
+            heapq.heappush(victim_heap,
+                           (-self.evaluator.index_size_bytes(definition),
+                            insertion_seq, candidate.key))
+            insertion_seq += 1
+            return definition
+
         for root in dag.roots:
-            definition = self._definition_for(root)
-            configuration.add(definition)
-            members[root.key] = root
+            configuration.add(admit(root))
             trace.append(SearchStep("start from root", root.pattern.to_text()))
 
         current = self._evaluate(configuration)
         # Progressively replace general indexes by their children until the
-        # configuration fits the budget.
+        # configuration fits the budget.  Delta updates are applied
+        # against ``current.configuration`` *before* the local
+        # ``configuration`` mirror is mutated (the two alias each other
+        # until the first delta de-aliases them).
         guard = 0
         max_iterations = 4 * max(1, len(candidates))
         while not self._fits(current.total_size_bytes) and guard < max_iterations:
             guard += 1
-            victim = self._pick_victim(members, current)
+            victim = self._pick_victim(members, current, victim_heap)
             if victim is None:
                 break
             victim_definition = self._definition_for(victim)
-            configuration.remove(victim_definition)
             del members[victim.key]
             children = dag.children_of(victim)
+            added_definitions: List[IndexDefinition] = []
             if children:
-                added = 0
                 for child in children:
                     if child.key in members:
                         continue
@@ -278,17 +516,21 @@ class TopDownSearch(_SearchBase):
                     if any(member.covers_candidate(child)
                            for member in members.values()):
                         continue
-                    child_definition = self._definition_for(child)
-                    configuration.add(child_definition)
-                    members[child.key] = child
-                    added += 1
+                    added_definitions.append(admit(child))
                 trace.append(SearchStep(
                     "replace by children", victim.pattern.to_text(),
-                    f"{added} child(ren) added"))
+                    f"{len(added_definitions)} child(ren) added"))
             else:
                 trace.append(SearchStep("drop (leaf over budget)",
                                         victim.pattern.to_text()))
-            current = self._evaluate(configuration)
+            if self._incremental:
+                current = self._update(current, add=added_definitions,
+                                       remove=[victim_definition])
+            configuration.remove(victim_definition)
+            for definition in added_definitions:
+                configuration.add(definition)
+            if not self._incremental:
+                current = self._evaluate(configuration)
 
         # Final trim: if still over budget (e.g. even leaves do not fit),
         # drop the smallest-benefit members until it fits.
@@ -296,18 +538,30 @@ class TopDownSearch(_SearchBase):
             worst = self._least_valuable(configuration, current)
             if worst is None:
                 break
-            configuration.remove(worst)
             members.pop(worst.key, None)
             trace.append(SearchStep("drop (budget trim)", worst.pattern.to_text()))
-            current = self._evaluate(configuration)
+            if self._incremental:
+                current = self._update(current, remove=[worst])
+            configuration.remove(worst)
+            if not self._incremental:
+                current = self._evaluate(configuration)
         return self._result(configuration, trace)
 
     # -- victim selection ---------------------------------------------------
     def _pick_victim(self, members: Dict[Tuple[str, str], CandidateIndex],
-                     current: ConfigurationBenefit) -> Optional[CandidateIndex]:
+                     current: ConfigurationBenefit,
+                     victim_heap: Optional[List[Tuple[float, int, Tuple[str, str]]]]
+                     = None) -> Optional[CandidateIndex]:
         """The member whose replacement frees the most space: the largest
         index, breaking ties toward the least-generality loss (fewest
         benefiting queries)."""
+        if self._incremental and victim_heap is not None:
+            while victim_heap:
+                _, _, key = heapq.heappop(victim_heap)
+                candidate = members.get(key)
+                if candidate is not None:
+                    return candidate
+            return None
         victim: Optional[CandidateIndex] = None
         victim_size = -1.0
         for key, candidate in members.items():

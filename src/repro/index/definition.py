@@ -50,8 +50,17 @@ class IndexDefinition:
     # ------------------------------------------------------------------
     @property
     def key(self) -> Tuple[str, str]:
-        """Identity of the index: (pattern text, value type)."""
-        return (self.pattern.to_text(), self.value_type.value)
+        """Identity of the index: (pattern text, value type).
+
+        Memoized on the instance -- the advisor's relevance map, the
+        optimizer's plan-cache keys, and the search heaps all read it in
+        their innermost loops.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = (self.pattern.to_text(), self.value_type.value)
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def as_virtual(self) -> "IndexDefinition":
         """A copy flagged as virtual (used by the Evaluate Indexes mode)."""

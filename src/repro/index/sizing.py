@@ -49,14 +49,26 @@ def estimate_key_width(index: IndexDefinition,
 
 def estimate_index_size_bytes(index: IndexDefinition,
                               statistics: DatabaseStatistics) -> float:
-    """Estimated on-disk size of the index, in bytes."""
+    """Estimated on-disk size of the index, in bytes.
+
+    Memoized by index key on ``statistics.size_cache``: the estimate
+    depends only on (pattern, value type) and the synopsis, and
+    statistics objects are rebuilt rather than mutated when documents
+    change, so the memo can never go stale.
+    """
+    cached = statistics.size_cache.get(index.key)
+    if cached is not None:
+        return cached
     entries = estimate_entry_count(index, statistics)
     if entries == 0:
         # An index that would contain nothing still costs one page of
         # metadata once created.
-        return float(pages.PAGE_SIZE_BYTES)
-    key_width = estimate_key_width(index, statistics)
-    return pages.index_size_bytes(entries, key_width)
+        size = float(pages.PAGE_SIZE_BYTES)
+    else:
+        key_width = estimate_key_width(index, statistics)
+        size = pages.index_size_bytes(entries, key_width)
+    statistics.size_cache[index.key] = size
+    return size
 
 
 def estimate_index_pages(index: IndexDefinition,

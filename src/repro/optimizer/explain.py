@@ -179,21 +179,27 @@ def evaluate_indexes(query: NormalizedQuery, database: XmlDatabase,
     exist stay visible during the simulation; the advisor evaluates
     candidate configurations from a clean slate (False), while what-if
     analysis on top of an existing design passes True.
+
+    The simulation passes the hypothetical configuration to the optimizer
+    as an explicit candidate list (physical indexes first, mirroring the
+    catalog's visibility order) instead of installing it in the catalog,
+    so the hot what-if path neither mutates shared catalog state nor
+    defeats the optimizer's statistics-signature-keyed plan cache.
     """
     optimizer = optimizer or Optimizer(database)
     if not isinstance(configuration, IndexConfiguration):
         configuration = IndexConfiguration(configuration)
-    with database.catalog.virtual_configuration(configuration,
-                                                include_physical=include_physical):
-        visible = database.catalog.all_indexes
-        plan = optimizer.optimize(query, candidate_indexes=visible)
-        # Report the used indexes in terms of the caller's definitions (the
-        # catalog may have renamed clashing virtual names).
-        used: List[IndexDefinition] = []
-        used_keys = {index.key for index in plan.used_indexes}
-        for definition in configuration:
-            if definition.key in used_keys:
-                used.append(definition)
+    visible: List[IndexDefinition] = []
+    if include_physical:
+        visible.extend(database.catalog.physical_indexes)
+    visible.extend(configuration)
+    plan = optimizer.optimize(query, candidate_indexes=visible)
+    # Report the used indexes in terms of the caller's definitions.
+    used: List[IndexDefinition] = []
+    used_keys = {index.key for index in plan.used_indexes}
+    for definition in configuration:
+        if definition.key in used_keys:
+            used.append(definition)
     return EvaluateIndexesResult(query=query, configuration=configuration,
                                  plan=plan, estimated_cost=plan.total_cost,
                                  used_indexes=used)

@@ -16,7 +16,7 @@ optimizer for free.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.index.definition import IndexDefinition
 from repro.index.matching import IndexMatch, usable_indexes
@@ -41,15 +41,72 @@ from repro.xquery.model import NormalizedQuery, PathPredicate
 _MAX_USEFUL_LEG_SELECTIVITY = 0.9
 
 
+#: Cache key for one what-if planning call: (query id, query text,
+#: the set of index keys visible to the planner).
+_PlanKey = Tuple[str, str, FrozenSet[Tuple[str, str]]]
+
+
 class Optimizer:
-    """Cost-based plan selection over a database's catalog and statistics."""
+    """Cost-based plan selection over a database's catalog and statistics.
+
+    When ``enable_plan_cache`` is True (the default), planning calls made
+    with an *explicit* candidate index list -- the what-if calls issued by
+    the Evaluate Indexes mode and the advisor's benefit evaluator -- are
+    memoized by ``(query_id, query text, relevant index keys)`` and by the
+    database's :meth:`~repro.storage.document_store.XmlDatabase.data_signature`
+    (the statistics signature): the cache is dropped wholesale whenever the
+    signature changes, so a plan is never served against stale statistics.
+    Catalog-defaulted calls (``candidate_indexes=None``) are never cached,
+    because catalog contents can change without the data signature moving.
+
+    :attr:`plan_calls` counts plans actually computed and
+    :attr:`plan_cache_hits` counts calls served from the cache; the
+    advisor benchmarks use the two to report what-if evaluation savings.
+    """
 
     def __init__(self, database: XmlDatabase,
-                 parameters: Optional[CostParameters] = None) -> None:
+                 parameters: Optional[CostParameters] = None,
+                 enable_plan_cache: bool = True) -> None:
         self.database = database
         self.parameters = parameters
+        self.enable_plan_cache = enable_plan_cache
         self._cost_model: Optional[CostModel] = None
         self._statistics_token: Optional[int] = None
+        #: Number of plans actually computed (query + update plans).
+        self.plan_calls = 0
+        #: Number of planning calls served from the what-if plan cache.
+        self.plan_cache_hits = 0
+        self._plan_cache: Dict[_PlanKey, QueryPlan] = {}
+        self._update_plan_cache: Dict[_PlanKey, UpdatePlan] = {}
+        self._plan_cache_signature: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    # ------------------------------------------------------------------
+    # Plan cache plumbing
+    # ------------------------------------------------------------------
+    def _plan_cache_key(self, query: NormalizedQuery,
+                        indexes: Sequence[IndexDefinition]
+                        ) -> Optional[_PlanKey]:
+        """The cache key for this call, or None when caching is off.
+
+        Also validates the cached entries against the database's data
+        signature, dropping everything on a mismatch.
+        """
+        if not self.enable_plan_cache:
+            return None
+        signature = self.database.data_signature()
+        if signature != self._plan_cache_signature:
+            self._plan_cache.clear()
+            self._update_plan_cache.clear()
+            self._plan_cache_signature = signature
+        return (query.query_id, query.text,
+                frozenset(index.key for index in indexes))
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached plans (statistics-signature checks do this
+        automatically; exposed for tests and long-lived processes)."""
+        self._plan_cache.clear()
+        self._update_plan_cache.clear()
+        self._plan_cache_signature = None
 
     # ------------------------------------------------------------------
     @property
@@ -82,11 +139,22 @@ class Optimizer:
 
         indexes = list(candidate_indexes) if candidate_indexes is not None \
             else self.database.catalog.all_indexes
+        key = self._plan_cache_key(query, indexes) \
+            if candidate_indexes is not None else None
+        if key is not None:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self.plan_cache_hits += 1
+                return cached
+        self.plan_calls += 1
         scan_plan = self._document_scan_plan(query)
         index_plan = self._index_plan(query, indexes)
-        if index_plan is not None and index_plan.total_cost < scan_plan.total_cost:
-            return index_plan
-        return scan_plan
+        plan = index_plan if (index_plan is not None
+                              and index_plan.total_cost < scan_plan.total_cost) \
+            else scan_plan
+        if key is not None:
+            self._plan_cache[key] = plan
+        return plan
 
     def plan_update(self, query: NormalizedQuery,
                     candidate_indexes: Optional[Iterable[IndexDefinition]] = None
@@ -95,6 +163,14 @@ class Optimizer:
         model = self.cost_model
         indexes = list(candidate_indexes) if candidate_indexes is not None \
             else self.database.catalog.all_indexes
+        key = self._plan_cache_key(query, indexes) \
+            if candidate_indexes is not None else None
+        if key is not None:
+            cached_update = self._update_plan_cache.get(key)
+            if cached_update is not None:
+                self.plan_cache_hits += 1
+                return cached_update
+        self.plan_calls += 1
         maintenance: List[IndexMaintenance] = []
         for index in indexes:
             cost, affected = model.maintenance_cost(index, query.touched_patterns)
@@ -102,8 +178,12 @@ class Optimizer:
                 maintenance.append(IndexMaintenance(index=index,
                                                     affected_entries=affected,
                                                     cost=cost))
-        return UpdatePlan(query=query, base_cost=model.update_base_cost(query),
-                          maintenance_costs=maintenance)
+        update_plan = UpdatePlan(query=query,
+                                 base_cost=model.update_base_cost(query),
+                                 maintenance_costs=maintenance)
+        if key is not None:
+            self._update_plan_cache[key] = update_plan
+        return update_plan
 
     def estimate_workload_cost(self, queries: Sequence[NormalizedQuery],
                                candidate_indexes: Optional[Iterable[IndexDefinition]] = None

@@ -30,6 +30,7 @@ or removed; consumers must therefore re-fetch
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.xmldb.nodes import DocumentNode, XmlNode
@@ -137,8 +138,17 @@ class PathSummary:
         return cached
 
     def nodes_for_pattern(self, pattern: PathPattern,
-                          doc_id: Optional[int] = None) -> List[XmlNode]:
+                          doc_id: Optional[int] = None,
+                          ordered: bool = False) -> List[XmlNode]:
         """Nodes matched by ``pattern`` (in one document, or all).
+
+        With ``ordered=True`` the result is in document order -- nodes
+        sorted by ``(doc key, node id)`` -- even when the pattern matches
+        several distinct paths; the per-path lists are already in
+        document order, so the multi-path case is a k-way node-id merge
+        rather than a sort.  This is what lets compiled lookups serve
+        ordered extraction.  The default keeps the cheaper
+        grouped-by-path concatenation for node-set consumers.
 
         The returned list must be treated as read-only.
         """
@@ -147,11 +157,39 @@ class PathSummary:
             return _NO_NODES
         if len(paths) == 1:
             return self.nodes_for_path(paths[0], doc_id)
+        if ordered:
+            return self._merged_ordered(paths, doc_id)
         merged: List[XmlNode] = []
         for path in paths:
             nodes = self.nodes_for_path(path, doc_id)
             if nodes:
                 merged.extend(nodes)
+        return merged
+
+    def _merged_ordered(self, paths: Tuple[str, ...],
+                        doc_id: Optional[int]) -> List[XmlNode]:
+        """K-way merge of the per-path node lists into document order.
+
+        Node ids are pre-order positions within one document, so within a
+        document ``node_id`` *is* document order; across documents the
+        merge proceeds document by document in key order.
+        """
+        if doc_id is not None:
+            doc_keys: Iterable[int] = (doc_id,)
+        else:
+            keys: Set[int] = set()
+            for path in paths:
+                keys.update(self._doc_nodes[path])
+            doc_keys = sorted(keys)
+        merged: List[XmlNode] = []
+        for key in doc_keys:
+            runs = [per_doc[key] for per_doc in
+                    (self._doc_nodes[path] for path in paths)
+                    if key in per_doc]
+            if len(runs) == 1:
+                merged.extend(runs[0])
+            elif runs:
+                merged.extend(heapq.merge(*runs, key=lambda node: node.node_id))
         return merged
 
     def has_match(self, pattern: PathPattern,

@@ -109,6 +109,12 @@ class DatabaseStatistics:
     #: of size estimation and cost modelling).  Not part of equality.
     _match_cache: Dict[PathPattern, List[str]] = field(default_factory=dict,
                                                        repr=False, compare=False)
+    #: Memo of index key -> estimated size in bytes, maintained by
+    #: :mod:`repro.index.sizing`.  Lives and dies with this statistics
+    #: object (statistics are rebuilt, not mutated, on data changes) and
+    #: is cleared defensively by :meth:`merge`.  Not part of equality.
+    size_cache: Dict[Tuple[str, str], float] = field(default_factory=dict,
+                                                     repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -223,6 +229,7 @@ class DatabaseStatistics:
     def merge(self, other: "DatabaseStatistics") -> None:
         """Fold another statistics object (e.g. another collection) into this one."""
         self._match_cache.clear()
+        self.size_cache.clear()
         self.document_count += other.document_count
         self.total_node_count += other.total_node_count
         self.total_element_count += other.total_element_count

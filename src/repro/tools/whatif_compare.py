@@ -1,0 +1,134 @@
+"""Legacy-vs-incremental advisor search comparison (shared protocol).
+
+One implementation of the E3-style budget sweep used by three
+consumers -- the E3 benchmarks (``benchmarks/bench_e3_search.py``), the
+tier-1 ``bench_smoke`` guard (``tests/test_bench_smoke.py``), and the
+perf-trajectory recorder (``tools/bench_record.py``) -- so the
+comparison protocol (same candidates/DAG per mode, fresh evaluator per
+run, ``enable_plan_cache`` coupled to ``use_incremental``) cannot
+silently diverge between the guard, the bench and the recorded numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.advisor.advisor import XmlIndexAdvisor
+from repro.advisor.benefit import ConfigurationEvaluator
+from repro.advisor.config import AdvisorParameters, SearchAlgorithm
+from repro.advisor.enumeration import create_search
+from repro.xquery.model import Workload
+
+#: The default E3 budget sweep, as fractions of the overtrained
+#: (all-basic-candidates) configuration size.
+DEFAULT_BUDGET_FRACTIONS: Tuple[float, ...] = (0.1, 0.25, 0.5, 1.0)
+
+#: The iterative strategies the incremental engine accelerates (plain
+#: greedy evaluates each candidate exactly once either way).
+DEFAULT_ALGORITHMS: Tuple[SearchAlgorithm, ...] = (
+    SearchAlgorithm.GREEDY_HEURISTIC, SearchAlgorithm.TOP_DOWN)
+
+
+@dataclass
+class SweepRow:
+    """One (budget fraction, algorithm) comparison."""
+
+    budget_fraction: float
+    algorithm: str
+    identical: bool
+    legacy_costings: int
+    incremental_costings: int
+    configuration_keys: List[Tuple[str, str]]
+
+    @property
+    def costings_ratio(self) -> float:
+        return self.legacy_costings / max(self.incremental_costings, 1)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one legacy-vs-incremental budget sweep."""
+
+    rows: List[SweepRow] = field(default_factory=list)
+    #: mode ("legacy" | "incremental") -> {"costings", "plan_calls", "seconds"}
+    totals: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    candidate_count: int = 0
+    query_count: int = 0
+
+    @property
+    def identical(self) -> bool:
+        return all(row.identical for row in self.rows)
+
+    @property
+    def costings_ratio(self) -> float:
+        return (self.totals["legacy"]["costings"]
+                / max(self.totals["incremental"]["costings"], 1))
+
+    @property
+    def time_speedup(self) -> float:
+        return (self.totals["legacy"]["seconds"]
+                / max(self.totals["incremental"]["seconds"], 1e-9))
+
+
+def compare_search_modes(database,
+                         workload: Union[Workload, Sequence[str]],
+                         budget_fractions: Sequence[float] = DEFAULT_BUDGET_FRACTIONS,
+                         algorithms: Sequence[SearchAlgorithm] = DEFAULT_ALGORITHMS
+                         ) -> SweepResult:
+    """Run the search sweep legacy (``use_incremental=False``, plan cache
+    off) vs incremental (both on) and compare outcomes.
+
+    Each run gets a fresh evaluator/optimizer so neither mode warms the
+    other's caches; budgets are fractions of the overtrained
+    configuration size, mirroring the E3 experiment.
+    """
+    advisor = XmlIndexAdvisor(database, AdvisorParameters())
+    queries = advisor.normalize(workload)
+    basic = advisor.enumerate_candidates(queries)
+    generalization = advisor.generalize(basic)
+    sizing = ConfigurationEvaluator(database, queries)
+    overtrained_size = sizing.configuration_size_bytes(
+        candidate.to_definition() for candidate in basic)
+
+    result = SweepResult(candidate_count=len(generalization.candidates),
+                         query_count=len(queries))
+    result.totals = {mode: {"costings": 0, "plan_calls": 0, "seconds": 0.0}
+                     for mode in ("legacy", "incremental")}
+    for fraction in budget_fractions:
+        budget = overtrained_size * fraction
+        for algorithm in algorithms:
+            outcome = {}
+            for incremental in (False, True):
+                parameters = AdvisorParameters(disk_budget_bytes=budget,
+                                               search_algorithm=algorithm,
+                                               use_incremental=incremental,
+                                               enable_plan_cache=incremental)
+                evaluator = ConfigurationEvaluator(database, queries, parameters)
+                search = create_search(algorithm, evaluator, parameters)
+                start = time.perf_counter()
+                search_result = search.search(generalization.candidates,
+                                              generalization.dag)
+                elapsed = time.perf_counter() - start
+                mode = "incremental" if incremental else "legacy"
+                totals = result.totals[mode]
+                totals["costings"] += evaluator.query_costings
+                totals["plan_calls"] += evaluator.optimizer.plan_calls
+                totals["seconds"] += elapsed
+                outcome[mode] = (search_result, evaluator.query_costings)
+            legacy, legacy_costings = outcome["legacy"]
+            incremental_result, incremental_costings = outcome["incremental"]
+            keys = [definition.key for definition in incremental_result.configuration]
+            result.rows.append(SweepRow(
+                budget_fraction=fraction,
+                algorithm=algorithm.value,
+                identical=([d.key for d in legacy.configuration] == keys
+                           and abs(legacy.benefit.total_benefit
+                                   - incremental_result.benefit.total_benefit)
+                           < 1e-6),
+                legacy_costings=legacy_costings,
+                incremental_costings=incremental_costings,
+                configuration_keys=keys,
+            ))
+    return result

@@ -89,20 +89,26 @@ class CompiledXPath:
         return self.pattern is not None
 
     def select_nodes(self, summary, document: DocumentNode,
-                     evaluator: Optional[XPathEvaluator] = None) -> List[XmlNode]:
+                     evaluator: Optional[XPathEvaluator] = None,
+                     ordered: bool = False) -> List[XmlNode]:
         """The node set this expression selects in ``document``.
 
         ``summary`` is the path summary covering ``document`` (keyed by
         its ``doc_id``); pass ``evaluator`` to reuse one
         :class:`XPathEvaluator` across calls for the same document.
-        The result must be treated as read-only unless
+        With ``ordered=True`` the spine nodes come back in document
+        order even when the pattern matches several distinct paths
+        (node-id merge in the summary), so the result can serve ordered
+        extraction; residual filtering and ``text()`` expansion preserve
+        that order.  The result must be treated as read-only unless
         :attr:`residual_predicates` or :attr:`text_tail` forced a copy.
         """
         if self.pattern is None or summary is None:
             if evaluator is None:
                 evaluator = XPathEvaluator(document)
             return evaluator.select_nodes(self.expression)
-        nodes = summary.nodes_for_pattern(self.pattern, document.doc_id)
+        nodes = summary.nodes_for_pattern(self.pattern, document.doc_id,
+                                          ordered=ordered)
         if self.text_tail and nodes:
             texts: List[XmlNode] = []
             for node in nodes:

@@ -133,8 +133,17 @@ class PathPattern:
         return PathPattern(steps=tuple(steps))
 
     def to_text(self) -> str:
-        """Render the pattern back to its XPath form."""
-        return "".join(step.to_text() for step in self.steps)
+        """Render the pattern back to its XPath form (memoized).
+
+        Pattern text is the identity component of index/candidate keys,
+        which the advisor's relevance map, plan cache, and search heaps
+        read in their hot loops -- render once per pattern instance.
+        """
+        cached = self.__dict__.get("_text")
+        if cached is None:
+            cached = "".join(step.to_text() for step in self.steps)
+            object.__setattr__(self, "_text", cached)
+        return cached
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.to_text()

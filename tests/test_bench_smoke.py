@@ -16,6 +16,12 @@ Sizes are capped by environment variables:
     deliberately conservative because tiny runs on loaded or
     instrumented CI are noisy -- a genuine subsystem regression drops
     the ratio to ~1x or below, which even the soft floor catches).
+``REPRO_SMOKE_MIN_WHATIF_RATIO``
+    Minimum accepted ratio of legacy-to-incremental per-query what-if
+    costings in the advisor search smoke check (default ``5``).  Unlike
+    the timing floors this one is deterministic -- it counts work, not
+    seconds -- so a drop means the incremental engine stopped saving
+    evaluations.
 
 Deselect with ``-m "not bench_smoke"`` if an environment is too noisy
 for any timing assertion.
@@ -46,6 +52,7 @@ def _env_float(name: str, default: float) -> float:
 
 SMOKE_SCALE = _env_float("REPRO_SMOKE_XMARK_SCALE", 0.05)
 MIN_SPEEDUP = _env_float("REPRO_SMOKE_MIN_SPEEDUP", 1.5)
+MIN_WHATIF_RATIO = _env_float("REPRO_SMOKE_MIN_WHATIF_RATIO", 5.0)
 
 
 @pytest.fixture(scope="module")
@@ -96,3 +103,22 @@ def test_smoke_index_measurement_consistent(smoke_db, smoke_workload):
     for base_row, indexed_row in zip(baseline.per_query, indexed.per_query):
         assert base_row.result_count == indexed_row.result_count
     assert smoke_db.catalog.physical_indexes == []
+
+
+def test_smoke_incremental_search_equivalent_and_cheaper(smoke_db, smoke_workload):
+    """The incremental what-if engine must recommend *identical*
+    configurations to the legacy full re-evaluation while issuing at
+    least ``MIN_WHATIF_RATIO``x fewer per-query what-if costings (E3 at
+    smoke scale; the count is deterministic, unlike the timing floors)."""
+    from repro.tools.whatif_compare import compare_search_modes
+
+    sweep = compare_search_modes(smoke_db, smoke_workload,
+                                 budget_fractions=(0.5,))
+    for row in sweep.rows:
+        assert row.identical, (row.algorithm, row.budget_fraction)
+    assert sweep.costings_ratio >= MIN_WHATIF_RATIO, (
+        f"incremental advisor search regressed: "
+        f"{sweep.totals['legacy']['costings']} legacy vs "
+        f"{sweep.totals['incremental']['costings']} incremental what-if "
+        f"costings ({sweep.costings_ratio:.1f}x < {MIN_WHATIF_RATIO:.1f}x) "
+        f"at scale {SMOKE_SCALE}")

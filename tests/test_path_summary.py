@@ -106,6 +106,56 @@ class TestPathSummary:
         text = summary.describe()
         assert "distinct paths" in text and "1 document(s)" in text
 
+    def test_ordered_pattern_lookup_is_in_document_order(self):
+        """Multi-path pattern lookups with ordered=True merge the per-path
+        runs by node id: the result is exactly document order, per
+        document, across every distinct path the pattern matches."""
+        database = XmlDatabase("t")
+        collection = database.create_collection("site")
+        collection.add_document(parse_document(TINY_SITE_XML))
+        collection.add_document(parse_document(TINY_SITE_XML))
+        summary = collection.path_summary
+        # '//@id' matches both item/@id and person/@id -- two distinct
+        # paths whose nodes interleave in document order.
+        pattern = PathPattern.parse("//@id")
+        assert len(summary.paths_matching(pattern)) > 1
+        def doc_of(node):
+            return list(node.ancestors(include_self=True))[-1].doc_id
+
+        ordered = summary.nodes_for_pattern(pattern, ordered=True)
+        keys = [(doc_of(node), node.node_id) for node in ordered]
+        assert keys == sorted(keys)
+        # Same node set as the unordered (grouped-by-path) lookup.
+        unordered = summary.nodes_for_pattern(pattern)
+        assert {id(n) for n in ordered} == {id(n) for n in unordered}
+        # Per-document lookup is ordered too.
+        for doc_id in (0, 1):
+            per_doc = summary.nodes_for_pattern(pattern, doc_id=doc_id,
+                                                ordered=True)
+            ids = [node.node_id for node in per_doc]
+            assert ids == sorted(ids) and ids
+
+    def test_ordered_lookup_single_path_unchanged(self, tiny_document):
+        summary = build_path_summary([tiny_document], renumber=True)
+        pattern = PathPattern.parse("/site/regions/africa/item")
+        assert summary.nodes_for_pattern(pattern, ordered=True) == \
+            summary.nodes_for_pattern(pattern)
+
+    def test_compiled_lookup_serves_ordered_extraction(self):
+        """CompiledXPath.select_nodes(ordered=True) returns the summary
+        spine in document order, matching the interpreter's order."""
+        from repro.xpath.compiler import compile_xpath
+
+        database = XmlDatabase("t")
+        collection = database.create_collection("site")
+        document = collection.add_document(parse_document(TINY_SITE_XML))
+        summary = collection.path_summary
+        compiled = compile_xpath("//@id")
+        assert compiled.is_summary_backed
+        nodes = compiled.select_nodes(summary, document, ordered=True)
+        interpreted = XPathEvaluator(document).select_nodes(compiled.expression)
+        assert [n.node_id for n in nodes] == [n.node_id for n in interpreted]
+
 
 # ----------------------------------------------------------------------
 # Statistics share the summary traversal

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Record the advisor perf trajectory into a JSON file, one entry per PR.
+
+Runs two deterministic-workload timings at env-capped sizes and dumps
+the numbers to ``BENCH_advisor.json`` (override with ``--output``):
+
+* **E3 (advisor search)** -- the budget-sweep configuration search on
+  the XMark training workload, legacy full re-evaluation vs the
+  incremental what-if engine: wall time, per-query what-if costings,
+  optimizer plan calls, and an equivalence flag.
+* **E5 (execution)** -- interpretive document scan vs the structural
+  path-summary scan over the XMark query workload: wall time per mode
+  and the speedup.
+
+Sizes are controlled by ``REPRO_SMOKE_XMARK_SCALE`` (default ``0.1``)
+so CI stays fast; run with a larger scale locally for headline numbers.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_record.py [--output BENCH_advisor.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.executor.measurement import measure_scan_modes
+from repro.tools.whatif_compare import compare_search_modes
+from repro.workloads.xmark import (
+    XMarkConfig,
+    generate_xmark_database,
+    xmark_query_workload,
+)
+
+
+def _scale(default: float = 0.1) -> float:
+    """``REPRO_SMOKE_XMARK_SCALE`` override (same semantics as the
+    benchmark/test conftests: unset or unparsable falls back)."""
+    raw = os.environ.get("REPRO_SMOKE_XMARK_SCALE")
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def record_e3_search(database, workload) -> dict:
+    """Legacy-vs-incremental budget sweep (greedy-heuristic + top-down)."""
+    sweep = compare_search_modes(database, workload)
+    legacy, incr = sweep.totals["legacy"], sweep.totals["incremental"]
+    return {
+        "candidates": sweep.candidate_count,
+        "queries": sweep.query_count,
+        "legacy": {"seconds": round(legacy["seconds"], 4),
+                   "query_costings": legacy["costings"],
+                   "plan_calls": legacy["plan_calls"]},
+        "incremental": {"seconds": round(incr["seconds"], 4),
+                        "query_costings": incr["costings"],
+                        "plan_calls": incr["plan_calls"]},
+        "identical_configurations": sweep.identical,
+        "costings_ratio": round(sweep.costings_ratio, 2),
+        "time_speedup": round(sweep.time_speedup, 2),
+    }
+
+
+def record_e5_execution(database, workload) -> dict:
+    """Interpretive scan vs structural-summary scan wall times."""
+    measurements = measure_scan_modes(database, workload)
+    interpretive = measurements["scan-interpretive"]
+    summary = measurements["scan-summary"]
+    return {
+        "interpretive_seconds": round(interpretive.total_seconds, 4),
+        "summary_seconds": round(summary.total_seconds, 4),
+        "speedup": round(interpretive.total_seconds
+                         / max(summary.total_seconds, 1e-9), 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_advisor.json",
+                        help="path of the JSON file to write")
+    args = parser.parse_args()
+
+    scale = _scale()
+    database = generate_xmark_database(XMarkConfig(scale=scale, seed=42))
+    workload = xmark_query_workload(name="bench-record")
+
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "xmark_scale": scale,
+        "e3_search": record_e3_search(database, workload),
+        "e5_execution": record_e5_execution(database, workload),
+    }
+
+    # Append to the trajectory (a JSON list, one entry per recording) so
+    # successive PRs accumulate instead of overwriting each other.
+    entries = []
+    if os.path.exists(args.output):
+        try:
+            with open(args.output, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            entries = loaded if isinstance(loaded, list) else [loaded]
+        except (json.JSONDecodeError, OSError):
+            entries = []
+    entries.append(entry)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(entries, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    e3, e5 = entry["e3_search"], entry["e5_execution"]
+    print(f"wrote {args.output} (xmark scale {scale})")
+    print(f"  E3: identical={e3['identical_configurations']} "
+          f"costings {e3['legacy']['query_costings']}"
+          f"->{e3['incremental']['query_costings']} "
+          f"({e3['costings_ratio']}x), "
+          f"time {e3['legacy']['seconds']}s->{e3['incremental']['seconds']}s "
+          f"({e3['time_speedup']}x)")
+    print(f"  E5: scan {e5['interpretive_seconds']}s -> summary "
+          f"{e5['summary_seconds']}s ({e5['speedup']}x)")
+    return 0 if e3["identical_configurations"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

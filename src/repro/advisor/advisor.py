@@ -105,8 +105,11 @@ class XmlIndexAdvisor:
         self.database = database
         self.parameters = parameters or AdvisorParameters()
         self.parameters.validate()
-        self.optimizer = Optimizer(database, self.parameters.cost_parameters,
-                                   enable_plan_cache=self.parameters.enable_plan_cache)
+        self.optimizer = Optimizer(
+            database, self.parameters.cost_parameters,
+            enable_plan_cache=self.parameters.enable_plan_cache,
+            enable_fine_grained_invalidation=(
+                self.parameters.use_incremental_maintenance))
 
     # ------------------------------------------------------------------
     # Pipeline steps (exposed individually for the demo/benchmarks)

@@ -39,11 +39,22 @@ hatch, which restores the legacy full re-evaluation):
 * per-query **memoization** keyed by ``(query id, relevant index
   keys)``, shared with the legacy path.
 
-Invalidation contract: all derived state (relevance map, query cache,
-size cache, baseline costs) is keyed to the database's
-``data_signature()``.  Every public entry point revalidates the
-signature and rebuilds from scratch when documents changed, so the
-evaluator can outlive data loads without serving stale costs.
+Invalidation contract: every public entry point revalidates against the
+database.  With ``AdvisorParameters.use_incremental_maintenance`` (the
+default) the evaluator polls a
+:class:`~repro.storage.maintenance.DataChangeTracker` and invalidates
+*fine-grained*: the pattern-relevance map always survives (it depends
+only on workload and index patterns, never on data); per-query memo
+rows and baseline costs are re-costed only for the queries whose
+statistics inputs actually moved; and memoized index-size estimates
+whose patterns were untouched are carried onto the rebuilt statistics
+object.  Because the cost model prices every query against whole-
+database aggregates, a change to those aggregates stales *all* per-
+query costs and forces the full re-cost (the exactness guard) -- the
+selective path pays off when the signature moves but the synopsis does
+not (RUNSTATS, empty-collection DDL, net-zero batches).  Disabling the
+flag restores the legacy behaviour: drop everything, including the
+relevance map, whenever ``data_signature()`` moves.
 """
 
 from __future__ import annotations
@@ -53,10 +64,11 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.advisor.config import AdvisorParameters
 from repro.index.definition import IndexConfiguration, IndexDefinition
-from repro.index.sizing import estimate_index_size_bytes
+from repro.index.sizing import carry_over_size_estimates, estimate_index_size_bytes
 from repro.optimizer.explain import evaluate_indexes
 from repro.optimizer.optimizer import Optimizer
 from repro.storage.document_store import XmlDatabase
+from repro.storage.maintenance import DataChangeTracker
 from repro.xpath.patterns import pattern_contains
 from repro.xquery.model import NormalizedQuery, ValueType
 
@@ -86,6 +98,10 @@ class ConfigurationBenefit:
     total_size_bytes: float
     query_evaluations: List[QueryEvaluation] = field(default_factory=list)
     index_sizes: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: The evaluator epoch the per-query rows were costed in; delta
+    #: updates across data changes use it to decide which rows are still
+    #: reusable.  Not part of value equality.
+    evaluator_epoch: int = field(default=0, compare=False, repr=False)
 
     @property
     def used_index_keys(self) -> FrozenSet[Tuple[str, str]]:
@@ -117,15 +133,27 @@ class ConfigurationEvaluator:
         self.queries = list(queries)
         self.parameters = parameters or AdvisorParameters()
         self.use_incremental = self.parameters.use_incremental
+        self.use_incremental_maintenance = \
+            self.parameters.use_incremental_maintenance
         self.optimizer = optimizer or Optimizer(
             database, self.parameters.cost_parameters,
-            enable_plan_cache=self.parameters.enable_plan_cache)
+            enable_plan_cache=self.parameters.enable_plan_cache,
+            enable_fine_grained_invalidation=self.use_incremental_maintenance)
         self._baseline: Dict[str, float] = {}
         self._query_cache: Dict[Tuple[str, FrozenSet[Tuple[str, str]]],
                                 Tuple[float, Tuple[Tuple[str, str], ...]]] = {}
         #: Inverted relevance map: index key -> ids of affected queries.
         self._relevance: Dict[Tuple[str, str], FrozenSet[str]] = {}
         self._signature = database.data_signature()
+        self._tracker = DataChangeTracker(database) \
+            if self.use_incremental_maintenance else None
+        #: Monotonic refresh epoch: bumped every time a data change is
+        #: absorbed.  Benefits are stamped with the epoch they were
+        #: costed in so delta updates know which rows are reusable.
+        self._epoch = 0
+        #: Query ids staled by the most recent absorbed change; ``None``
+        #: means "all of them" (aggregates moved, or legacy mode).
+        self._last_stale: Optional[FrozenSet[str]] = None
         #: Full-workload evaluations performed (legacy path + evaluate()).
         self.full_evaluations = 0
         #: Delta evaluations performed (incremental update()/extend()).
@@ -135,6 +163,9 @@ class ConfigurationEvaluator:
         #: evaluation issues one per workload query; a delta evaluation
         #: one per affected query.
         self.query_costings = 0
+        #: Baseline/query-memo rows preserved across data changes by the
+        #: fine-grained invalidation path (for the tests/benchmarks).
+        self.rows_preserved_on_refresh = 0
         self._compute_baseline()
 
     # ------------------------------------------------------------------
@@ -146,16 +177,70 @@ class ConfigurationEvaluator:
         return self._signature
 
     def refresh(self) -> bool:
-        """Revalidate against the database; rebuild derived state if stale.
+        """Revalidate against the database; invalidate stale state.
 
-        Returns True when the database changed and the relevance map,
-        query cache, size cache and baseline were dropped and recomputed.
-        Called automatically by every public evaluation entry point.
+        Returns True when the database changed.  With fine-grained
+        maintenance the invalidation is selective (see the module
+        docstring); otherwise the relevance map, query cache and
+        baseline are dropped and recomputed wholesale.  Called
+        automatically by every public evaluation entry point.
         """
+        if self._tracker is not None:
+            change = self._tracker.poll()
+            if change is None:
+                return False
+            self._signature = self.database.data_signature()
+            self._epoch += 1
+            # Size estimates depend only on per-pattern statistics, so
+            # untouched ones survive even aggregate-moving changes.
+            if change.old_statistics is not None \
+                    and change.new_statistics is not None:
+                carry_over_size_estimates(change.old_statistics,
+                                          change.new_statistics,
+                                          change.affects_index_key)
+            # The relevance map is pattern-containment only -- data
+            # changes can never stale it.
+            if change.aggregates_changed:
+                self._query_cache.clear()
+                self._baseline.clear()
+                self._compute_baseline()
+                self._last_stale = None
+            else:
+                stale_ids = frozenset(query.query_id for query in self.queries
+                                      if change.affects_query(query))
+                evict = [key for key in self._query_cache
+                         if key[0] in stale_ids
+                         or any(change.affects_index_key(index_key)
+                                for index_key in key[1])]
+                for key in evict:
+                    del self._query_cache[key]
+                self.rows_preserved_on_refresh += len(self._query_cache)
+                # Baselines are no-index costs: only the query's own
+                # patterns matter.
+                for query in self.queries:
+                    if query.query_id in stale_ids:
+                        self._baseline[query.query_id] = self._baseline_cost(query)
+                # The row-reuse gate for delta updates must be wider: a
+                # configured row is also stale when a *relevant index*'s
+                # statistics moved (entry counts / key selectivities are
+                # computed over the index pattern, which may match
+                # changed paths the query's own predicates do not).
+                # Every index that ever contributed to a row is in the
+                # relevance map, so the union over affected known keys
+                # covers all reusable rows exactly.
+                index_stale = set(stale_ids)
+                for index_key, query_ids in self._relevance.items():
+                    if query_ids and change.affects_index_key(index_key):
+                        index_stale.update(query_ids)
+                self._last_stale = frozenset(index_stale)
+            return True
+        # Legacy signature-keyed full invalidation.
         signature = self.database.data_signature()
         if signature == self._signature:
             return False
         self._signature = signature
+        self._epoch += 1
+        self._last_stale = None
         self._relevance.clear()
         self._query_cache.clear()
         self._baseline.clear()
@@ -165,14 +250,14 @@ class ConfigurationEvaluator:
     # ------------------------------------------------------------------
     # Baseline
     # ------------------------------------------------------------------
+    def _baseline_cost(self, query: NormalizedQuery) -> float:
+        if query.is_update:
+            return self.optimizer.plan_update(query, candidate_indexes=[]).total_cost
+        return self.optimizer.optimize(query, candidate_indexes=[]).total_cost
+
     def _compute_baseline(self) -> None:
         for query in self.queries:
-            if query.is_update:
-                plan = self.optimizer.plan_update(query, candidate_indexes=[])
-                self._baseline[query.query_id] = plan.total_cost
-            else:
-                plan = self.optimizer.optimize(query, candidate_indexes=[])
-                self._baseline[query.query_id] = plan.total_cost
+            self._baseline[query.query_id] = self._baseline_cost(query)
 
     @property
     def baseline_costs(self) -> Dict[str, float]:
@@ -273,7 +358,8 @@ class ConfigurationEvaluator:
                                     total_benefit=total_benefit,
                                     total_size_bytes=sum(sizes.values()),
                                     query_evaluations=evaluations,
-                                    index_sizes=sizes)
+                                    index_sizes=sizes,
+                                    evaluator_epoch=self._epoch)
 
     def evaluate_single_index(self, index: IndexDefinition) -> ConfigurationBenefit:
         """Benefit of a configuration containing only ``index``."""
@@ -291,11 +377,17 @@ class ConfigurationEvaluator:
         :meth:`evaluate` of the new configuration exactly (a query's
         cost depends only on its relevant subset of the configuration).
         With ``use_incremental`` disabled this falls back to the full
-        re-evaluation, as it does when the database changed since
-        ``base`` was computed (``base``'s rows are then stale for every
-        query, not just the affected ones).
+        re-evaluation.
+
+        When the database changed since ``base`` was computed, the
+        epoch stamp decides what survives: with fine-grained
+        maintenance and a base from the immediately preceding epoch,
+        only the rows the change staled are re-costed on top of the
+        configuration delta; otherwise (legacy mode, aggregates moved,
+        or an older base) every row is stale and the evaluation is
+        full.
         """
-        data_changed = self.refresh()
+        self.refresh()
         configuration = base.configuration.copy()
         changed: List[IndexDefinition] = []
         for definition in remove:
@@ -304,11 +396,20 @@ class ConfigurationEvaluator:
         for definition in add:
             if configuration.add(definition):
                 changed.append(definition)
-        if not self.use_incremental or data_changed:
+        if not self.use_incremental:
+            self.full_evaluations += 1
+            return self._evaluate_now(configuration)
+        stale_rows: FrozenSet[str]
+        if base.evaluator_epoch == self._epoch:
+            stale_rows = frozenset()
+        elif (base.evaluator_epoch == self._epoch - 1
+                and self._last_stale is not None):
+            stale_rows = self._last_stale
+        else:
             self.full_evaluations += 1
             return self._evaluate_now(configuration)
         self.delta_evaluations += 1
-        affected: set = set()
+        affected: set = set(stale_rows)
         for definition in changed:
             affected.update(self.relevant_queries(definition))
         base_rows = {row.query_id: row for row in base.query_evaluations}

@@ -16,6 +16,21 @@ Execution follows the optimizer's plan choice:
 The executor reports what it did (documents examined, index entries
 touched, result count, wall-clock time) so the E5 benchmark can compare
 runs with and without the recommended indexes.
+
+Maintenance: when the database's data signature moves between
+executions, the executor catches its materialized indexes up from each
+changed collection's delta journal
+(:meth:`~repro.storage.document_store.XmlCollection.deltas_since`) --
+one merge/retract per changed document -- instead of rebuilding every
+index from scratch, and records the signature each structure now
+reflects in the catalog (per-index staleness tracking).  A journal gap
+(trimmed history, in-place edits, ``use_incremental_maintenance=False``)
+falls back to the full rebuild.
+
+Extraction: ``execute(query, extract=True)`` additionally returns the
+nodes selected by the query's extraction paths in document order --
+``(collection, document, node id)`` -- served by the summary's ordered
+multi-path merges (``CompiledXPath.select_nodes(ordered=True)``).
 """
 
 from __future__ import annotations
@@ -50,6 +65,13 @@ class ExecutionResult:
     used_indexes: List[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     used_index_plan: bool = False
+    #: Nodes selected by the query's extraction paths, in document order
+    #: per path per document; only populated by ``execute(extract=True)``.
+    extracted_nodes: Optional[List[XmlNode]] = None
+
+    @property
+    def extracted_count(self) -> int:
+        return len(self.extracted_nodes) if self.extracted_nodes else 0
 
     def describe(self) -> str:
         plan = "index plan" if self.used_index_plan else "document scan"
@@ -71,14 +93,23 @@ class QueryExecutor:
 
     def __init__(self, database: XmlDatabase,
                  optimizer: Optional[Optimizer] = None,
-                 use_path_summary: bool = True) -> None:
+                 use_path_summary: bool = True,
+                 use_incremental_maintenance: bool = True) -> None:
         self.database = database
         self.optimizer = optimizer or Optimizer(database)
         self.use_path_summary = use_path_summary
+        #: Maintain materialized indexes from the collections' delta
+        #: journals on data change; ``False`` restores the legacy
+        #: rebuild-every-index behaviour for equivalence testing.
+        self.use_incremental_maintenance = use_incremental_maintenance
         #: Physical index structures keyed by definition key.
         self._indexes: Dict[Tuple[str, str], PhysicalPathIndex] = {}
         self._doc_lookup: Dict[Tuple[str, int], DocumentNode] = {}
         self._lookup_signature: Optional[Tuple[Tuple[str, int], ...]] = None
+        #: Indexes rebuilt from scratch / maintained via deltas since
+        #: construction (observability for tests and benchmarks).
+        self.index_rebuilds = 0
+        self.index_delta_maintenances = 0
         self._refresh_document_lookup()
 
     # ------------------------------------------------------------------
@@ -92,6 +123,12 @@ class QueryExecutor:
         returns the names of the indexes built.
         """
         built: List[str] = []
+        signature = self.database.data_signature()
+        if signature != self._lookup_signature:
+            # Bring the already-materialized indexes current *before*
+            # building new ones, so a later delta catch-up never replays
+            # documents a fresh build already contains.
+            self._maintain_derived_state()
         for definition in definitions:
             physical = definition.as_physical()
             if not self.database.catalog.has_index(physical.name):
@@ -99,13 +136,60 @@ class QueryExecutor:
             if physical.key not in self._indexes:
                 self._indexes[physical.key] = build_physical_index(physical, self.database)
                 built.append(physical.name)
+                self.database.catalog.mark_index_maintained(physical.name, signature)
         return built
 
     def _rebuild_indexes(self) -> None:
         """Re-materialize every built index against the current documents."""
+        signature = self.database.data_signature()
         for key, physical in list(self._indexes.items()):
             self._indexes[key] = build_physical_index(physical.definition,
                                                       self.database)
+            self.index_rebuilds += 1
+            self._mark_maintained(physical.definition.name, signature)
+
+    def _mark_maintained(self, name: str,
+                         signature: Tuple[Tuple[str, int], ...]) -> None:
+        if self.database.catalog.has_index(name):
+            self.database.catalog.mark_index_maintained(name, signature)
+
+    def _maintain_derived_state(self) -> None:
+        """Bring the document lookup and materialized indexes up to the
+        current data signature -- via the collections' delta journals
+        when possible, falling back to full rebuilds otherwise."""
+        old_signature = self._lookup_signature
+        self._refresh_document_lookup()  # O(documents): always cheap
+        if not self._indexes:
+            return
+        if not self.use_incremental_maintenance or old_signature is None:
+            self._rebuild_indexes()
+            return
+        old_versions = dict(old_signature)
+        new_versions = dict(self._lookup_signature or ())
+        if set(old_versions) - set(new_versions):
+            # A collection disappeared: entries cannot be retracted
+            # without its journal, rebuild.
+            self._rebuild_indexes()
+            return
+        pending = []
+        for name, version in new_versions.items():
+            previous = old_versions.get(name, 0)
+            if version == previous:
+                continue
+            deltas = self.database.collection(name).deltas_since(previous)
+            if deltas is None:
+                self._rebuild_indexes()
+                return
+            pending.extend(deltas)
+        # Replay is order-insensitive across collections (each delta
+        # only touches its own collection's keys) but must stay ordered
+        # within one, which deltas_since guarantees.
+        signature = self.database.data_signature()
+        for index in self._indexes.values():
+            for delta in pending:
+                index.apply_collection_delta(delta)
+            self.index_delta_maintenances += 1
+            self._mark_maintained(index.definition.name, signature)
 
     def drop_all_indexes(self) -> None:
         """Drop every physical index (catalog entries and structures)."""
@@ -120,8 +204,14 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, query: Union[NormalizedQuery, str]) -> ExecutionResult:
-        """Execute a query (normalized or raw statement text)."""
+    def execute(self, query: Union[NormalizedQuery, str],
+                extract: bool = False) -> ExecutionResult:
+        """Execute a query (normalized or raw statement text).
+
+        With ``extract=True``, the result additionally carries the nodes
+        selected by the query's extraction paths in every matching
+        document, in document order (``ExecutionResult.extracted_nodes``).
+        """
         if isinstance(query, str):
             query = normalize_statement(query)
         if query.is_update:
@@ -130,39 +220,46 @@ class QueryExecutor:
         start = time.perf_counter()
         if self._lookup_signature != self.database.data_signature():
             # Documents were added/removed since the executor's derived
-            # state was built: refresh the document lookup and rebuild
-            # the materialized indexes, so index plans neither miss new
-            # documents nor return entries with reassigned document ids.
-            self._refresh_document_lookup()
-            self._rebuild_indexes()
+            # state was built: refresh the document lookup and catch the
+            # materialized indexes up (via the delta journals, or by
+            # rebuilding), so index plans neither miss new documents nor
+            # return entries with reassigned document ids.
+            self._maintain_derived_state()
         plan = self.optimizer.optimize(
             query, candidate_indexes=self.database.catalog.physical_indexes)
         if plan.uses_indexes and self._plan_indexes_materialized(plan):
-            result = self._execute_index_plan(query, plan)
+            result = self._execute_index_plan(query, plan, extract)
         else:
-            result = self._execute_scan(query)
+            result = self._execute_scan(query, extract)
         result.elapsed_seconds = time.perf_counter() - start
         return result
 
-    def execute_workload(self, queries: Sequence[NormalizedQuery]) -> List[ExecutionResult]:
+    def execute_workload(self, queries: Sequence[NormalizedQuery],
+                         extract: bool = False) -> List[ExecutionResult]:
         """Execute every (non-update) query of a normalized workload."""
-        return [self.execute(query) for query in queries if not query.is_update]
+        return [self.execute(query, extract=extract)
+                for query in queries if not query.is_update]
 
     # ------------------------------------------------------------------
     # Scan execution
     # ------------------------------------------------------------------
-    def _execute_scan(self, query: NormalizedQuery) -> ExecutionResult:
+    def _execute_scan(self, query: NormalizedQuery,
+                      extract: bool = False) -> ExecutionResult:
         matching_docs = 0
         examined = 0
+        extracted: Optional[List[XmlNode]] = [] if extract else None
         for collection in self.database.collections:
             summary = collection.path_summary if self.use_path_summary else None
             for document in collection:
                 examined += 1
                 if self._document_matches(document, query, summary):
                     matching_docs += 1
+                    if extracted is not None:
+                        extracted.extend(
+                            self._extract_nodes(document, query, summary))
         return ExecutionResult(query_id=query.query_id, result_count=matching_docs,
                                documents_examined=examined, index_entries_scanned=0,
-                               used_index_plan=False)
+                               used_index_plan=False, extracted_nodes=extracted)
 
     # ------------------------------------------------------------------
     # Index plan execution
@@ -170,8 +267,8 @@ class QueryExecutor:
     def _plan_indexes_materialized(self, plan: QueryPlan) -> bool:
         return all(index.key in self._indexes for index in plan.used_indexes)
 
-    def _execute_index_plan(self, query: NormalizedQuery,
-                            plan: QueryPlan) -> ExecutionResult:
+    def _execute_index_plan(self, query: NormalizedQuery, plan: QueryPlan,
+                            extract: bool = False) -> ExecutionResult:
         candidate_docs: Optional[Set[Tuple[str, int]]] = None
         entries_scanned = 0
         used_names: List[str] = []
@@ -187,8 +284,21 @@ class QueryExecutor:
         candidate_docs = candidate_docs or set()
         matching = 0
         examined = 0
+        extracted: Optional[List[XmlNode]] = [] if extract else None
         summaries: Dict[str, Optional[PathSummary]] = {}
-        for key in candidate_docs:
+        # Candidate sets are unordered; extraction iterates them in
+        # (collection insertion order, doc id) order -- the same order
+        # the scan path visits documents -- so plan choice never changes
+        # the extraction stream.
+        if extract:
+            rank = {collection.name: position for position, collection
+                    in enumerate(self.database.collections)}
+            ordered_docs: Iterable[Tuple[str, int]] = sorted(
+                candidate_docs,
+                key=lambda key: (rank.get(key[0], len(rank)), key[1]))
+        else:
+            ordered_docs = candidate_docs
+        for key in ordered_docs:
             document = self._doc_lookup.get(key)
             if document is None:
                 continue
@@ -200,10 +310,14 @@ class QueryExecutor:
             examined += 1
             if self._document_matches(document, query, summaries[collection_name]):
                 matching += 1
+                if extracted is not None:
+                    extracted.extend(self._extract_nodes(
+                        document, query, summaries[collection_name]))
         return ExecutionResult(query_id=query.query_id, result_count=matching,
                                documents_examined=examined,
                                index_entries_scanned=entries_scanned,
-                               used_indexes=used_names, used_index_plan=True)
+                               used_indexes=used_names, used_index_plan=True,
+                               extracted_nodes=extracted)
 
     def _index_scans(self, plan: QueryPlan) -> List[IndexScan]:
         scans: List[IndexScan] = []
@@ -259,6 +373,29 @@ class QueryExecutor:
                     return True
             return False
         return True
+
+    def _extract_nodes(self, document: DocumentNode, query: NormalizedQuery,
+                       summary: Optional[PathSummary]) -> List[XmlNode]:
+        """The nodes the query's extraction paths select in ``document``,
+        per path in document order.
+
+        Ordered extraction is what the summary's node-id merges exist
+        for: a multi-path pattern (``/site/regions/*/item/name``) comes
+        back as one document-ordered stream instead of grouped by
+        distinct path (``CompiledXPath.select_nodes(ordered=True)``).
+        The interpretive fallback already yields step-expansion order,
+        which is document order for these linear paths.
+        """
+        evaluator: Optional[XPathEvaluator] = None
+        nodes: List[XmlNode] = []
+        for pattern in query.extraction_paths:
+            compiled = compile_pattern(pattern)
+            if evaluator is None and (summary is None
+                                      or not compiled.is_summary_backed):
+                evaluator = XPathEvaluator(document)
+            nodes.extend(compiled.select_nodes(summary, document, evaluator,
+                                               ordered=True))
+        return nodes
 
     @staticmethod
     def _predicate_holds(nodes: List[XmlNode],

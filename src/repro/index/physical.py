@@ -11,8 +11,9 @@ The actual execution time taken by the queries can then be displayed."
 from __future__ import annotations
 
 import bisect
+import heapq
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.index.definition import IndexDefinition
 from repro.storage import pages
@@ -20,6 +21,9 @@ from repro.storage.document_store import XmlDatabase
 from repro.xmldb.nodes import NodeKind
 from repro.xpath.ast import BinaryOp
 from repro.xquery.model import ValueType
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.storage.maintenance import CollectionDelta, DocumentDelta
 
 
 @dataclass(frozen=True)
@@ -60,11 +64,85 @@ class PhysicalPathIndex:
                                         doc_id=doc_id, node_id=node_id))
 
     def finalize(self) -> "PhysicalPathIndex":
-        """Sort entries by key (then document order) and freeze the index."""
-        self._entries.sort(key=lambda e: (_sort_key(e.key), e.doc_id, e.node_id))
+        """Sort entries by key (then document order) and freeze the index.
+
+        The order is fully canonical -- the collection name breaks the
+        (rare) ties between equal keys at the same document/node ids in
+        different collections -- so a delta-maintained index and a fresh
+        rebuild hold byte-identical entry lists.
+        """
+        self._entries.sort(key=_entry_order)
         self._keys = [_sort_key(e.key) for e in self._entries]
         self._finalized = True
         return self
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (against a finalized index)
+    # ------------------------------------------------------------------
+    def apply_collection_delta(self, delta: "CollectionDelta") -> int:
+        """Maintain the finalized index for one document add/remove.
+
+        Returns the number of entries inserted/deleted.  The resulting
+        entry list is byte-identical to rebuilding the index over the
+        post-change documents: insertions are merged into the canonical
+        (key, doc, node) order, deletions also slide the document ids
+        above the removed key down by one (the store reassigns them).
+        """
+        if delta.is_add:
+            return self.insert_document(delta.collection, delta.document)
+        return self.delete_document(delta.collection, delta.document.doc_key)
+
+    def insert_document(self, collection: str,
+                        document: "DocumentDelta") -> int:
+        """Merge one new document's entries into the finalized index."""
+        self._require_finalized()
+        if (self.definition.collection is not None
+                and collection != self.definition.collection):
+            return 0
+        numeric = self.definition.value_type is ValueType.DOUBLE
+        added: List[IndexEntry] = []
+        for path, nodes in document.path_groups.items():
+            if self.definition.pattern.matches(path):
+                for node in nodes:
+                    entry = _entry_for_node(collection, document.doc_key,
+                                            node, numeric)
+                    if entry is not None:
+                        added.append(entry)
+        if not added:
+            return 0
+        added.sort(key=_entry_order)
+        self._entries = list(heapq.merge(self._entries, added, key=_entry_order))
+        self._keys = [_sort_key(e.key) for e in self._entries]
+        return len(added)
+
+    def delete_document(self, collection: str, doc_key: int) -> int:
+        """Delete one document's entries and shift later document ids."""
+        self._require_finalized()
+        if (self.definition.collection is not None
+                and collection != self.definition.collection):
+            return 0
+        kept: List[IndexEntry] = []
+        removed = 0
+        changed = False
+        for entry in self._entries:
+            if entry.collection != collection or entry.doc_id < doc_key:
+                kept.append(entry)
+            elif entry.doc_id == doc_key:
+                removed += 1
+                changed = True
+            else:
+                kept.append(IndexEntry(key=entry.key, collection=collection,
+                                       doc_id=entry.doc_id - 1,
+                                       node_id=entry.node_id))
+                changed = True
+        if changed:
+            # The shift can perturb tie order against entries of *other*
+            # collections sharing a key; the list is near-sorted, so
+            # restoring the canonical order is effectively linear.
+            kept.sort(key=_entry_order)
+            self._entries = kept
+            self._keys = [_sort_key(e.key) for e in kept]
+        return removed
 
     # ------------------------------------------------------------------
     # Lookups
@@ -142,6 +220,11 @@ def _sort_key(key: Union[str, float]) -> Tuple[int, Union[str, float]]:
     return (1, str(key))
 
 
+def _entry_order(entry: IndexEntry):
+    """The canonical total order of index entries."""
+    return (_sort_key(entry.key), entry.doc_id, entry.node_id, entry.collection)
+
+
 def build_physical_index(definition: IndexDefinition,
                          database: XmlDatabase) -> PhysicalPathIndex:
     """Materialize a physical index over the database's documents.
@@ -167,12 +250,18 @@ def build_physical_index(definition: IndexDefinition,
         for path in summary.paths_matching(definition.pattern):
             for doc_id, nodes in summary.doc_nodes_for_path(path).items():
                 for node in nodes:
-                    _insert_node(index, collection.name, doc_id, node, numeric)
+                    entry = _entry_for_node(collection.name, doc_id, node, numeric)
+                    if entry is not None:
+                        index.insert(entry.key, entry.collection,
+                                     entry.doc_id, entry.node_id)
     return index.finalize()
 
 
-def _insert_node(index: PhysicalPathIndex, collection_name: str, doc_id: int,
-                 node, numeric: bool) -> None:
+def _entry_for_node(collection_name: str, doc_id: int,
+                    node, numeric: bool) -> Optional[IndexEntry]:
+    """The entry ``node`` contributes, or ``None`` when it is not indexable
+    (DOUBLE index and the value does not cast).  Shared by the full build
+    and the per-document delta maintenance, so the two cannot diverge."""
     key: Union[str, float, None]
     if node.kind == NodeKind.ATTRIBUTE:
         key = node.double_value() if numeric else node.typed_value()
@@ -182,8 +271,10 @@ def _insert_node(index: PhysicalPathIndex, collection_name: str, doc_id: int,
             key = node.double_value() if value else None
         else:
             key = " ".join(value.split())
-    if key is not None:
-        index.insert(key, collection_name, doc_id, node.node_id)
+    if key is None:
+        return None
+    return IndexEntry(key=key, collection=collection_name, doc_id=doc_id,
+                      node_id=node.node_id)
 
 
 def _direct_text(element) -> str:

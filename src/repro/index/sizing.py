@@ -80,3 +80,25 @@ def estimate_index_pages(index: IndexDefinition,
 def estimate_configuration_size_bytes(indexes, statistics: DatabaseStatistics) -> float:
     """Total estimated size of a set of index definitions, in bytes."""
     return sum(estimate_index_size_bytes(index, statistics) for index in indexes)
+
+
+def carry_over_size_estimates(old_statistics: DatabaseStatistics,
+                              new_statistics: DatabaseStatistics,
+                              is_key_stale) -> int:
+    """Seed a fresh statistics object's size memo from its predecessor.
+
+    Statistics snapshots are rebuilt (never mutated) on data change, so
+    their size memos start empty.  An index's size estimate depends only
+    on the per-path stats its pattern matches -- not on the database
+    aggregates -- so every memoized size whose pattern the change did
+    not touch (``is_key_stale(key)`` False, see
+    :meth:`repro.storage.maintenance.DataChange.affects_index_key`) is
+    still exact and can be copied over.  Returns the number of entries
+    carried.
+    """
+    carried = 0
+    for key, size in old_statistics.size_cache.items():
+        if key not in new_statistics.size_cache and not is_key_stale(key):
+            new_statistics.size_cache[key] = size
+            carried += 1
+    return carried

@@ -33,6 +33,7 @@ from repro.optimizer.plans import (
     UpdatePlan,
 )
 from repro.storage.document_store import XmlDatabase
+from repro.storage.maintenance import DataChange, DataChangeTracker
 from repro.xquery.model import NormalizedQuery, PathPredicate
 
 #: Index legs whose document selectivity exceeds this fraction are not
@@ -52,12 +53,25 @@ class Optimizer:
     When ``enable_plan_cache`` is True (the default), planning calls made
     with an *explicit* candidate index list -- the what-if calls issued by
     the Evaluate Indexes mode and the advisor's benefit evaluator -- are
-    memoized by ``(query_id, query text, relevant index keys)`` and by the
-    database's :meth:`~repro.storage.document_store.XmlDatabase.data_signature`
-    (the statistics signature): the cache is dropped wholesale whenever the
-    signature changes, so a plan is never served against stale statistics.
+    memoized by ``(query_id, query text, relevant index keys)`` and
+    revalidated against the database's
+    :meth:`~repro.storage.document_store.XmlDatabase.data_signature`.
     Catalog-defaulted calls (``candidate_indexes=None``) are never cached,
     because catalog contents can change without the data signature moving.
+
+    Invalidation is *collection-scoped* when
+    ``enable_fine_grained_invalidation`` is on (the default): a
+    signature move is diffed by a
+    :class:`~repro.storage.maintenance.DataChangeTracker`, and only the
+    cached plans whose statistics inputs actually changed are evicted --
+    plans whose query patterns and candidate index patterns touch no
+    changed path survive.  Because the cost model prices every plan
+    against whole-database aggregates, any change to those aggregates
+    still drops the cache wholesale (that is the exactness guard); the
+    fine-grained path pays off for signature churn that leaves the
+    synopsis intact (RUNSTATS, empty-collection DDL, net-zero batches)
+    and for multi-collection databases whose totals balance out.
+    ``False`` restores the legacy drop-everything behaviour.
 
     :attr:`plan_calls` counts plans actually computed and
     :attr:`plan_cache_hits` counts calls served from the cache; the
@@ -66,19 +80,26 @@ class Optimizer:
 
     def __init__(self, database: XmlDatabase,
                  parameters: Optional[CostParameters] = None,
-                 enable_plan_cache: bool = True) -> None:
+                 enable_plan_cache: bool = True,
+                 enable_fine_grained_invalidation: bool = True) -> None:
         self.database = database
         self.parameters = parameters
         self.enable_plan_cache = enable_plan_cache
+        self.enable_fine_grained_invalidation = enable_fine_grained_invalidation
         self._cost_model: Optional[CostModel] = None
         self._statistics_token: Optional[int] = None
         #: Number of plans actually computed (query + update plans).
         self.plan_calls = 0
         #: Number of planning calls served from the what-if plan cache.
         self.plan_cache_hits = 0
+        #: Cached plans selectively evicted on data change (fine-grained
+        #: path) and wholesale cache drops, for the benchmarks/tests.
+        self.plan_cache_evictions = 0
+        self.plan_cache_flushes = 0
         self._plan_cache: Dict[_PlanKey, QueryPlan] = {}
         self._update_plan_cache: Dict[_PlanKey, UpdatePlan] = {}
         self._plan_cache_signature: Optional[Tuple[Tuple[str, int], ...]] = None
+        self._tracker: Optional[DataChangeTracker] = None
 
     # ------------------------------------------------------------------
     # Plan cache plumbing
@@ -88,18 +109,49 @@ class Optimizer:
                         ) -> Optional[_PlanKey]:
         """The cache key for this call, or None when caching is off.
 
-        Also validates the cached entries against the database's data
-        signature, dropping everything on a mismatch.
+        Also revalidates the cached entries against the database's data
+        signature (selectively with fine-grained invalidation, wholesale
+        otherwise).
         """
         if not self.enable_plan_cache:
             return None
-        signature = self.database.data_signature()
-        if signature != self._plan_cache_signature:
-            self._plan_cache.clear()
-            self._update_plan_cache.clear()
-            self._plan_cache_signature = signature
+        self._revalidate_plan_cache()
         return (query.query_id, query.text,
                 frozenset(index.key for index in indexes))
+
+    def _revalidate_plan_cache(self) -> None:
+        signature = self.database.data_signature()
+        if signature == self._plan_cache_signature:
+            return
+        change: Optional[DataChange] = None
+        if (self.enable_fine_grained_invalidation
+                and self._tracker is not None
+                and self._plan_cache_signature is not None):
+            change = self._tracker.poll()
+        if change is not None and not change.aggregates_changed:
+            self._evict_affected_plans(change)
+        else:
+            if self._plan_cache or self._update_plan_cache:
+                self.plan_cache_flushes += 1
+            self._plan_cache.clear()
+            self._update_plan_cache.clear()
+        if self.enable_fine_grained_invalidation and self._tracker is None:
+            self._tracker = DataChangeTracker(self.database)
+        self._plan_cache_signature = signature
+
+    def _evict_affected_plans(self, change: DataChange) -> None:
+        """Drop exactly the cached plans whose statistics inputs moved:
+        the query's own patterns, or any candidate index pattern in the
+        cache key (an index *not* chosen before may become the winner
+        once its statistics change, so unused candidates count too)."""
+        for cache in (self._plan_cache, self._update_plan_cache):
+            stale = [key for key, plan in cache.items()
+                     if change.affects_query(plan.query)
+                     or any(change.affects_index_key(index_key)
+                            for index_key in key[2])]
+            for key in stale:
+                del cache[key]
+            self.plan_cache_evictions += len(stale)
 
     def clear_plan_cache(self) -> None:
         """Drop all cached plans (statistics-signature checks do this
@@ -107,6 +159,7 @@ class Optimizer:
         self._plan_cache.clear()
         self._update_plan_cache.clear()
         self._plan_cache_signature = None
+        self._tracker = None
 
     # ------------------------------------------------------------------
     @property

@@ -19,17 +19,31 @@ This package stands in for DB2's pureXML storage layer.  It provides:
   physical and *virtual* index definitions.  Virtual indexes are the
   paper's central mechanism: they exist only in the catalog so the
   optimizer can enumerate and cost hypothetical configurations;
+* :mod:`repro.storage.maintenance` -- delta-propagation maintenance:
+  document change captured as per-path node-group deltas that the
+  summary, the statistics accumulator, physical indexes and the
+  optimizer/advisor invalidation layers consume instead of tearing
+  derived state down (see the module docstring for the contract);
 * :mod:`repro.storage.pages` -- page-size accounting shared by the cost
   model and the size estimator.
 """
 
 from repro.storage.catalog import Catalog, CatalogError
 from repro.storage.document_store import StorageError, XmlCollection, XmlDatabase
+from repro.storage.maintenance import (
+    CollectionDelta,
+    DataChange,
+    DataChangeTracker,
+    DeltaLog,
+    DocumentDelta,
+    compute_document_delta,
+)
 from repro.storage.pages import PAGE_SIZE_BYTES, bytes_to_pages, pages_to_bytes
 from repro.storage.path_summary import PathSummary, build_path_summary
 from repro.storage.statistics import (
     DatabaseStatistics,
     PathStatistics,
+    StatisticsAccumulator,
     collect_statistics,
     collect_statistics_from_summary,
 )
@@ -37,10 +51,16 @@ from repro.storage.statistics import (
 __all__ = [
     "Catalog",
     "CatalogError",
+    "CollectionDelta",
+    "DataChange",
+    "DataChangeTracker",
     "DatabaseStatistics",
+    "DeltaLog",
+    "DocumentDelta",
     "PAGE_SIZE_BYTES",
     "PathStatistics",
     "PathSummary",
+    "StatisticsAccumulator",
     "StorageError",
     "XmlCollection",
     "XmlDatabase",
@@ -48,5 +68,6 @@ __all__ = [
     "bytes_to_pages",
     "collect_statistics",
     "collect_statistics_from_summary",
+    "compute_document_delta",
     "pages_to_bytes",
 ]

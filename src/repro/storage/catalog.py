@@ -27,12 +27,26 @@ class CatalogError(Exception):
     """Raised on invalid catalog operations (duplicate names, unknown indexes)."""
 
 
+#: A database data signature: sorted (collection name, version) pairs.
+DataSignature = Tuple[Tuple[str, int], ...]
+
+
 class Catalog:
-    """Holds index definitions and answers applicability queries."""
+    """Holds index definitions and answers applicability queries.
+
+    The catalog also tracks *physical-structure staleness*: for every
+    materialized physical index, the data signature its structure was
+    last maintained to (:meth:`mark_index_maintained`).  The executor
+    records a signature after each build or delta catch-up, so any
+    consumer can ask which structures lag the current database state
+    (:meth:`stale_physical_indexes`) without touching the structures
+    themselves.
+    """
 
     def __init__(self) -> None:
         self._physical: Dict[str, IndexDefinition] = {}
         self._virtual: Dict[str, IndexDefinition] = {}
+        self._maintained_signatures: Dict[str, DataSignature] = {}
 
     # ------------------------------------------------------------------
     # Physical indexes
@@ -51,6 +65,26 @@ class Catalog:
         if name not in self._physical:
             raise CatalogError(f"unknown index {name!r}")
         del self._physical[name]
+        self._maintained_signatures.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Physical-structure staleness
+    # ------------------------------------------------------------------
+    def mark_index_maintained(self, name: str, signature: DataSignature) -> None:
+        """Record that ``name``'s physical structure reflects ``signature``."""
+        if name not in self._physical:
+            raise CatalogError(f"unknown index {name!r}")
+        self._maintained_signatures[name] = signature
+
+    def index_maintained_signature(self, name: str) -> Optional[DataSignature]:
+        """The signature ``name`` was last maintained to, or ``None`` when
+        its structure has never been built/maintained."""
+        return self._maintained_signatures.get(name)
+
+    def stale_physical_indexes(self, signature: DataSignature) -> List[str]:
+        """Names of physical indexes whose structures lag ``signature``."""
+        return [name for name in self._physical
+                if self._maintained_signatures.get(name) != signature]
 
     def has_index(self, name: str) -> bool:
         return name in self._physical or name in self._virtual

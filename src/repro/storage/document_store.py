@@ -5,16 +5,43 @@ column: a bag of documents plus the statistics gathered over them.  An
 :class:`XmlDatabase` groups collections and owns the system
 :class:`~repro.storage.catalog.Catalog`; it is the object the optimizer,
 the advisor, and the executor are handed.
+
+Data change is propagated as a *delta* by default
+(``use_incremental_maintenance=True``): every document add/remove
+captures the document's per-path node groups once
+(:func:`~repro.storage.maintenance.compute_document_delta`), folds them
+into the cached path summary and statistics accumulator in O(document
+nodes) instead of dropping them for an O(collection nodes) rebuild, and
+journals the delta so detached consumers (the executor's materialized
+indexes) can catch up.  ``use_incremental_maintenance=False`` restores
+the legacy drop-everything behaviour for equivalence testing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.storage.catalog import Catalog
+from repro.storage.maintenance import (
+    ADD,
+    REMOVE,
+    CollectionDelta,
+    DeltaLog,
+    compute_document_delta,
+)
 from repro.storage.path_summary import PathSummary, build_path_summary
 from repro.storage.statistics import (
     DatabaseStatistics,
+    StatisticsAccumulator,
     collect_statistics_from_summary,
 )
 from repro.xmldb.nodes import DocumentNode
@@ -28,11 +55,19 @@ class StorageError(Exception):
 class XmlCollection:
     """A named collection of XML documents (a table with an XML column)."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 use_incremental_maintenance: bool = True) -> None:
         self.name = name
+        #: Maintain the path summary and statistics through per-document
+        #: deltas (and journal them for downstream consumers) instead of
+        #: dropping and rebuilding them on every add/remove.
+        self.use_incremental_maintenance = use_incremental_maintenance
         self._documents: List[DocumentNode] = []
         self._statistics: Optional[DatabaseStatistics] = None
         self._summary: Optional[PathSummary] = None
+        self._accumulator: Optional[StatisticsAccumulator] = None
+        self._delta_log = DeltaLog()
+        self._change_listeners: List[Callable[["XmlCollection"], None]] = []
         #: Monotonic data version, bumped on every document add/remove so
         #: consumers holding derived state (the executor's document
         #: lookup, merged database statistics) can detect staleness.
@@ -51,7 +86,12 @@ class XmlCollection:
         if document.node_id < 0:
             document.assign_node_ids()
         self._documents.append(document)
-        self._invalidate_derived()
+        if self.use_incremental_maintenance:
+            self._apply_delta(CollectionDelta(
+                collection=self.name, kind=ADD, version=self._version + 1,
+                document=compute_document_delta(document)))
+        else:
+            self._invalidate_derived()
         return document
 
     def add_documents(self, documents: Iterable[Union[DocumentNode, str, bytes]]) -> None:
@@ -62,16 +102,64 @@ class XmlCollection:
         """Remove a document by id (ids of later documents are reassigned)."""
         if not 0 <= doc_id < len(self._documents):
             raise StorageError(f"no document with id {doc_id} in collection {self.name!r}")
+        removed = self._documents[doc_id]
+        delta: Optional[CollectionDelta] = None
+        if self.use_incremental_maintenance:
+            # Capture the groups before removal, while doc_id is intact.
+            delta = CollectionDelta(
+                collection=self.name, kind=REMOVE, version=self._version + 1,
+                document=compute_document_delta(removed))
         del self._documents[doc_id]
         for index, document in enumerate(self._documents):
             document.doc_id = index
-        self._invalidate_derived()
+        if delta is not None:
+            self._apply_delta(delta)
+        else:
+            self._invalidate_derived()
+
+    def _apply_delta(self, delta: CollectionDelta) -> None:
+        """Fold one add/remove into the cached derived state and journal it."""
+        if self._summary is not None:
+            self._summary = self._summary.apply_delta(delta)
+        if self._accumulator is not None:
+            self._accumulator.apply_delta(delta)
+        self._statistics = None  # snapshot lazily from the accumulator
+        self._version += 1
+        self._delta_log.record(delta)
+        self._notify_change()
 
     def _invalidate_derived(self) -> None:
-        """Drop the cached statistics and path summary; bump the version."""
+        """Drop the cached statistics and path summary; bump the version.
+
+        This is the full-rebuild path: it also breaks the delta journal,
+        because in-place edits (or non-incremental mode) cannot be
+        replayed -- consumers that ask for deltas across this point get
+        ``None`` and rebuild.
+        """
         self._statistics = None
         self._summary = None
+        self._accumulator = None
         self._version += 1
+        self._delta_log.mark_discontinuity(self._version)
+        self._notify_change()
+
+    # ------------------------------------------------------------------
+    # Change propagation
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[["XmlCollection"], None]) -> None:
+        """Register a callback fired after every data-version bump."""
+        self._change_listeners.append(callback)
+
+    def _notify_change(self) -> None:
+        for callback in self._change_listeners:
+            callback(self)
+
+    def deltas_since(self, version: int) -> Optional[List[CollectionDelta]]:
+        """The journal of changes after ``version`` (oldest first), or
+        ``None`` when the journal cannot bridge the gap (history trimmed,
+        in-place edits, or incremental maintenance disabled) -- the
+        consumer must then rebuild its derived state."""
+        return self._delta_log.since(version)
 
     @property
     def version(self) -> int:
@@ -99,8 +187,12 @@ class XmlCollection:
     def path_summary(self) -> PathSummary:
         """The structural path summary (built lazily in one O(nodes) pass).
 
-        Invalidated together with the statistics whenever a document is
-        added or removed; do not hold a summary across such updates.
+        With incremental maintenance the cached summary is *replaced* --
+        not rebuilt -- on document add/remove via
+        :meth:`~repro.storage.path_summary.PathSummary.apply_delta`;
+        without it, the summary is dropped and rebuilt here.  Either way
+        consumers must re-fetch per use instead of holding one across
+        updates.
         """
         if self._summary is None:
             self._summary = build_path_summary(self._documents)
@@ -112,9 +204,18 @@ class XmlCollection:
 
         Derived from :attr:`path_summary`, so statistics collection and
         structural lookups share a single traversal of the documents.
+        With incremental maintenance the synopsis is snapshotted from a
+        delta-maintained accumulator (O(distinct paths)) instead of
+        recollected from all nodes.
         """
         if self._statistics is None:
-            self._statistics = collect_statistics_from_summary(self.path_summary)
+            if self.use_incremental_maintenance:
+                if self._accumulator is None:
+                    self._accumulator = StatisticsAccumulator.from_summary(
+                        self.path_summary)
+                self._statistics = self._accumulator.snapshot()
+            else:
+                self._statistics = collect_statistics_from_summary(self.path_summary)
         return self._statistics
 
     def invalidate_statistics(self) -> None:
@@ -131,12 +232,15 @@ class XmlDatabase:
     catalog, and the executor runs queries against its documents.
     """
 
-    def __init__(self, name: str = "xmldb") -> None:
+    def __init__(self, name: str = "xmldb",
+                 use_incremental_maintenance: bool = True) -> None:
         self.name = name
+        self.use_incremental_maintenance = use_incremental_maintenance
         self._collections: Dict[str, XmlCollection] = {}
         self.catalog = Catalog()
         self._merged_statistics: Optional[DatabaseStatistics] = None
         self._merged_signature: Optional[Tuple[Tuple[str, int], ...]] = None
+        self._signature_cache: Optional[Tuple[Tuple[str, int], ...]] = None
 
     # ------------------------------------------------------------------
     # Collections
@@ -145,10 +249,19 @@ class XmlDatabase:
         """Create (or return the existing) collection called ``name``."""
         if name in self._collections:
             return self._collections[name]
-        collection = XmlCollection(name)
+        collection = XmlCollection(
+            name, use_incremental_maintenance=self.use_incremental_maintenance)
+        collection.subscribe(self._on_collection_change)
         self._collections[name] = collection
         self._merged_statistics = None
+        self._signature_cache = None
         return collection
+
+    def _on_collection_change(self, _collection: XmlCollection) -> None:
+        """Version-bump listener: memoized signature and merged
+        statistics are stale the moment any collection changes."""
+        self._signature_cache = None
+        self._merged_statistics = None
 
     def collection(self, name: str) -> XmlCollection:
         if name not in self._collections:
@@ -167,9 +280,7 @@ class XmlDatabase:
                      document: Union[DocumentNode, str, bytes]) -> DocumentNode:
         """Add a document to ``collection_name`` (creating it if needed)."""
         collection = self.create_collection(collection_name)
-        result = collection.add_document(document)
-        self._merged_statistics = None
-        return result
+        return collection.add_document(document)
 
     def all_documents(self) -> List[DocumentNode]:
         documents: List[DocumentNode] = []
@@ -186,9 +297,16 @@ class XmlDatabase:
         Changes whenever a collection is created or any collection's
         documents change; consumers (merged statistics, the executor's
         document lookup) compare signatures to detect staleness.
+        Memoized behind the per-collection version listeners, so the
+        hot-path staleness checks (executor per query, optimizer per
+        plan-cache probe, evaluator per entry point) stop re-deriving it
+        from every collection on every call.
         """
-        return tuple(sorted((collection.name, collection.version)
-                            for collection in self._collections.values()))
+        if self._signature_cache is None:
+            self._signature_cache = tuple(
+                sorted((collection.name, collection.version)
+                       for collection in self._collections.values()))
+        return self._signature_cache
 
     @property
     def statistics(self) -> DatabaseStatistics:

@@ -22,19 +22,26 @@ The summary answers two kinds of questions:
   NFA match once.
 
 Invalidation contract: a summary is immutable once built.  It is cached
-on :class:`~repro.storage.document_store.XmlCollection` and invalidated
-together with the collection's statistics whenever a document is added
-or removed; consumers must therefore re-fetch
-``collection.path_summary`` instead of holding one across updates.
+on :class:`~repro.storage.document_store.XmlCollection`; whenever a
+document is added or removed the collection either *replaces* it with
+:meth:`PathSummary.apply_delta` -- a new snapshot that merges/retracts
+one document's per-path node groups and structurally shares every
+untouched per-path table with its predecessor -- or (with incremental
+maintenance disabled) drops it for a full rebuild.  Either way consumers
+must re-fetch ``collection.path_summary`` instead of holding one across
+updates.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.xmldb.nodes import DocumentNode, XmlNode
 from repro.xpath.patterns import PathPattern
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.storage.maintenance import CollectionDelta, DocumentDelta
 
 #: Shared empty list returned by lookups that match nothing.  Callers
 #: must treat lookup results as read-only.
@@ -89,6 +96,87 @@ class PathSummary:
         if nodes is None:
             nodes = per_doc[key] = []
         nodes.append(node)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: "CollectionDelta") -> "PathSummary":
+        """A new summary with ``delta`` merged in (this one is unchanged).
+
+        The snapshot contract stays intact: the result is a *different*
+        summary object that structurally shares the per-path tables the
+        delta does not touch, so holders of the old summary keep an
+        exact pre-change view while the collection swaps in the new one.
+        The result is byte-identical (same paths, same per-document node
+        groups, same ordering) to rebuilding from the post-change
+        documents, which is what the maintenance equivalence tests
+        assert.
+        """
+        if delta.is_add:
+            return self._with_document_added(delta.document)
+        return self._with_document_removed(delta.document)
+
+    def _with_document_added(self, document: "DocumentDelta") -> "PathSummary":
+        fresh = PathSummary()
+        doc_nodes = dict(self._doc_nodes)  # share untouched per-path tables
+        new_paths = False
+        for path, nodes in document.path_groups.items():
+            per_doc = doc_nodes.get(path)
+            if per_doc is None:
+                doc_nodes[path] = {document.doc_key: list(nodes)}
+                new_paths = True
+            else:
+                per_doc = dict(per_doc)  # copy-on-write: old summary keeps its view
+                per_doc[document.doc_key] = list(nodes)
+                doc_nodes[path] = per_doc
+        fresh._doc_nodes = doc_nodes
+        fresh.document_count = self.document_count + 1
+        fresh.total_element_count = self.total_element_count + document.element_count
+        fresh.total_attribute_count = (self.total_attribute_count
+                                       + document.attribute_count)
+        if not new_paths:
+            # The distinct-path set is unchanged, so every memoized
+            # pattern -> paths answer still holds.
+            fresh._pattern_paths = dict(self._pattern_paths)
+        return fresh
+
+    def _with_document_removed(self, document: "DocumentDelta") -> "PathSummary":
+        """Retract one document and slide the keys above it down by one
+        (the store reassigns the ids of later documents on removal)."""
+        removed_key = document.doc_key
+        fresh = PathSummary()
+        doc_nodes: Dict[str, Dict[int, List[XmlNode]]] = {}
+        dropped_paths = False
+        for path, per_doc in self._doc_nodes.items():
+            # Keys are inserted in ascending document order, so the last
+            # key is the maximum: per-path tables that only reference
+            # earlier documents are shared untouched.
+            if next(reversed(per_doc)) < removed_key:
+                doc_nodes[path] = per_doc
+                continue
+            rekeyed = {(key if key < removed_key else key - 1): nodes
+                       for key, nodes in per_doc.items() if key != removed_key}
+            if rekeyed:
+                doc_nodes[path] = rekeyed
+            else:
+                dropped_paths = True
+        fresh._doc_nodes = doc_nodes
+        fresh.document_count = self.document_count - 1
+        fresh.total_element_count = self.total_element_count - document.element_count
+        fresh.total_attribute_count = (self.total_attribute_count
+                                       - document.attribute_count)
+        if not dropped_paths:
+            fresh._pattern_paths = dict(self._pattern_paths)
+        return fresh
+
+    def canonical_state(self) -> Dict[str, Dict[int, Tuple[Tuple[int, str], ...]]]:
+        """A value-comparable snapshot: path -> doc key -> (node id, path)
+        tuples.  Used by the maintenance equivalence tests to compare an
+        incrementally maintained summary against a full rebuild."""
+        return {path: {key: tuple((node.node_id, node.simple_path())
+                                  for node in nodes)
+                       for key, nodes in per_doc.items()}
+                for path, per_doc in self._doc_nodes.items()}
 
     # ------------------------------------------------------------------
     # Path lookups

@@ -13,17 +13,41 @@ collection is O(total nodes).  Collection no longer walks the node trees
 itself: it derives the synopsis from the collection's structural
 :class:`~repro.storage.path_summary.PathSummary`, so statistics, index
 builds and scan execution all share one traversal of the data.
+
+Incremental maintenance: the traversal feeds a
+:class:`StatisticsAccumulator` -- per-path value/numeric multisets plus
+running counters -- which can *also* absorb one document's
+:class:`~repro.storage.maintenance.DocumentDelta` (add or retract) in
+O(document nodes) and emit a fresh :class:`DatabaseStatistics` snapshot
+in O(distinct paths).  The full build and the delta path share the same
+recording code, so an incrementally maintained synopsis is byte-
+identical to a rebuild by construction.  Snapshots stay immutable:
+the accumulator is mutable private state of the collection; every
+``snapshot()`` call produces a new statistics object.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.storage.path_summary import PathSummary, build_path_summary
-from repro.xmldb.nodes import DocumentNode, NodeKind
+from repro.xmldb.nodes import DocumentNode, NodeKind, XmlNode
 from repro.xpath.ast import BinaryOp
 from repro.xpath.patterns import PathPattern
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.storage.maintenance import CollectionDelta, DocumentDelta
 
 #: Default assumed width (bytes) of a string value when a path carries no
 #: values at all (pure structural elements).
@@ -278,57 +302,175 @@ def collect_statistics_from_summary(summary: PathSummary) -> DatabaseStatistics:
     :class:`~repro.storage.path_summary.PathSummary` once, and
     statistics are computed from the summary's per-path node lists
     without touching the document trees again (apart from reading each
-    node's direct text value).
+    node's direct text value).  The synopsis is produced by a
+    :class:`StatisticsAccumulator`, the same machinery the delta
+    maintenance path uses, so incremental and full collection cannot
+    diverge.
     """
-    stats = DatabaseStatistics()
-    value_sets: Dict[str, set] = {}
-    docs_seen: Dict[str, set] = {}
+    return StatisticsAccumulator.from_summary(summary).snapshot()
 
-    stats.document_count = summary.document_count
-    stats.total_node_count = summary.document_count  # the document nodes
-    for path in summary.distinct_paths:
-        for doc_key, nodes in summary.doc_nodes_for_path(path).items():
-            for node in nodes:
-                stats.total_node_count += 1
-                if node.kind == NodeKind.ATTRIBUTE:
-                    _record(stats, value_sets, docs_seen, path,
-                            node.value.strip(), doc_key)
-                    stats.total_text_bytes += len(node.value)
+
+def _node_record_value(node: XmlNode) -> Tuple[str, int]:
+    """The value a node contributes to the synopsis plus its text-byte
+    charge (attribute bytes are counted unstripped, element direct text
+    stripped -- matching the original collection pass exactly)."""
+    if node.kind == NodeKind.ATTRIBUTE:
+        return node.value.strip(), len(node.value)
+    direct_text = "".join(child.value for child in node.children
+                          if child.kind == NodeKind.TEXT).strip()
+    return direct_text, len(direct_text)
+
+
+class _PathAccumulator:
+    """Mutable per-path state: the multisets a retractable synopsis needs."""
+
+    __slots__ = ("node_count", "document_count", "total_value_bytes",
+                 "numeric_count", "values", "numeric_values",
+                 "min_value", "max_value")
+
+    def __init__(self) -> None:
+        self.node_count = 0
+        self.document_count = 0
+        self.total_value_bytes = 0
+        self.numeric_count = 0
+        #: Multiset of normalized values (a plain distinct-value *set*
+        #: cannot support retraction).
+        self.values: Counter = Counter()
+        #: Multiset of castable numeric values, for exact min/max under
+        #: removal.
+        self.numeric_values: Counter = Counter()
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+
+    def add_node(self, node: XmlNode) -> int:
+        value, text_bytes = _node_record_value(node)
+        self.node_count += 1
+        if value:
+            normalized = " ".join(value.split())
+            self.values[normalized] += 1
+            self.total_value_bytes += len(normalized)
+            number = _as_float(normalized)
+            if number is not None:
+                self.numeric_count += 1
+                self.numeric_values[number] += 1
+                if self.min_value is None or number < self.min_value:
+                    self.min_value = number
+                if self.max_value is None or number > self.max_value:
+                    self.max_value = number
+        return text_bytes
+
+    def remove_node(self, node: XmlNode) -> int:
+        value, text_bytes = _node_record_value(node)
+        self.node_count -= 1
+        if value:
+            normalized = " ".join(value.split())
+            remaining = self.values[normalized] - 1
+            if remaining:
+                self.values[normalized] = remaining
+            else:
+                del self.values[normalized]
+            self.total_value_bytes -= len(normalized)
+            number = _as_float(normalized)
+            if number is not None:
+                self.numeric_count -= 1
+                remaining = self.numeric_values[number] - 1
+                if remaining:
+                    self.numeric_values[number] = remaining
                 else:
-                    stats.total_element_count += 1
-                    direct_text = "".join(
-                        child.value for child in node.children
-                        if child.kind == NodeKind.TEXT).strip()
-                    _record(stats, value_sets, docs_seen, path,
-                            direct_text, doc_key)
-                    stats.total_text_bytes += len(direct_text)
+                    del self.numeric_values[number]
+                    if number == self.min_value or number == self.max_value:
+                        if self.numeric_values:
+                            self.min_value = min(self.numeric_values)
+                            self.max_value = max(self.numeric_values)
+                        else:
+                            self.min_value = None
+                            self.max_value = None
+        return text_bytes
 
-    for path, values in value_sets.items():
-        stats.path_stats[path].distinct_values = len(values)
-    for path, docs in docs_seen.items():
-        stats.path_stats[path].document_count = len(docs)
-    return stats
+    def to_statistics(self, path: str) -> PathStatistics:
+        return PathStatistics(
+            path=path,
+            node_count=self.node_count,
+            document_count=self.document_count,
+            distinct_values=len(self.values),
+            total_value_bytes=self.total_value_bytes,
+            numeric_count=self.numeric_count,
+            min_value=self.min_value,
+            max_value=self.max_value,
+        )
 
 
-def _record(stats: DatabaseStatistics, value_sets: Dict[str, set],
-            docs_seen: Dict[str, set], path: str, value: str, doc_index: int) -> None:
-    entry = stats.path_stats.get(path)
-    if entry is None:
-        entry = PathStatistics(path=path)
-        stats.path_stats[path] = entry
-        value_sets[path] = set()
-        docs_seen[path] = set()
-    entry.node_count += 1
-    docs_seen[path].add(doc_index)
-    if value:
-        normalized = " ".join(value.split())
-        value_sets[path].add(normalized)
-        entry.total_value_bytes += len(normalized)
-        number = _as_float(normalized)
-        if number is not None:
-            entry.numeric_count += 1
-            entry.min_value = number if entry.min_value is None else min(entry.min_value, number)
-            entry.max_value = number if entry.max_value is None else max(entry.max_value, number)
+class StatisticsAccumulator:
+    """Retractable synopsis state for one collection.
+
+    Built once from a path summary (or empty), then kept current by
+    absorbing :class:`~repro.storage.maintenance.CollectionDelta`
+    operations in O(changed-document nodes); :meth:`snapshot` emits an
+    immutable :class:`DatabaseStatistics` in O(distinct paths).
+    """
+
+    def __init__(self) -> None:
+        self._paths: Dict[str, _PathAccumulator] = {}
+        self.document_count = 0
+        self.total_text_bytes = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_summary(cls, summary: PathSummary) -> "StatisticsAccumulator":
+        accumulator = cls()
+        accumulator.document_count = summary.document_count
+        paths = accumulator._paths
+        for path in summary.distinct_paths:
+            entry = paths[path] = _PathAccumulator()
+            for _doc_key, nodes in summary.doc_nodes_for_path(path).items():
+                entry.document_count += 1
+                for node in nodes:
+                    accumulator.total_text_bytes += entry.add_node(node)
+        return accumulator
+
+    # ------------------------------------------------------------------
+    # Delta maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: "CollectionDelta") -> None:
+        if delta.is_add:
+            self.add_document(delta.document)
+        else:
+            self.remove_document(delta.document)
+
+    def add_document(self, document: "DocumentDelta") -> None:
+        self.document_count += 1
+        for path, nodes in document.path_groups.items():
+            entry = self._paths.get(path)
+            if entry is None:
+                entry = self._paths[path] = _PathAccumulator()
+            entry.document_count += 1
+            for node in nodes:
+                self.total_text_bytes += entry.add_node(node)
+
+    def remove_document(self, document: "DocumentDelta") -> None:
+        self.document_count -= 1
+        for path, nodes in document.path_groups.items():
+            entry = self._paths[path]
+            entry.document_count -= 1
+            for node in nodes:
+                self.total_text_bytes -= entry.remove_node(node)
+            if entry.node_count == 0:
+                del self._paths[path]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> DatabaseStatistics:
+        """Emit an immutable synopsis of the current state (O(paths))."""
+        stats = DatabaseStatistics()
+        stats.document_count = self.document_count
+        stats.total_node_count = self.document_count  # the document nodes
+        for path in sorted(self._paths):
+            entry = self._paths[path]
+            stats.path_stats[path] = entry.to_statistics(path)
+            stats.total_node_count += entry.node_count
+            if "/@" not in path:
+                stats.total_element_count += entry.node_count
+        stats.total_text_bytes = self.total_text_bytes
+        return stats
 
 
 def _as_float(value: Union[str, float, None]) -> Optional[float]:

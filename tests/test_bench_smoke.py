@@ -22,6 +22,12 @@ Sizes are capped by environment variables:
     the timing floors this one is deterministic -- it counts work, not
     seconds -- so a drop means the incremental engine stopped saving
     evaluations.
+``REPRO_SMOKE_MIN_MAINT_RATIO``
+    Minimum accepted speedup of delta-propagation maintenance over the
+    full-rebuild path on document add (default ``2``; the E6 benchmark
+    asserts >= 5x at its larger scale -- the smoke floor is conservative
+    because tiny timed runs are noisy, but a broken delta path drops
+    the ratio to ~1x, which the floor catches).
 
 Deselect with ``-m "not bench_smoke"`` if an environment is too noisy
 for any timing assertion.
@@ -53,6 +59,7 @@ def _env_float(name: str, default: float) -> float:
 SMOKE_SCALE = _env_float("REPRO_SMOKE_XMARK_SCALE", 0.05)
 MIN_SPEEDUP = _env_float("REPRO_SMOKE_MIN_SPEEDUP", 1.5)
 MIN_WHATIF_RATIO = _env_float("REPRO_SMOKE_MIN_WHATIF_RATIO", 5.0)
+MIN_MAINT_RATIO = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
 
 
 @pytest.fixture(scope="module")
@@ -122,3 +129,20 @@ def test_smoke_incremental_search_equivalent_and_cheaper(smoke_db, smoke_workloa
         f"{sweep.totals['incremental']['costings']} incremental what-if "
         f"costings ({sweep.costings_ratio:.1f}x < {MIN_WHATIF_RATIO:.1f}x) "
         f"at scale {SMOKE_SCALE}")
+
+
+def test_smoke_incremental_maintenance_faster_and_identical():
+    """Delta-propagation maintenance on document add must beat the
+    full-rebuild path while keeping the summary, statistics and index
+    entries byte-identical (E6 maintenance at smoke scale)."""
+    from repro.tools.maintenance_compare import compare_maintenance_modes
+
+    best_ratio = 0.0
+    for _ in range(3):  # best-of-3 damps scheduler noise on tiny runs
+        comparison = compare_maintenance_modes(scale=SMOKE_SCALE)
+        assert comparison.identical, (
+            "incremental maintenance diverged from the full rebuild")
+        best_ratio = max(best_ratio, comparison.ratio)
+    assert best_ratio >= MIN_MAINT_RATIO, (
+        f"incremental maintenance regressed: best-of-3 {best_ratio:.2f}x "
+        f"< {MIN_MAINT_RATIO:.1f}x at scale {SMOKE_SCALE}")

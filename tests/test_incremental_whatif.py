@@ -151,7 +151,10 @@ class TestRelevanceMap:
                                            ValueType.VARCHAR)
         assert evaluator.relevant_queries(unrelated) == frozenset()
 
-    def test_relevance_map_invalidates_on_data_signature_change(self):
+    def test_relevance_map_survives_data_signature_change(self):
+        """Relevance is pattern containment only -- data changes must not
+        drop it under fine-grained maintenance; the legacy escape hatch
+        keeps the PR 2 behaviour of rebuilding it from scratch."""
         database = build_varied_database(documents=12, name="invalidate")
         queries = normalize_workload(_mixed_workload())
         evaluator = ConfigurationEvaluator(database, queries)
@@ -159,20 +162,29 @@ class TestRelevanceMap:
                                        ValueType.DOUBLE)
         evaluator.relevant_queries(index)
         old_signature = evaluator.data_signature
-        assert evaluator.relevance_map
+        relevance_before = evaluator.relevance_map
+        assert relevance_before
         assert not evaluator.refresh()  # nothing changed yet
 
         database.collection("site").add_document(TINY_SITE_XML)
         assert database.data_signature() != old_signature
-        assert evaluator.refresh()  # detects the change and rebuilds
+        assert evaluator.refresh()  # detects the change
         assert evaluator.data_signature == database.data_signature()
-        assert evaluator.relevance_map == {}  # dropped, repopulated lazily
+        assert evaluator.relevance_map == relevance_before  # data-independent
         # Evaluation after the change works against the new statistics
         # (the net benefit may be negative: the workload's update charges
         # maintenance against the tiny post-change database).
         result = evaluator.evaluate([index])
-        assert evaluator.relevance_map  # repopulated
         assert len(result.query_evaluations) == len(queries)
+
+        legacy = ConfigurationEvaluator(
+            database, queries,
+            AdvisorParameters(use_incremental_maintenance=False))
+        legacy.relevant_queries(index)
+        assert legacy.relevance_map
+        database.collection("site").add_document(TINY_SITE_XML)
+        assert legacy.refresh()
+        assert legacy.relevance_map == {}  # dropped, repopulated lazily
 
     def test_update_discards_stale_base_rows_after_data_change(self):
         """A delta update against a base computed before a data change

@@ -11,9 +11,17 @@ the numbers to ``BENCH_advisor.json`` (override with ``--output``):
 * **E5 (execution)** -- interpretive document scan vs the structural
   path-summary scan over the XMark query workload: wall time per mode
   and the speedup.
+* **E6 (maintenance)** -- incremental document add (summary +
+  statistics + one configured physical index maintained through deltas)
+  vs the full-rebuild path: wall time per mode, the speedup, and a
+  byte-identity flag.
 
 Sizes are controlled by ``REPRO_SMOKE_XMARK_SCALE`` (default ``0.1``)
 so CI stays fast; run with a larger scale locally for headline numbers.
+
+The exit status doubles as a CI gate: non-zero when a comparison lost
+equivalence or the maintenance speedup fell below
+``REPRO_SMOKE_MIN_MAINT_RATIO`` (default ``2``).
 
 Usage::
 
@@ -33,6 +41,7 @@ sys.path.insert(0, os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.executor.measurement import measure_scan_modes
+from repro.tools.maintenance_compare import compare_maintenance_modes
 from repro.tools.whatif_compare import compare_search_modes
 from repro.workloads.xmark import (
     XMarkConfig,
@@ -41,16 +50,21 @@ from repro.workloads.xmark import (
 )
 
 
-def _scale(default: float = 0.1) -> float:
-    """``REPRO_SMOKE_XMARK_SCALE`` override (same semantics as the
-    benchmark/test conftests: unset or unparsable falls back)."""
-    raw = os.environ.get("REPRO_SMOKE_XMARK_SCALE")
+def _env_float(name: str, default: float) -> float:
+    """Float-valued env override (unset or unparsable falls back)."""
+    raw = os.environ.get(name)
     if raw is None:
         return default
     try:
         return float(raw)
     except ValueError:
         return default
+
+
+def _scale(default: float = 0.1) -> float:
+    """``REPRO_SMOKE_XMARK_SCALE`` override (same semantics as the
+    benchmark/test conftests)."""
+    return _env_float("REPRO_SMOKE_XMARK_SCALE", default)
 
 
 def record_e3_search(database, workload) -> dict:
@@ -85,6 +99,27 @@ def record_e5_execution(database, workload) -> dict:
     }
 
 
+def record_e6_maintenance(scale: float) -> dict:
+    """Incremental vs rebuild document-add maintenance (best of 3 to
+    damp scheduler noise at CI scales)."""
+    best = None
+    for _ in range(3):
+        comparison = compare_maintenance_modes(scale=scale)
+        if not comparison.identical:
+            best = comparison
+            break
+        if best is None or comparison.ratio > best.ratio:
+            best = comparison
+    return {
+        "base_documents": best.base_documents,
+        "documents_added": best.documents_added,
+        "incremental_seconds": round(best.incremental_seconds, 4),
+        "rebuild_seconds": round(best.rebuild_seconds, 4),
+        "speedup": round(best.ratio, 2),
+        "identical_state": best.identical,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_advisor.json",
@@ -101,6 +136,7 @@ def main() -> int:
         "xmark_scale": scale,
         "e3_search": record_e3_search(database, workload),
         "e5_execution": record_e5_execution(database, workload),
+        "e6_maintenance": record_e6_maintenance(scale),
     }
 
     # Append to the trajectory (a JSON list, one entry per recording) so
@@ -119,6 +155,7 @@ def main() -> int:
         handle.write("\n")
 
     e3, e5 = entry["e3_search"], entry["e5_execution"]
+    e6 = entry["e6_maintenance"]
     print(f"wrote {args.output} (xmark scale {scale})")
     print(f"  E3: identical={e3['identical_configurations']} "
           f"costings {e3['legacy']['query_costings']}"
@@ -128,7 +165,18 @@ def main() -> int:
           f"({e3['time_speedup']}x)")
     print(f"  E5: scan {e5['interpretive_seconds']}s -> summary "
           f"{e5['summary_seconds']}s ({e5['speedup']}x)")
-    return 0 if e3["identical_configurations"] else 1
+    print(f"  E6: identical={e6['identical_state']} maintenance rebuild "
+          f"{e6['rebuild_seconds']}s -> incremental "
+          f"{e6['incremental_seconds']}s ({e6['speedup']}x)")
+
+    min_maint_ratio = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
+    if not e3["identical_configurations"] or not e6["identical_state"]:
+        return 1
+    if e6["speedup"] < min_maint_ratio:
+        print(f"  FAIL: maintenance speedup {e6['speedup']}x below the "
+              f"floor {min_maint_ratio}x")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

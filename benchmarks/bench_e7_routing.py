@@ -1,0 +1,102 @@
+"""E7 (routing): collection-scoped costing + structural routing vs. the
+whole-database escape hatch.
+
+XMark and TPoX live co-resident in one database (the TPoX side scaled
+up as ballast) and two effects of PR 4's collection-scoped layer are
+measured:
+
+* **scan routing** -- the XMark query workload is single-collection-
+  rooted, so the routed executor's scan path visits only the ``xmark``
+  collection while the unrouted escape hatch
+  (``use_collection_costing=False`` / ``use_collection_routing=False``)
+  walks the TPoX ballast for every query.  Expected: the routed scan
+  wins by roughly the ballast factor (~9-10x at the default shapes);
+  asserted floor 5x (2x in smoke mode).
+* **what-if re-costing** -- after a document add to a *single*
+  collection, the escape hatch's global-aggregates guard forces the
+  advisor's evaluator to re-cost every workload query, while the
+  routed evaluator re-costs only the queries whose routing set
+  contains the changed collection.  Queries routed only to other
+  collections are re-costed **zero** times, and the delta result stays
+  byte-identical to a fresh evaluation.  The ratio counts work, not
+  seconds, so it is deterministic; asserted floor 5x.
+
+Shape: ``repro.tools.routing_compare.compare_routing_modes`` (shared
+with the tier-1 ``bench_smoke`` guard and the perf recorder), run at
+the benchmark scale.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SMOKE, XMARK_SCALE, print_section
+
+from repro.tools.routing_compare import compare_routing_modes
+from repro.tools.report import render_table
+
+#: Minimum accepted routed-over-unrouted ratios (scan wall-clock and
+#: what-if re-costing count): the acceptance floor at benchmark scale,
+#: conservative in smoke mode where tiny timed runs are noisy.
+MIN_ROUTING_RATIO = 2.0 if BENCH_SMOKE else 5.0
+
+
+def test_e7_routing_speedup_and_exactness(benchmark):
+    comparison = benchmark.pedantic(
+        compare_routing_modes, kwargs={"scale": XMARK_SCALE},
+        rounds=1, iterations=1)
+
+    table = render_table(
+        ["xmark docs", "ballast docs", "routed s", "unrouted s", "scan x",
+         "recost routed", "recost legacy", "recost x", "cross"],
+        [[comparison.xmark_documents, comparison.ballast_documents,
+          f"{comparison.routed_seconds:.4f}",
+          f"{comparison.unrouted_seconds:.4f}",
+          f"{comparison.scan_ratio:.1f}x",
+          comparison.recostings_routed, comparison.recostings_unrouted,
+          f"{comparison.recosting_ratio:.1f}x", comparison.cross_recostings]])
+    print_section(
+        "E7 routing - collection-scoped scan + what-if re-costing "
+        f"(XMark scale {XMARK_SCALE})", table)
+
+    assert comparison.identical_results, (
+        "structural routing changed scan results")
+    assert comparison.benefits_identical, (
+        "routed delta benefits diverged from a fresh evaluation")
+    assert comparison.configurations_identical, (
+        "cached advisor stack recommended differently than a fresh one")
+    # The acceptance criterion: a single-collection add re-costs zero
+    # queries routed only to the other collections.
+    assert comparison.cross_recostings == 0
+    assert comparison.scan_ratio >= MIN_ROUTING_RATIO, (
+        f"routed scan speedup regressed: {comparison.scan_ratio:.2f}x "
+        f"< {MIN_ROUTING_RATIO:.1f}x at scale {XMARK_SCALE}")
+    assert comparison.recosting_ratio >= MIN_ROUTING_RATIO, (
+        f"routed re-costing savings regressed: "
+        f"{comparison.recosting_ratio:.2f}x < {MIN_ROUTING_RATIO:.1f}x")
+
+
+def test_e7_routing_scales_with_ballast(benchmark):
+    """The unrouted scan pays for the ballast, the routed scan does not:
+    the speedup must grow (weakly) with the ballast factor."""
+    factors = (2.0, 4.0) if BENCH_SMOKE else (2.0, 8.0)
+
+    def _sweep():
+        return [(factor, compare_routing_modes(scale=XMARK_SCALE,
+                                               ballast_factor=factor))
+                for factor in factors]
+
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["ballast factor", "ballast docs", "routed s", "unrouted s", "speedup"],
+        [[factor, comparison.ballast_documents,
+          f"{comparison.routed_seconds:.4f}",
+          f"{comparison.unrouted_seconds:.4f}",
+          f"{comparison.scan_ratio:.1f}x"] for factor, comparison in rows])
+    print_section("E7 routing - speedup vs. ballast factor", table)
+
+    for _factor, comparison in rows:
+        assert comparison.identical_results
+    # Weak monotonicity with generous slack: timed ratios jitter, but a
+    # flat-or-falling trend at 4x slack means routing has stopped
+    # pruning the ballast.
+    first, last = rows[0][1].scan_ratio, rows[-1][1].scan_ratio
+    assert last >= first / 4.0

@@ -109,7 +109,8 @@ class XmlIndexAdvisor:
             database, self.parameters.cost_parameters,
             enable_plan_cache=self.parameters.enable_plan_cache,
             enable_fine_grained_invalidation=(
-                self.parameters.use_incremental_maintenance))
+                self.parameters.use_incremental_maintenance),
+            use_collection_costing=self.parameters.use_collection_costing)
 
     # ------------------------------------------------------------------
     # Pipeline steps (exposed individually for the demo/benchmarks)

@@ -74,7 +74,9 @@ class RecommendationAnalysis:
         self.database = database
         self.recommendation = recommendation
         self.parameters = parameters or recommendation.parameters
-        self.optimizer = Optimizer(database, self.parameters.cost_parameters)
+        self.optimizer = Optimizer(
+            database, self.parameters.cost_parameters,
+            use_collection_costing=self.parameters.use_collection_costing)
         self._overtrained = self._build_overtrained_configuration()
 
     # ------------------------------------------------------------------

@@ -48,13 +48,19 @@ only on workload and index patterns, never on data); per-query memo
 rows and baseline costs are re-costed only for the queries whose
 statistics inputs actually moved; and memoized index-size estimates
 whose patterns were untouched are carried onto the rebuilt statistics
-object.  Because the cost model prices every query against whole-
-database aggregates, a change to those aggregates stales *all* per-
-query costs and forces the full re-cost (the exactness guard) -- the
-selective path pays off when the signature moves but the synopsis does
-not (RUNSTATS, empty-collection DDL, net-zero batches).  Disabling the
-flag restores the legacy behaviour: drop everything, including the
-relevance map, whenever ``data_signature()`` moves.
+object.  With ``AdvisorParameters.use_collection_costing`` (the
+default) each query's cached costs are keyed to the per-collection
+data versions of its *routing set*: a document add to one collection
+re-costs only the queries routed there (plus any priced globally), and
+every other collection's rows stay valid and byte-exact -- the
+acceptance scenario the E7 benchmark counts.  Under the legacy global
+model a change to the whole-database aggregates instead stales *all*
+per-query costs and forces the full re-cost (the exactness guard) --
+the selective path then pays off only when the signature moves but the
+synopsis does not (RUNSTATS, empty-collection DDL, net-zero batches).
+Disabling ``use_incremental_maintenance`` restores the legacy
+behaviour: drop everything, including the relevance map, whenever
+``data_signature()`` moves.
 """
 
 from __future__ import annotations
@@ -135,10 +141,16 @@ class ConfigurationEvaluator:
         self.use_incremental = self.parameters.use_incremental
         self.use_incremental_maintenance = \
             self.parameters.use_incremental_maintenance
+        self.use_collection_costing = self.parameters.use_collection_costing
         self.optimizer = optimizer or Optimizer(
             database, self.parameters.cost_parameters,
             enable_plan_cache=self.parameters.enable_plan_cache,
-            enable_fine_grained_invalidation=self.use_incremental_maintenance)
+            enable_fine_grained_invalidation=self.use_incremental_maintenance,
+            use_collection_costing=self.use_collection_costing)
+        if optimizer is not None:
+            # Staleness decisions must mirror the model that priced the
+            # cached rows, so follow an injected optimizer's flag.
+            self.use_collection_costing = optimizer.use_collection_costing
         self._baseline: Dict[str, float] = {}
         self._query_cache: Dict[Tuple[str, FrozenSet[Tuple[str, str]]],
                                 Tuple[float, Tuple[Tuple[str, str], ...]]] = {}
@@ -200,23 +212,26 @@ class ConfigurationEvaluator:
                                           change.affects_index_key)
             # The relevance map is pattern-containment only -- data
             # changes can never stale it.
-            if change.aggregates_changed:
+            if change.aggregates_changed and not self.use_collection_costing:
+                # Legacy global cost model: moved aggregates stale every
+                # cached cost (the exactness guard).
                 self._query_cache.clear()
                 self._baseline.clear()
                 self._compute_baseline()
                 self._last_stale = None
             else:
-                stale_ids = frozenset(query.query_id for query in self.queries
-                                      if change.affects_query(query))
+                stale_ids, unrouted_ids = self._staled_query_ids(change)
                 evict = [key for key in self._query_cache
                          if key[0] in stale_ids
-                         or any(change.affects_index_key(index_key)
-                                for index_key in key[1])]
+                         or (key[0] in unrouted_ids
+                             and any(change.affects_index_key(index_key)
+                                     for index_key in key[1]))]
                 for key in evict:
                     del self._query_cache[key]
                 self.rows_preserved_on_refresh += len(self._query_cache)
                 # Baselines are no-index costs: only the query's own
-                # patterns matter.
+                # patterns (and, with collection costing, its routing
+                # set) matter.
                 for query in self.queries:
                     if query.query_id in stale_ids:
                         self._baseline[query.query_id] = self._baseline_cost(query)
@@ -227,11 +242,16 @@ class ConfigurationEvaluator:
                 # changed paths the query's own predicates do not).
                 # Every index that ever contributed to a row is in the
                 # relevance map, so the union over affected known keys
-                # covers all reusable rows exactly.
+                # covers all reusable rows exactly.  Routed queries
+                # whose collections the change did not touch are exempt:
+                # their rows price index entries from the routed
+                # synopses only, which the change provably left alone.
                 index_stale = set(stale_ids)
                 for index_key, query_ids in self._relevance.items():
                     if query_ids and change.affects_index_key(index_key):
-                        index_stale.update(query_ids)
+                        index_stale.update(
+                            query_id for query_id in query_ids
+                            if query_id in unrouted_ids)
                 self._last_stale = frozenset(index_stale)
             return True
         # Legacy signature-keyed full invalidation.
@@ -246,6 +266,32 @@ class ConfigurationEvaluator:
         self._baseline.clear()
         self._compute_baseline()
         return True
+
+    def _staled_query_ids(self, change) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """``(stale ids, unrouted ids)`` for one absorbed data change.
+
+        With collection-scoped costing a query's cached costs are keyed
+        to its routing set's collections: the query is stale only when a
+        routed collection changed or a changed path could move its
+        routing set.  Queries priced globally (no routing -- legacy
+        mode, patterns that can match anywhere, or empty routing sets)
+        are reported in the second set; their rows additionally stale
+        through relevant-index pattern changes.
+        """
+        if not self.use_collection_costing:
+            every = frozenset(query.query_id for query in self.queries)
+            return (frozenset(query.query_id for query in self.queries
+                              if change.affects_query(query)), every)
+        model = self.optimizer.cost_model
+        stale: set = set()
+        unrouted: set = set()
+        for query in self.queries:
+            routing = model.routing_set(query)
+            if not routing:
+                unrouted.add(query.query_id)
+            if change.stales_routed_query(query, routing):
+                stale.add(query.query_id)
+        return frozenset(stale), frozenset(unrouted)
 
     # ------------------------------------------------------------------
     # Baseline

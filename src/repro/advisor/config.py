@@ -74,6 +74,15 @@ class AdvisorParameters:
     #: Memoize what-if optimizer plans by (query, index keys, statistics
     #: signature) on the :class:`~repro.optimizer.optimizer.Optimizer`.
     enable_plan_cache: bool = True
+    #: Price every workload statement against the merged synopsis of its
+    #: structural *routing set* -- the collections its patterns can
+    #: match -- instead of the whole-database aggregates, and key cached
+    #: per-query costings to the routing set's per-collection data
+    #: versions: a change to one collection then leaves every other
+    #: collection's cached costs and plans valid and byte-exact.
+    #: Disabling it restores the legacy global cost model (on
+    #: single-collection databases the two are byte-identical anyway).
+    use_collection_costing: bool = True
     #: Cost model constants handed to the optimizer.
     cost_parameters: CostParameters = field(default_factory=CostParameters)
 

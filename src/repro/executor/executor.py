@@ -3,15 +3,21 @@
 Execution follows the optimizer's plan choice:
 
 * **Document scan plans** check the query's predicates and extraction
-  paths against every document.  The per-document node sets come from
-  the collection's structural
+  paths against every document *of the plan's routing set* -- the
+  collections whose path summary/synopsis can match the query's
+  patterns (structural routing; a query rooted in one collection no
+  longer walks the others, and ``use_collection_routing=False``
+  restores the walk-everything behaviour).  The per-document node sets
+  come from the collection's structural
   :class:`~repro.storage.path_summary.PathSummary` (dictionary lookups)
   whenever the path shape allows it; the interpretive XPath evaluator
   handles the residue (see :mod:`repro.xpath.compiler`).
 * **Index plans** probe the physical indexes chosen by the optimizer to
   obtain candidate document ids, intersect them across predicates
   (index ANDing), and then evaluate the full query only on the
-  candidates (residual filtering + extraction).
+  candidates inside the routing set (residual filtering + extraction);
+  entries a general index returns from unrouted collections are skipped
+  without residual evaluation.
 
 The executor reports what it did (documents examined, index entries
 touched, result count, wall-clock time) so the E5 benchmark can compare
@@ -94,7 +100,8 @@ class QueryExecutor:
     def __init__(self, database: XmlDatabase,
                  optimizer: Optional[Optimizer] = None,
                  use_path_summary: bool = True,
-                 use_incremental_maintenance: bool = True) -> None:
+                 use_incremental_maintenance: bool = True,
+                 use_collection_routing: bool = True) -> None:
         self.database = database
         self.optimizer = optimizer or Optimizer(database)
         self.use_path_summary = use_path_summary
@@ -102,14 +109,33 @@ class QueryExecutor:
         #: journals on data change; ``False`` restores the legacy
         #: rebuild-every-index behaviour for equivalence testing.
         self.use_incremental_maintenance = use_incremental_maintenance
+        #: Structural routing: scan only the collections recorded in the
+        #: plan's routing set (the collections whose synopsis can match
+        #: the query's patterns) and skip candidate documents outside it
+        #: during index-plan residual checks.  Routing never changes
+        #: results -- a pruned collection provably contains no match --
+        #: only the work done.  ``False`` restores the walk-everything
+        #: behaviour for benchmarking and equivalence testing.
+        self.use_collection_routing = use_collection_routing
         #: Physical index structures keyed by definition key.
         self._indexes: Dict[Tuple[str, str], PhysicalPathIndex] = {}
         self._doc_lookup: Dict[Tuple[str, int], DocumentNode] = {}
         self._lookup_signature: Optional[Tuple[Tuple[str, int], ...]] = None
+        #: Memoized per-collection state: the collection insertion-order
+        #: rank (for ordered extraction) and the current path summaries.
+        #: Both are invalidated by the collections' own version
+        #: listeners instead of being re-derived on every plan
+        #: execution.
+        self._collection_rank: Dict[str, int] = {}
+        self._summaries: Dict[str, PathSummary] = {}
+        self._subscribed: set = set()
         #: Indexes rebuilt from scratch / maintained via deltas since
         #: construction (observability for tests and benchmarks).
         self.index_rebuilds = 0
         self.index_delta_maintenances = 0
+        #: Documents skipped by structural routing (scan path and
+        #: index-plan residual checks), for the benchmarks/tests.
+        self.documents_routed_out = 0
         self._refresh_document_lookup()
 
     # ------------------------------------------------------------------
@@ -230,7 +256,7 @@ class QueryExecutor:
         if plan.uses_indexes and self._plan_indexes_materialized(plan):
             result = self._execute_index_plan(query, plan, extract)
         else:
-            result = self._execute_scan(query, extract)
+            result = self._execute_scan(query, extract, plan.routing)
         result.elapsed_seconds = time.perf_counter() - start
         return result
 
@@ -243,13 +269,25 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Scan execution
     # ------------------------------------------------------------------
-    def _execute_scan(self, query: NormalizedQuery,
-                      extract: bool = False) -> ExecutionResult:
+    def _execute_scan(self, query: NormalizedQuery, extract: bool = False,
+                      routing: Optional[Tuple[str, ...]] = None
+                      ) -> ExecutionResult:
         matching_docs = 0
         examined = 0
         extracted: Optional[List[XmlNode]] = [] if extract else None
-        for collection in self.database.collections:
-            summary = collection.path_summary if self.use_path_summary else None
+        collections = self.database.collections
+        if self.use_collection_routing and routing is not None:
+            # Structural pruning: a collection outside the plan's
+            # routing set provably contains no matching document (its
+            # synopsis cannot satisfy the query's patterns), so the
+            # scan does not visit it at all.
+            routed = frozenset(routing)
+            pruned = [c for c in collections if c.name in routed]
+            self.documents_routed_out += sum(
+                len(c) for c in collections if c.name not in routed)
+            collections = pruned
+        for collection in collections:
+            summary = self._summary_for(collection.name)
             for document in collection:
                 examined += 1
                 if self._document_matches(document, query, summary):
@@ -282,17 +320,25 @@ class QueryExecutor:
             if not candidate_docs:
                 break
         candidate_docs = candidate_docs or set()
+        if self.use_collection_routing and plan.routing is not None:
+            # The index may be more general than the query's patterns
+            # and return entries from collections the query cannot
+            # match; routing skips their residual checks entirely.
+            routed = frozenset(plan.routing)
+            before = len(candidate_docs)
+            candidate_docs = {key for key in candidate_docs
+                              if key[0] in routed}
+            self.documents_routed_out += before - len(candidate_docs)
         matching = 0
         examined = 0
         extracted: Optional[List[XmlNode]] = [] if extract else None
-        summaries: Dict[str, Optional[PathSummary]] = {}
         # Candidate sets are unordered; extraction iterates them in
         # (collection insertion order, doc id) order -- the same order
         # the scan path visits documents -- so plan choice never changes
-        # the extraction stream.
+        # the extraction stream.  The rank map is memoized behind the
+        # per-collection version listeners (`_refresh_document_lookup`).
         if extract:
-            rank = {collection.name: position for position, collection
-                    in enumerate(self.database.collections)}
+            rank = self._collection_rank
             ordered_docs: Iterable[Tuple[str, int]] = sorted(
                 candidate_docs,
                 key=lambda key: (rank.get(key[0], len(rank)), key[1]))
@@ -302,17 +348,13 @@ class QueryExecutor:
             document = self._doc_lookup.get(key)
             if document is None:
                 continue
-            collection_name = key[0]
-            if collection_name not in summaries:
-                summaries[collection_name] = (
-                    self.database.collection(collection_name).path_summary
-                    if self.use_path_summary else None)
+            summary = self._summary_for(key[0])
             examined += 1
-            if self._document_matches(document, query, summaries[collection_name]):
+            if self._document_matches(document, query, summary):
                 matching += 1
                 if extracted is not None:
                     extracted.extend(self._extract_nodes(
-                        document, query, summaries[collection_name]))
+                        document, query, summary))
         return ExecutionResult(query_id=query.query_id, result_count=matching,
                                documents_examined=examined,
                                index_entries_scanned=entries_scanned,
@@ -409,10 +451,36 @@ class QueryExecutor:
 
     def _refresh_document_lookup(self) -> None:
         self._doc_lookup.clear()
-        for collection in self.database.collections:
+        self._collection_rank.clear()
+        for position, collection in enumerate(self.database.collections):
+            self._collection_rank[collection.name] = position
+            if collection.name not in self._subscribed:
+                # Per-collection version listener: drop the memoized
+                # summary the moment the collection's data changes, so
+                # `_summary_for` can hold snapshots across executions
+                # without ever serving a stale one.  Subscribed weakly:
+                # executors are often shorter-lived than the database,
+                # and must not be pinned by the listener list.
+                self._subscribed.add(collection.name)
+                collection.subscribe(self._on_collection_change, weak=True)
             for document in collection:
                 self._doc_lookup[(collection.name, document.doc_id)] = document
         self._lookup_signature = self.database.data_signature()
+
+    def _on_collection_change(self, collection) -> None:
+        self._summaries.pop(collection.name, None)
+
+    def _summary_for(self, collection_name: str) -> Optional[PathSummary]:
+        """The collection's current path summary (memoized behind the
+        per-collection version listeners), or ``None`` in legacy
+        interpretive-scan mode."""
+        if not self.use_path_summary:
+            return None
+        summary = self._summaries.get(collection_name)
+        if summary is None:
+            summary = self.database.collection(collection_name).path_summary
+            self._summaries[collection_name] = summary
+        return summary
 
 
 def _compare_node(node, predicate: PathPredicate) -> bool:

@@ -24,14 +24,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.index.definition import IndexDefinition
 from repro.index.sizing import estimate_entry_count, estimate_key_width
 from repro.storage import pages
 from repro.storage.statistics import DatabaseStatistics
+from repro.xpath.compiler import pattern_summary_safe
 from repro.xpath.patterns import PathPattern
 from repro.xquery.model import NormalizedQuery, PathPredicate
+
+#: A routing set: the collections a query's structural patterns can
+#: match, sorted.  ``None`` stands for "every collection" -- used when
+#: collection-scoped costing is disabled, when the statistics carry no
+#: per-collection sub-synopses, or when a conservative fallback (a
+#: pattern whose ``//`` semantics the summary cannot answer exactly)
+#: widens the set to the whole database.
+RoutingSet = Optional[Tuple[str, ...]]
 
 
 @dataclass(frozen=True)
@@ -58,12 +67,128 @@ class CostParameters:
 
 
 class CostModel:
-    """Statistics-driven cost estimation for plans and index maintenance."""
+    """Statistics-driven cost estimation for plans and index maintenance.
+
+    With ``use_collection_costing`` (the default) every cost term is
+    computed against the merged synopsis of the query's *routing set* --
+    the collections whose path summary/synopsis can match the query's
+    patterns (:meth:`routing_set` / :meth:`scoped`) -- instead of the
+    whole-database aggregates.  On a single-collection database (or when
+    a query routes to every collection) the scoped synopsis *is* the
+    whole-database synopsis, so the model reduces to the legacy one
+    byte-identically; ``use_collection_costing=False`` forces the legacy
+    whole-database model everywhere.
+    """
 
     def __init__(self, statistics: DatabaseStatistics,
-                 parameters: Optional[CostParameters] = None) -> None:
+                 parameters: Optional[CostParameters] = None,
+                 use_collection_costing: bool = True) -> None:
         self.statistics = statistics
         self.parameters = parameters or CostParameters()
+        self.use_collection_costing = use_collection_costing
+        #: Memo of routing set -> scoped CostModel (shares parameters).
+        self._scoped: Dict[Tuple[str, ...], "CostModel"] = {}
+        #: Memo of pattern -> matching collections (None = conservative
+        #: "every collection" for summary-unsafe shapes).
+        self._pattern_routes: Dict[PathPattern, Optional[FrozenSet[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Structural routing
+    # ------------------------------------------------------------------
+    def collections_for_pattern(self, pattern: PathPattern
+                                ) -> Optional[FrozenSet[str]]:
+        """The collections whose synopsis ``pattern`` can match.
+
+        Returns ``None`` ("every collection") for patterns whose ``//``
+        descendant-or-self semantics the summary cannot decide exactly
+        (:func:`~repro.xpath.compiler.pattern_summary_safe` is False):
+        the interpretive evaluator may select nodes on paths the pattern
+        does not match, so pruning by synopsis paths would be unsound.
+        """
+        cached = self._pattern_routes.get(pattern)
+        if cached is None and pattern not in self._pattern_routes:
+            if not pattern_summary_safe(pattern):
+                cached = None
+            else:
+                cached = frozenset(
+                    name for name, stats in self.statistics.collection_stats.items()
+                    if stats.paths_matching(pattern))
+            self._pattern_routes[pattern] = cached
+        return cached
+
+    def routing_set(self, query: NormalizedQuery) -> RoutingSet:
+        """The collections ``query`` can touch, or ``None`` for all.
+
+        Read queries with predicates route to the collections where
+        *every* predicate path can match (a document must satisfy all
+        predicates); pure navigation queries and updates route to the
+        *union* of their pattern matches.  An empty tuple means the
+        query provably matches nothing anywhere.
+        """
+        if not self.use_collection_costing:
+            return None
+        names = self.statistics.collection_stats
+        if not names:
+            return None
+        if not query.is_update and query.predicates:
+            routed: Optional[FrozenSet[str]] = None  # None = universe
+            for predicate in query.predicates:
+                matched = self.collections_for_pattern(predicate.pattern)
+                if matched is None:
+                    continue
+                routed = matched if routed is None else (routed & matched)
+                if not routed:
+                    return ()
+            if routed is None or len(routed) >= len(names):
+                return None
+            return tuple(sorted(routed))
+        patterns = query.routing_patterns()
+        if not patterns:
+            return None
+        union: set = set()
+        for pattern in patterns:
+            if query.is_update:
+                # Updates are costed purely by pattern matching over
+                # the synopsis (they never run through the executor's
+                # interpretive paths), so the summary-safety guard does
+                # not apply: match the pattern against each collection's
+                # paths directly.
+                matched = frozenset(
+                    name for name, stats in names.items()
+                    if stats.paths_matching(pattern))
+            else:
+                matched = self.collections_for_pattern(pattern)
+            if matched is None:
+                return None
+            union.update(matched)
+        if len(union) >= len(names):
+            return None
+        return tuple(sorted(union))
+
+    def scoped(self, routing: RoutingSet) -> "CostModel":
+        """The cost model over the merged synopsis of ``routing``.
+
+        ``None`` (all collections), full coverage, and the empty set all
+        return ``self`` -- an empty routing set is priced against the
+        whole database, which keeps the model byte-identical to the
+        legacy one on single-collection databases in every case.
+        """
+        if routing is None or not routing or not self.use_collection_costing:
+            return self
+        names = self.statistics.collection_stats
+        if not names or len(routing) >= len(names):
+            return self
+        cached = self._scoped.get(routing)
+        if cached is None:
+            cached = CostModel(self.statistics.merged_over(routing),
+                               self.parameters, use_collection_costing=False)
+            self._scoped[routing] = cached
+        return cached
+
+    def for_query(self, query: NormalizedQuery) -> Tuple["CostModel", RoutingSet]:
+        """Convenience: the routing set and the scoped model for ``query``."""
+        routing = self.routing_set(query)
+        return self.scoped(routing), routing
 
     # ------------------------------------------------------------------
     # Database-level quantities

@@ -20,7 +20,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.index.definition import IndexDefinition
 from repro.index.matching import IndexMatch, usable_indexes
-from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.cost_model import CostModel, CostParameters, RoutingSet
 from repro.optimizer.plans import (
     DocumentScan,
     Fetch,
@@ -65,13 +65,18 @@ class Optimizer:
     :class:`~repro.storage.maintenance.DataChangeTracker`, and only the
     cached plans whose statistics inputs actually changed are evicted --
     plans whose query patterns and candidate index patterns touch no
-    changed path survive.  Because the cost model prices every plan
-    against whole-database aggregates, any change to those aggregates
-    still drops the cache wholesale (that is the exactness guard); the
-    fine-grained path pays off for signature churn that leaves the
-    synopsis intact (RUNSTATS, empty-collection DDL, net-zero batches)
-    and for multi-collection databases whose totals balance out.
-    ``False`` restores the legacy drop-everything behaviour.
+    changed path survive.  With ``use_collection_costing`` (the
+    default) each cached plan is additionally keyed to its recorded
+    routing set: a plan is priced only against the synopses of the
+    collections its query can touch, so a change confined to *other*
+    collections leaves it byte-exact and cached even when the
+    whole-database aggregates moved.  With the legacy global model
+    (``use_collection_costing=False``) any aggregates change still
+    drops the cache wholesale (the exactness guard), and the
+    fine-grained path pays off only for signature churn that leaves
+    the synopsis intact (RUNSTATS, empty-collection DDL, net-zero
+    batches).  ``enable_fine_grained_invalidation=False`` restores the
+    legacy drop-everything behaviour.
 
     :attr:`plan_calls` counts plans actually computed and
     :attr:`plan_cache_hits` counts calls served from the cache; the
@@ -81,11 +86,19 @@ class Optimizer:
     def __init__(self, database: XmlDatabase,
                  parameters: Optional[CostParameters] = None,
                  enable_plan_cache: bool = True,
-                 enable_fine_grained_invalidation: bool = True) -> None:
+                 enable_fine_grained_invalidation: bool = True,
+                 use_collection_costing: bool = True) -> None:
         self.database = database
         self.parameters = parameters
         self.enable_plan_cache = enable_plan_cache
         self.enable_fine_grained_invalidation = enable_fine_grained_invalidation
+        #: Price every query against the merged synopsis of its routing
+        #: set (the collections its patterns can match) instead of the
+        #: whole-database aggregates, and revalidate cached plans
+        #: against only those collections' data versions.  ``False``
+        #: restores the legacy global cost model and the aggregates
+        #: cache guard (the escape hatch the equivalence tests use).
+        self.use_collection_costing = use_collection_costing
         self._cost_model: Optional[CostModel] = None
         self._statistics_token: Optional[int] = None
         #: Number of plans actually computed (query + update plans).
@@ -128,7 +141,8 @@ class Optimizer:
                 and self._tracker is not None
                 and self._plan_cache_signature is not None):
             change = self._tracker.poll()
-        if change is not None and not change.aggregates_changed:
+        if change is not None and (self.use_collection_costing
+                                   or not change.aggregates_changed):
             self._evict_affected_plans(change)
         else:
             if self._plan_cache or self._update_plan_cache:
@@ -140,15 +154,39 @@ class Optimizer:
         self._plan_cache_signature = signature
 
     def _evict_affected_plans(self, change: DataChange) -> None:
-        """Drop exactly the cached plans whose statistics inputs moved:
-        the query's own patterns, or any candidate index pattern in the
-        cache key (an index *not* chosen before may become the winner
-        once its statistics change, so unused candidates count too)."""
+        """Drop exactly the cached plans whose statistics inputs moved.
+
+        With collection-scoped costing a plan's cost is a function of
+        its routing set's synopses only, so a plan survives whenever no
+        routed collection changed, no changed path can alter the
+        query's routing set, and no candidate index pattern in the
+        cache key saw different statistics *within a changed
+        collection* -- a change confined to other collections leaves
+        the plan byte-exact even when the whole-database aggregates
+        moved.  (Unused candidate indexes count too: one may become the
+        winner once its statistics change.)  With the legacy model the
+        aggregates guard has already forced a flush before this runs,
+        and eviction falls back to the pattern-level rule.
+        """
         for cache in (self._plan_cache, self._update_plan_cache):
-            stale = [key for key, plan in cache.items()
-                     if change.affects_query(plan.query)
-                     or any(change.affects_index_key(index_key)
-                            for index_key in key[2])]
+            stale = []
+            for key, plan in cache.items():
+                if self.use_collection_costing:
+                    if change.stales_routed_query(plan.query, plan.routing):
+                        stale.append(key)
+                    elif not plan.routing and any(
+                            change.affects_index_key(index_key)
+                            for index_key in key[2]):
+                        # Unrouted plans are priced globally, so any
+                        # candidate index whose statistics moved stales
+                        # them; routed survivors already proved the
+                        # changed collections disjoint from their
+                        # routing set, which bounds the candidates too.
+                        stale.append(key)
+                elif change.affects_query(plan.query) \
+                        or any(change.affects_index_key(index_key)
+                               for index_key in key[2]):
+                    stale.append(key)
             for key in stale:
                 del cache[key]
             self.plan_cache_evictions += len(stale)
@@ -168,7 +206,9 @@ class Optimizer:
         statistics = self.database.statistics
         token = id(statistics)
         if self._cost_model is None or self._statistics_token != token:
-            self._cost_model = CostModel(statistics, self.parameters)
+            self._cost_model = CostModel(
+                statistics, self.parameters,
+                use_collection_costing=self.use_collection_costing)
             self._statistics_token = token
         return self._cost_model
 
@@ -188,7 +228,8 @@ class Optimizer:
             scan = DocumentScan(collection="*", cost=update_plan.total_cost,
                                 cardinality=0.0, pages_read=0.0)
             return QueryPlan(query=query, root=scan,
-                             total_cost=update_plan.total_cost, uses_indexes=False)
+                             total_cost=update_plan.total_cost,
+                             uses_indexes=False, routing=update_plan.routing)
 
         indexes = list(candidate_indexes) if candidate_indexes is not None \
             else self.database.catalog.all_indexes
@@ -200,8 +241,9 @@ class Optimizer:
                 self.plan_cache_hits += 1
                 return cached
         self.plan_calls += 1
-        scan_plan = self._document_scan_plan(query)
-        index_plan = self._index_plan(query, indexes)
+        model, routing = self.cost_model.for_query(query)
+        scan_plan = self._document_scan_plan(query, model, routing)
+        index_plan = self._index_plan(query, indexes, model, routing)
         plan = index_plan if (index_plan is not None
                               and index_plan.total_cost < scan_plan.total_cost) \
             else scan_plan
@@ -213,7 +255,6 @@ class Optimizer:
                     candidate_indexes: Optional[Iterable[IndexDefinition]] = None
                     ) -> UpdatePlan:
         """Cost an update statement, charging maintenance for affected indexes."""
-        model = self.cost_model
         indexes = list(candidate_indexes) if candidate_indexes is not None \
             else self.database.catalog.all_indexes
         key = self._plan_cache_key(query, indexes) \
@@ -224,6 +265,7 @@ class Optimizer:
                 self.plan_cache_hits += 1
                 return cached_update
         self.plan_calls += 1
+        model, routing = self.cost_model.for_query(query)
         maintenance: List[IndexMaintenance] = []
         for index in indexes:
             cost, affected = model.maintenance_cost(index, query.touched_patterns)
@@ -233,7 +275,8 @@ class Optimizer:
                                                     cost=cost))
         update_plan = UpdatePlan(query=query,
                                  base_cost=model.update_base_cost(query),
-                                 maintenance_costs=maintenance)
+                                 maintenance_costs=maintenance,
+                                 routing=routing)
         if key is not None:
             self._update_plan_cache[key] = update_plan
         return update_plan
@@ -252,25 +295,27 @@ class Optimizer:
     # ------------------------------------------------------------------
     # Scan plan
     # ------------------------------------------------------------------
-    def _document_scan_plan(self, query: NormalizedQuery) -> QueryPlan:
-        model = self.cost_model
+    def _document_scan_plan(self, query: NormalizedQuery, model: CostModel,
+                            routing: RoutingSet) -> QueryPlan:
         cost, cardinality = model.document_scan_cost(query)
-        scan = DocumentScan(collection="*", cost=cost, cardinality=cardinality,
+        target = "*" if routing is None else (",".join(routing) or "*")
+        scan = DocumentScan(collection=target, cost=cost, cardinality=cardinality,
                             pages_read=model.data_pages)
-        return QueryPlan(query=query, root=scan, total_cost=cost, uses_indexes=False)
+        return QueryPlan(query=query, root=scan, total_cost=cost,
+                         uses_indexes=False, routing=routing)
 
     # ------------------------------------------------------------------
     # Index plan
     # ------------------------------------------------------------------
     def _index_plan(self, query: NormalizedQuery,
-                    indexes: Sequence[IndexDefinition]) -> Optional[QueryPlan]:
+                    indexes: Sequence[IndexDefinition],
+                    model: CostModel, routing: RoutingSet) -> Optional[QueryPlan]:
         if not query.predicates or not indexes:
             return None
-        model = self.cost_model
         legs: List[Tuple[IndexScan, float]] = []  # (scan, document selectivity)
         matched_predicates: List[PathPredicate] = []
         for predicate in query.predicates:
-            leg = self._best_leg_for_predicate(predicate, indexes)
+            leg = self._best_leg_for_predicate(predicate, indexes, model)
             if leg is not None:
                 legs.append(leg)
                 matched_predicates.append(predicate)
@@ -317,14 +362,14 @@ class Optimizer:
                               cost=fetch.cost + residual_cost,
                               cardinality=fetch.cardinality)
         return QueryPlan(query=query, root=root, total_cost=root.cost,
-                         uses_indexes=True)
+                         uses_indexes=True, routing=routing)
 
     def _best_leg_for_predicate(self, predicate: PathPredicate,
-                                indexes: Sequence[IndexDefinition]
+                                indexes: Sequence[IndexDefinition],
+                                model: CostModel
                                 ) -> Optional[Tuple[IndexScan, float]]:
         """The cheapest index scan answering ``predicate``, with its
         document selectivity, or ``None`` if no index matches."""
-        model = self.cost_model
         matches = usable_indexes(indexes, predicate)
         best: Optional[Tuple[IndexScan, float]] = None
         for match in matches:

@@ -12,7 +12,7 @@ attached.  They serve three purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.index.definition import IndexDefinition
 from repro.xpath.patterns import PathPattern
@@ -140,6 +140,14 @@ class QueryPlan:
     root: PlanOperator
     total_cost: float
     uses_indexes: bool
+    #: The structural routing set the plan was costed over: the sorted
+    #: collections whose synopsis can match the query's patterns.
+    #: ``None`` means "every collection" (legacy whole-database costing,
+    #: or a query whose patterns can match anywhere); an empty tuple
+    #: means the query provably matches nothing.  The executor's scan
+    #: path and residual checks iterate only this set, and cached plans
+    #: are revalidated against these collections' data versions.
+    routing: Optional[Tuple[str, ...]] = None
 
     @property
     def used_indexes(self) -> List[IndexDefinition]:
@@ -163,6 +171,9 @@ class QueryPlan:
     def render(self) -> str:
         header = (f"plan for {self.query.query_id}: total cost {self.total_cost:.1f} "
                   f"({'uses indexes' if self.uses_indexes else 'document scan'})")
+        if self.routing is not None:
+            routed = ",".join(self.routing) or "(none)"
+            header += f" [routed to {routed}]"
         return header + "\n" + self.root.render(indent=1)
 
 
@@ -178,6 +189,9 @@ class UpdatePlan:
     query: NormalizedQuery
     base_cost: float
     maintenance_costs: List["IndexMaintenance"] = field(default_factory=list)
+    #: Structural routing set (see :attr:`QueryPlan.routing`): the
+    #: collections the update's touched subtrees can live in.
+    routing: Optional[Tuple[str, ...]] = None
 
     @property
     def total_cost(self) -> float:

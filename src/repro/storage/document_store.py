@@ -19,6 +19,7 @@ the legacy drop-everything behaviour for equivalence testing.
 
 from __future__ import annotations
 
+import weakref
 from typing import (
     Callable,
     Dict,
@@ -33,6 +34,7 @@ from typing import (
 from repro.storage.catalog import Catalog
 from repro.storage.maintenance import (
     ADD,
+    DELTA_LOG_CAPACITY,
     REMOVE,
     CollectionDelta,
     DeltaLog,
@@ -56,17 +58,21 @@ class XmlCollection:
     """A named collection of XML documents (a table with an XML column)."""
 
     def __init__(self, name: str,
-                 use_incremental_maintenance: bool = True) -> None:
+                 use_incremental_maintenance: bool = True,
+                 delta_log_capacity: int = DELTA_LOG_CAPACITY) -> None:
         self.name = name
         #: Maintain the path summary and statistics through per-document
         #: deltas (and journal them for downstream consumers) instead of
         #: dropping and rebuilding them on every add/remove.
         self.use_incremental_maintenance = use_incremental_maintenance
+        #: How many deltas the journal retains before consumers further
+        #: behind must rebuild (see :class:`~repro.storage.maintenance.DeltaLog`).
+        self.delta_log_capacity = delta_log_capacity
         self._documents: List[DocumentNode] = []
         self._statistics: Optional[DatabaseStatistics] = None
         self._summary: Optional[PathSummary] = None
         self._accumulator: Optional[StatisticsAccumulator] = None
-        self._delta_log = DeltaLog()
+        self._delta_log = DeltaLog(capacity=delta_log_capacity)
         self._change_listeners: List[Callable[["XmlCollection"], None]] = []
         #: Monotonic data version, bumped on every document add/remove so
         #: consumers holding derived state (the executor's document
@@ -146,13 +152,35 @@ class XmlCollection:
     # ------------------------------------------------------------------
     # Change propagation
     # ------------------------------------------------------------------
-    def subscribe(self, callback: Callable[["XmlCollection"], None]) -> None:
-        """Register a callback fired after every data-version bump."""
-        self._change_listeners.append(callback)
+    def subscribe(self, callback: Callable[["XmlCollection"], None],
+                  weak: bool = False) -> None:
+        """Register a callback fired after every data-version bump.
+
+        With ``weak=True`` (bound methods only) the collection holds the
+        callback's owner weakly and drops the listener automatically
+        once the owner is garbage-collected -- for consumers with
+        shorter lifetimes than the collection (e.g. per-request query
+        executors), which would otherwise be pinned forever by the
+        listener list.
+        """
+        if weak:
+            self._change_listeners.append(weakref.WeakMethod(callback))
+        else:
+            self._change_listeners.append(callback)
 
     def _notify_change(self) -> None:
-        for callback in self._change_listeners:
+        dead: List[object] = []
+        for listener in self._change_listeners:
+            if isinstance(listener, weakref.WeakMethod):
+                callback = listener()
+                if callback is None:
+                    dead.append(listener)
+                    continue
+            else:
+                callback = listener
             callback(self)
+        for listener in dead:
+            self._change_listeners.remove(listener)
 
     def deltas_since(self, version: int) -> Optional[List[CollectionDelta]]:
         """The journal of changes after ``version`` (oldest first), or
@@ -233,9 +261,15 @@ class XmlDatabase:
     """
 
     def __init__(self, name: str = "xmldb",
-                 use_incremental_maintenance: bool = True) -> None:
+                 use_incremental_maintenance: bool = True,
+                 delta_log_capacity: int = DELTA_LOG_CAPACITY) -> None:
         self.name = name
         self.use_incremental_maintenance = use_incremental_maintenance
+        #: Journal capacity handed to every collection this database
+        #: creates (see :class:`~repro.storage.maintenance.DeltaLog`):
+        #: consumers that fall further behind than this rebuild instead
+        #: of catching up from deltas.
+        self.delta_log_capacity = delta_log_capacity
         self._collections: Dict[str, XmlCollection] = {}
         self.catalog = Catalog()
         self._merged_statistics: Optional[DatabaseStatistics] = None
@@ -250,7 +284,8 @@ class XmlDatabase:
         if name in self._collections:
             return self._collections[name]
         collection = XmlCollection(
-            name, use_incremental_maintenance=self.use_incremental_maintenance)
+            name, use_incremental_maintenance=self.use_incremental_maintenance,
+            delta_log_capacity=self.delta_log_capacity)
         collection.subscribe(self._on_collection_change)
         self._collections[name] = collection
         self._merged_statistics = None
@@ -321,7 +356,14 @@ class XmlDatabase:
         if self._merged_statistics is None or signature != self._merged_signature:
             merged = DatabaseStatistics()
             for collection in self._collections.values():
-                merged.merge(collection.statistics)
+                stats = collection.statistics
+                merged.merge(stats)
+                # Keep the per-collection sub-synopses addressable on the
+                # merged object: the collection-scoped cost model routes
+                # queries against them, and cached plans/costings are
+                # keyed to their data versions.
+                merged.collection_stats[collection.name] = stats
+                merged.collection_versions[collection.name] = collection.version
             self._merged_statistics = merged
             self._merged_signature = signature
         return self._merged_statistics

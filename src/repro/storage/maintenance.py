@@ -31,16 +31,22 @@ global cache flush:
   cached plans and per-query costings are evicted selectively instead of
   wholesale.
 
-Exactness contract: the global cost model prices every query against
-whole-database aggregates (data pages, total node count, document
-count), so whenever those aggregates move, every cached cost is stale
-and :attr:`DataChange.aggregates_changed` forces a full re-cost -- the
-fine-grained path only retains state that is provably unchanged
-(pattern-relevance maps, plans and costings whose statistics inputs did
-not move: signature churn from RUNSTATS, empty-collection DDL, or
-net-zero batches).  Derived state maintained through deltas, by
-contrast, is byte-identical to a rebuild by construction, which the
-randomized equivalence tests assert.
+Exactness contract: with the collection-scoped cost model (the
+default) a cached plan or costing depends only on the synopses of its
+*routing set* -- the collections the query's patterns can match -- so
+it is stale exactly when a routed collection changed or a changed path
+could move the routing set itself (:meth:`DataChange.stales_routed_query`);
+a change confined to other collections leaves it byte-exact even when
+the whole-database aggregates moved.  Under the legacy global model
+(``use_collection_costing=False``) every query is priced against
+whole-database aggregates, so whenever those move, every cached cost
+is stale and :attr:`DataChange.aggregates_changed` forces a full
+re-cost -- the fine-grained path then only retains state that is
+provably unchanged (pattern-relevance maps, plans and costings whose
+statistics inputs did not move: signature churn from RUNSTATS,
+empty-collection DDL, or net-zero batches).  Derived state maintained
+through deltas, by contrast, is byte-identical to a rebuild by
+construction, which the randomized equivalence tests assert.
 """
 
 from __future__ import annotations
@@ -262,6 +268,37 @@ class DataChange:
                 if self.affects_pattern(touched):
                     return True
         return False
+
+    def affects_routing(self, query: "NormalizedQuery") -> bool:
+        """Could this change have moved ``query``'s structural routing
+        set, or the per-path statistics its routed cost reads?
+
+        Unlike :meth:`affects_query` there is no whole-database
+        aggregates shortcut: with collection-scoped costing a query's
+        cost depends only on the synopses of its routed collections.
+        A collection *enters* a routing set only by gaining a path one
+        of the query's routing patterns matches -- which is exactly a
+        changed path this test sees.
+        """
+        return any(self.affects_pattern(pattern)
+                   for pattern in query.routing_patterns())
+
+    def stales_routed_query(self, query: "NormalizedQuery",
+                            routing: Optional[Tuple[str, ...]]) -> bool:
+        """Is a cached plan/costing for ``query``, computed over the
+        routing set ``routing``, stale after this change?
+
+        ``None`` and the empty set were priced against the whole
+        database, so they fall back to the aggregates-guarded
+        :meth:`affects_query` (plus the routing-membership check).  A
+        genuinely routed entry is stale only when a routed collection
+        changed, or a changed path could alter the routing set itself.
+        """
+        if not routing:
+            return self.affects_query(query) or self.affects_routing(query)
+        if self.changed_collections & frozenset(routing):
+            return True
+        return self.affects_routing(query)
 
 
 class DataChangeTracker:

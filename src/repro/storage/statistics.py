@@ -9,7 +9,11 @@ statistics DB2 collects and the paper's cost estimation relies on
 ("Cost estimation using DB statistics" in Figure 1).
 
 Statistics are collected once per collection and merged per database;
-collection is O(total nodes).  Collection no longer walks the node trees
+collection is O(total nodes).  The merged snapshot keeps each
+collection's sub-synopsis addressable (:attr:`DatabaseStatistics.collection_stats`)
+so the collection-scoped cost model can route queries to -- and merge
+statistics over -- exactly the collections their patterns can match
+(:meth:`DatabaseStatistics.merged_over`).  Collection no longer walks the node trees
 itself: it derives the synopsis from the collection's structural
 :class:`~repro.storage.path_summary.PathSummary`, so statistics, index
 builds and scan execution all share one traversal of the data.
@@ -139,6 +143,25 @@ class DatabaseStatistics:
     #: is cleared defensively by :meth:`merge`.  Not part of equality.
     size_cache: Dict[Tuple[str, str], float] = field(default_factory=dict,
                                                      repr=False, compare=False)
+    #: Addressable per-collection sub-synopses, populated (in collection
+    #: insertion order) by :attr:`XmlDatabase.statistics` on the merged
+    #: object.  The collection-scoped cost model routes queries by
+    #: matching their patterns against these instead of the flattened
+    #: whole-database synopsis.  Empty on leaf (single-collection)
+    #: snapshots.  Not part of equality.
+    collection_stats: Dict[str, "DatabaseStatistics"] = field(
+        default_factory=dict, repr=False, compare=False)
+    #: The data version each sub-synopsis was snapshotted at.  Staleness
+    #: of routed plans/costings is decided by diffing these snapshots
+    #: between polls (:class:`~repro.storage.maintenance.DataChangeTracker`
+    #: + :meth:`DataChange.stales_routed_query`); the versions here
+    #: document which state the merged view reflects.
+    collection_versions: Dict[str, int] = field(default_factory=dict,
+                                                repr=False, compare=False)
+    #: Memo of routing set -> merged statistics over that subset of the
+    #: sub-synopses.  Not part of equality.
+    _routing_cache: Dict[Tuple[str, ...], "DatabaseStatistics"] = field(
+        default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -246,6 +269,38 @@ class DatabaseStatistics:
         from repro.storage.pages import XML_NODE_OVERHEAD_BYTES
         return (self.total_node_count * XML_NODE_OVERHEAD_BYTES
                 + self.total_text_bytes)
+
+    # ------------------------------------------------------------------
+    # Per-collection routing views
+    # ------------------------------------------------------------------
+    def merged_over(self, names: Iterable[str]) -> "DatabaseStatistics":
+        """Merged statistics over the sub-synopses named by ``names``.
+
+        This is the collection-scoped cost model's view of a routing
+        set: the same merge the database performs over all collections,
+        restricted to the routed subset (and performed in the same
+        collection insertion order, so covering every collection
+        reproduces the whole-database synopsis byte-identically --
+        in fact that case returns ``self``).  Memoized per routing set;
+        statistics objects are rebuilt, never mutated, on data change,
+        so the memo cannot go stale.
+        """
+        if not self.collection_stats:
+            return self
+        requested = set(names) & set(self.collection_stats)
+        if len(requested) >= len(self.collection_stats) or not requested:
+            # Full coverage is exactly this object; an empty routing set
+            # falls back to the unscoped synopsis (the legacy model).
+            return self
+        key = tuple(sorted(requested))
+        cached = self._routing_cache.get(key)
+        if cached is None:
+            cached = DatabaseStatistics()
+            for name, stats in self.collection_stats.items():
+                if name in requested:
+                    cached.merge(stats)
+            self._routing_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Merging

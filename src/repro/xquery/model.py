@@ -129,6 +129,21 @@ class NormalizedQuery:
         """Every pattern the statement mentions (predicates + extraction)."""
         return [p.pattern for p in self.predicates] + list(self.extraction_paths)
 
+    def routing_patterns(self) -> List[PathPattern]:
+        """The patterns that decide which collections this statement can
+        touch (the structural routing set).
+
+        A read query with predicates only matches documents where *every*
+        predicate path exists, so its predicates route it; a pure
+        navigation query routes by its extraction paths; an update routes
+        by the subtrees it touches (plus any predicates).
+        """
+        if self.is_update:
+            return list(self.touched_patterns) + [p.pattern for p in self.predicates]
+        if self.predicates:
+            return [p.pattern for p in self.predicates]
+        return list(self.extraction_paths)
+
 
 @dataclass
 class WorkloadStatement:

@@ -28,6 +28,12 @@ Sizes are capped by environment variables:
     asserts >= 5x at its larger scale -- the smoke floor is conservative
     because tiny timed runs are noisy, but a broken delta path drops
     the ratio to ~1x, which the floor catches).
+``REPRO_SMOKE_MIN_ROUTING_RATIO``
+    Minimum accepted ratio for collection-scoped routing (default
+    ``2``; the E7 benchmark asserts >= 5x at its larger scale), applied
+    to both the routed-vs-unrouted scan wall-clock on the co-resident
+    XMark+TPoX database and the deterministic what-if re-costing count
+    after a single-collection document add.
 
 Deselect with ``-m "not bench_smoke"`` if an environment is too noisy
 for any timing assertion.
@@ -60,6 +66,7 @@ SMOKE_SCALE = _env_float("REPRO_SMOKE_XMARK_SCALE", 0.05)
 MIN_SPEEDUP = _env_float("REPRO_SMOKE_MIN_SPEEDUP", 1.5)
 MIN_WHATIF_RATIO = _env_float("REPRO_SMOKE_MIN_WHATIF_RATIO", 5.0)
 MIN_MAINT_RATIO = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
+MIN_ROUTING_RATIO = _env_float("REPRO_SMOKE_MIN_ROUTING_RATIO", 2.0)
 
 
 @pytest.fixture(scope="module")
@@ -129,6 +136,38 @@ def test_smoke_incremental_search_equivalent_and_cheaper(smoke_db, smoke_workloa
         f"{sweep.totals['incremental']['costings']} incremental what-if "
         f"costings ({sweep.costings_ratio:.1f}x < {MIN_WHATIF_RATIO:.1f}x) "
         f"at scale {SMOKE_SCALE}")
+
+
+def test_smoke_routing_faster_and_exact():
+    """Collection-scoped routing must beat the unrouted escape hatch on
+    the co-resident XMark+TPoX database -- scan wall-clock (best-of-3,
+    timed) and what-if re-costings after a single-collection document
+    add (deterministic count) -- while keeping scan results, delta
+    benefits and cached-advisor recommendations byte-identical (E7 at
+    smoke scale)."""
+    from repro.tools.routing_compare import compare_routing_modes
+
+    best_scan_ratio = 0.0
+    comparison = None
+    for _ in range(3):  # best-of-3 damps scheduler noise on tiny runs
+        comparison = compare_routing_modes(scale=SMOKE_SCALE)
+        assert comparison.identical_results, (
+            "structural routing changed scan results")
+        assert comparison.benefits_identical, (
+            "routed delta benefits diverged from a fresh evaluation")
+        assert comparison.configurations_identical, (
+            "cached advisor stack recommended differently than a fresh one")
+        assert comparison.cross_recostings == 0, (
+            "a single-collection add re-costed queries routed elsewhere")
+        best_scan_ratio = max(best_scan_ratio, comparison.scan_ratio)
+    assert best_scan_ratio >= MIN_ROUTING_RATIO, (
+        f"routed scan speedup regressed: best-of-3 {best_scan_ratio:.2f}x "
+        f"< {MIN_ROUTING_RATIO:.1f}x at scale {SMOKE_SCALE}")
+    assert comparison.recosting_ratio >= MIN_ROUTING_RATIO, (
+        f"routed re-costing savings regressed: "
+        f"{comparison.recostings_unrouted} legacy vs "
+        f"{comparison.recostings_routed} routed re-costings "
+        f"({comparison.recosting_ratio:.1f}x < {MIN_ROUTING_RATIO:.1f}x)")
 
 
 def test_smoke_incremental_maintenance_faster_and_identical():

@@ -310,6 +310,47 @@ class TestExecutorMaintenance:
         assert executor.index_delta_maintenances == 0
 
 
+class TestDeltaLogCapacity:
+    def test_capacity_parameter_flows_to_collections(self):
+        database = XmlDatabase("cap", delta_log_capacity=4)
+        collection = database.create_collection("c")
+        assert collection.delta_log_capacity == 4
+        for i in range(6):
+            collection.add_document(f"<a><b>{i}</b></a>")
+        # Only the last 4 deltas are retained: a consumer at version 1
+        # hits the trimmed history, a consumer at version 2 does not.
+        assert collection.deltas_since(1) is None
+        assert [d.version for d in collection.deltas_since(2)] == [3, 4, 5, 6]
+
+    def test_standalone_collection_capacity(self):
+        collection = XmlCollection("c", delta_log_capacity=2)
+        for i in range(5):
+            collection.add_document(f"<a><b>{i}</b></a>")
+        assert collection.deltas_since(2) is None
+        assert [d.version for d in collection.deltas_since(3)] == [4, 5]
+
+    def test_larger_capacity_avoids_journal_gap_rebuild(self):
+        """A consumer that falls behind by more deltas than the journal
+        retains must rebuild; a larger configured capacity bridges the
+        same gap through delta catch-up instead."""
+        outcomes = {}
+        for label, capacity in (("small", 8), ("large", 128)):
+            database = XmlDatabase(f"cap-{label}", delta_log_capacity=capacity)
+            collection = database.create_collection("site")
+            collection.add_document(TINY_SITE_XML)
+            executor = QueryExecutor(database)
+            definition = IndexDefinition.create(
+                "/site/regions/*/item/quantity", ValueType.DOUBLE)
+            executor.create_indexes([definition])
+            for _ in range(20):  # beyond the small journal's capacity
+                collection.add_document(TINY_SITE_XML)
+            executor.execute("/site/regions/*/item[quantity > 5]")
+            outcomes[label] = (executor.index_rebuilds,
+                               executor.index_delta_maintenances)
+        assert outcomes["small"] == (1, 0)  # gap -> rebuild
+        assert outcomes["large"] == (0, 1)  # journal bridged the gap
+
+
 class TestSignatureMemoization:
     def test_signature_cached_until_change(self):
         database = build_varied_database(documents=6, name="sig")

@@ -15,13 +15,19 @@ the numbers to ``BENCH_advisor.json`` (override with ``--output``):
   statistics + one configured physical index maintained through deltas)
   vs the full-rebuild path: wall time per mode, the speedup, and a
   byte-identity flag.
+* **E7 (routing)** -- collection-scoped costing + structural routing on
+  the co-resident XMark+TPoX database vs the whole-database escape
+  hatch: routed-vs-unrouted scan wall time, what-if re-costings after a
+  single-collection document add (deterministic count), and the
+  exactness flags (results, delta benefits, cached recommendations).
 
 Sizes are controlled by ``REPRO_SMOKE_XMARK_SCALE`` (default ``0.1``)
 so CI stays fast; run with a larger scale locally for headline numbers.
 
 The exit status doubles as a CI gate: non-zero when a comparison lost
-equivalence or the maintenance speedup fell below
-``REPRO_SMOKE_MIN_MAINT_RATIO`` (default ``2``).
+equivalence, the maintenance speedup fell below
+``REPRO_SMOKE_MIN_MAINT_RATIO`` (default ``2``), or the routing ratios
+fell below ``REPRO_SMOKE_MIN_ROUTING_RATIO`` (default ``2``).
 
 Usage::
 
@@ -120,6 +126,38 @@ def record_e6_maintenance(scale: float) -> dict:
     }
 
 
+def record_e7_routing(scale: float) -> dict:
+    """Routed vs unrouted scan + what-if re-costing (best of 3 for the
+    timed scan half; the re-costing counts are deterministic)."""
+    from repro.tools.routing_compare import compare_routing_modes
+
+    best = None
+    for _ in range(3):
+        comparison = compare_routing_modes(scale=scale)
+        exact = (comparison.identical_results and comparison.benefits_identical
+                 and comparison.configurations_identical
+                 and comparison.cross_recostings == 0)
+        if not exact:
+            best = comparison
+            break
+        if best is None or comparison.scan_ratio > best.scan_ratio:
+            best = comparison
+    return {
+        "xmark_documents": best.xmark_documents,
+        "ballast_documents": best.ballast_documents,
+        "routed_seconds": round(best.routed_seconds, 4),
+        "unrouted_seconds": round(best.unrouted_seconds, 4),
+        "scan_speedup": round(best.scan_ratio, 2),
+        "recostings_routed": best.recostings_routed,
+        "recostings_unrouted": best.recostings_unrouted,
+        "recosting_ratio": round(best.recosting_ratio, 2),
+        "cross_recostings": best.cross_recostings,
+        "identical_results": best.identical_results,
+        "benefits_identical": best.benefits_identical,
+        "configurations_identical": best.configurations_identical,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_advisor.json",
@@ -137,6 +175,7 @@ def main() -> int:
         "e3_search": record_e3_search(database, workload),
         "e5_execution": record_e5_execution(database, workload),
         "e6_maintenance": record_e6_maintenance(scale),
+        "e7_routing": record_e7_routing(scale),
     }
 
     # Append to the trajectory (a JSON list, one entry per recording) so
@@ -155,7 +194,7 @@ def main() -> int:
         handle.write("\n")
 
     e3, e5 = entry["e3_search"], entry["e5_execution"]
-    e6 = entry["e6_maintenance"]
+    e6, e7 = entry["e6_maintenance"], entry["e7_routing"]
     print(f"wrote {args.output} (xmark scale {scale})")
     print(f"  E3: identical={e3['identical_configurations']} "
           f"costings {e3['legacy']['query_costings']}"
@@ -168,13 +207,29 @@ def main() -> int:
     print(f"  E6: identical={e6['identical_state']} maintenance rebuild "
           f"{e6['rebuild_seconds']}s -> incremental "
           f"{e6['incremental_seconds']}s ({e6['speedup']}x)")
+    print(f"  E7: scan {e7['unrouted_seconds']}s -> routed "
+          f"{e7['routed_seconds']}s ({e7['scan_speedup']}x), "
+          f"re-costings {e7['recostings_unrouted']}"
+          f"->{e7['recostings_routed']} ({e7['recosting_ratio']}x), "
+          f"cross={e7['cross_recostings']}")
 
     min_maint_ratio = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
+    min_routing_ratio = _env_float("REPRO_SMOKE_MIN_ROUTING_RATIO", 2.0)
     if not e3["identical_configurations"] or not e6["identical_state"]:
         return 1
     if e6["speedup"] < min_maint_ratio:
         print(f"  FAIL: maintenance speedup {e6['speedup']}x below the "
               f"floor {min_maint_ratio}x")
+        return 1
+    if not (e7["identical_results"] and e7["benefits_identical"]
+            and e7["configurations_identical"]) or e7["cross_recostings"]:
+        print("  FAIL: routing comparison lost equivalence")
+        return 1
+    if e7["scan_speedup"] < min_routing_ratio \
+            or e7["recosting_ratio"] < min_routing_ratio:
+        print(f"  FAIL: routing ratios {e7['scan_speedup']}x scan / "
+              f"{e7['recosting_ratio']}x re-costing below the floor "
+              f"{min_routing_ratio}x")
         return 1
     return 0
 

@@ -1,0 +1,82 @@
+"""E10 (online tuning): the autonomous loop vs the offline advisor.
+
+The PR 5 control plane is exercised end to end on an XMark database
+(``repro.tools.online_compare.compare_online_offline``, shared with the
+tier-1 ``bench_smoke`` guard and the perf recorder):
+
+* **stationary convergence** -- a monitored executor serves the XMark
+  training workload; after one tuning cycle the loop's applied
+  configuration must be byte-identical (index key sets) to an offline
+  advisor run on the same queries, and a further stationary cycle must
+  report no drift (no oscillation).
+* **shift re-convergence** -- traffic switches to the held-out queries;
+  the controller must detect the drift, migrate (dropping now-useless
+  indexes), and hold a configuration byte-identical to the offline
+  advisor run on the shifted workload once the superseded traffic has
+  decayed below the prune floor.
+* **bounded compression** -- an ad-hoc template flood at 1x and 10x
+  volume: the compressed advisor input must stay at or below the
+  configured cluster cap at both volumes (counts, so deterministic);
+  asserted floor ``MIN_ONLINE_COMPRESSION`` captured templates per
+  compressed cluster at 10x.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SMOKE, XMARK_SCALE, print_section
+
+from repro.tools.online_compare import compare_online_offline
+from repro.tools.report import render_table
+
+#: Minimum accepted captured-templates-per-cluster ratio at 10x volume
+#: (deterministic: it counts templates, not seconds).
+MIN_ONLINE_COMPRESSION = 2.0 if BENCH_SMOKE else 4.0
+
+
+def test_e10_online_loop_convergence_and_bounded_input(benchmark):
+    comparison = benchmark.pedantic(
+        compare_online_offline, kwargs={"scale": XMARK_SCALE},
+        rounds=1, iterations=1)
+
+    table = render_table(
+        ["stationary", "stable", "index plans", "drift", "drops",
+         "reconverged", "captured 1x/10x", "compressed 1x/10x", "ratio"],
+        [["ok" if comparison.stationary_identical else "FAIL",
+          "ok" if comparison.stationary_stable else "FAIL",
+          comparison.index_plans_after_migration,
+          f"{comparison.drift_score:.2f}",
+          "ok" if comparison.migrated_with_drops else "FAIL",
+          "ok" if comparison.reconverged_identical else "FAIL",
+          f"{comparison.captured_templates_1x}/{comparison.captured_templates_10x}",
+          f"{comparison.compressed_size_1x}/{comparison.compressed_size_10x}",
+          f"{comparison.compression_ratio:.1f}x"]])
+    print_section(
+        f"E10 online tuning - autonomous loop (XMark scale {XMARK_SCALE})",
+        table)
+
+    assert comparison.stationary_identical, (
+        "online loop configuration diverged from the offline advisor on "
+        f"a stationary workload: online {sorted(comparison.online_keys)} "
+        f"vs offline {sorted(comparison.offline_keys)}")
+    assert comparison.stationary_stable, (
+        "the loop re-tuned on a stationary workload (oscillation)")
+    assert comparison.index_plans_after_migration > 0, (
+        "no query used an index plan after the online migration")
+    assert comparison.drift_detected, (
+        "the injected workload shift was not detected")
+    assert comparison.migrated_with_drops, (
+        "the post-shift migration dropped no stale index")
+    assert comparison.reconverged_identical, (
+        "the loop did not re-converge to the offline advisor's "
+        "configuration after the shift")
+    assert comparison.compression_bounded, (
+        f"compressed advisor input exceeded the cluster cap: "
+        f"{comparison.compressed_size_1x}/{comparison.compressed_size_10x} "
+        f"clusters vs cap {comparison.flood_cluster_cap}")
+    assert comparison.compression_ratio >= MIN_ONLINE_COMPRESSION, (
+        f"online compression regressed: {comparison.captured_templates_10x} "
+        f"captured templates -> {comparison.compressed_size_10x} clusters "
+        f"({comparison.compression_ratio:.1f}x < {MIN_ONLINE_COMPRESSION}x)")
+    # The shared aggregate predicate: catches any flag added to the
+    # protocol that the per-flag asserts above do not know about yet.
+    assert comparison.converged

@@ -12,6 +12,8 @@ the estimated per-query improvement.
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     AdvisorParameters,
     RecommendationAnalysis,
@@ -21,11 +23,15 @@ from repro import (
 )
 from repro.workloads import XMarkConfig
 
+#: Database scale; the tier-1 example smoke test shrinks it through
+#: ``REPRO_EXAMPLE_SCALE`` so the script stays runnable in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.1"))
+
 
 def main() -> None:
     # 1. A database: here a generated XMark-style auction database.  Any
     #    XmlDatabase you fill with your own documents works the same way.
-    database = generate_xmark_database(XMarkConfig(scale=0.1, seed=42))
+    database = generate_xmark_database(XMarkConfig(scale=SCALE, seed=42))
     print(database.describe())
 
     # 2. A workload: the statements your application runs, with optional

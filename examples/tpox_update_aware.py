@@ -15,14 +15,20 @@ advisor would have recommended instead.
 
 from __future__ import annotations
 
+import os
+
 from repro import AdvisorParameters, XmlIndexAdvisor, generate_tpox_database, tpox_workload
 from repro.advisor.benefit import ConfigurationEvaluator
 from repro.tools.report import render_table
 from repro.workloads import TpoxConfig
 
+#: Database scale; the tier-1 example smoke test shrinks it through
+#: ``REPRO_EXAMPLE_SCALE`` so the script stays runnable in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.2"))
+
 
 def main() -> None:
-    database = generate_tpox_database(TpoxConfig(scale=0.2, seed=7))
+    database = generate_tpox_database(TpoxConfig(scale=SCALE, seed=7))
     print(database.describe())
     budget = AdvisorParameters(disk_budget_bytes=96 * 1024)
 

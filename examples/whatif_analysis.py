@@ -19,6 +19,8 @@ programmatically:
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     AdvisorParameters,
     IndexDefinition,
@@ -30,9 +32,13 @@ from repro import (
 from repro.workloads import XMarkConfig
 from repro.xquery.model import ValueType
 
+#: Database scale; the tier-1 example smoke test shrinks it through
+#: ``REPRO_EXAMPLE_SCALE`` so the script stays runnable in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.1"))
+
 
 def main() -> None:
-    database = generate_xmark_database(XMarkConfig(scale=0.1, seed=42))
+    database = generate_xmark_database(XMarkConfig(scale=SCALE, seed=42))
     workload = Workload(name="whatif")
     workload.add('for $i in doc("x")/site/regions/namerica/item '
                  'where $i/quantity > 8 return $i/name', frequency=4.0)

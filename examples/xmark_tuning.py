@@ -16,6 +16,8 @@ The script follows Section 3 of the paper step by step:
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     AdvisorParameters,
     IndexConfiguration,
@@ -36,6 +38,10 @@ from repro.workloads import XMarkConfig
 from repro.xquery.model import ValueType
 from repro.xquery.normalizer import normalize_workload
 
+#: Database scale; the tier-1 example smoke test shrinks it through
+#: ``REPRO_EXAMPLE_SCALE`` so the script stays runnable in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.2"))
+
 
 def heading(text: str) -> None:
     print("\n" + "=" * 72)
@@ -44,7 +50,7 @@ def heading(text: str) -> None:
 
 
 def main() -> None:
-    database = generate_xmark_database(XMarkConfig(scale=0.2, seed=42))
+    database = generate_xmark_database(XMarkConfig(scale=SCALE, seed=42))
     workload = xmark_query_workload()
     optimizer = Optimizer(database)
     queries = [q for q in normalize_workload(workload) if not q.is_update]

@@ -41,6 +41,7 @@ from repro.optimizer import (
     evaluate_indexes,
 )
 from repro.storage import XmlDatabase
+from repro.tuning import TuningController, TuningPolicy, WorkloadMonitor
 from repro.workloads import (
     generate_tpox_database,
     generate_xmark_database,
@@ -64,7 +65,10 @@ __all__ = [
     "Recommendation",
     "RecommendationAnalysis",
     "SearchAlgorithm",
+    "TuningController",
+    "TuningPolicy",
     "Workload",
+    "WorkloadMonitor",
     "WorkloadStatement",
     "XmlDatabase",
     "XmlIndexAdvisor",

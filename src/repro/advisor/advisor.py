@@ -115,12 +115,33 @@ class XmlIndexAdvisor:
     # ------------------------------------------------------------------
     # Pipeline steps (exposed individually for the demo/benchmarks)
     # ------------------------------------------------------------------
-    def normalize(self, workload: Union[Workload, Sequence[str]]) -> List[NormalizedQuery]:
-        """Normalize a workload (or plain list of statement strings)."""
-        if not isinstance(workload, Workload):
-            workload = Workload(name="adhoc",
-                                statements=None) if workload is None else _as_workload(workload)
-        return normalize_workload(workload)
+    def normalize(self, workload: "Union[Workload, Sequence[str], Sequence[NormalizedQuery]]"
+                  ) -> List[NormalizedQuery]:
+        """Normalize a workload into the internal query list.
+
+        Accepts a :class:`Workload`, a plain list of statement strings,
+        a list of already-normalized queries (passed through untouched),
+        or any object exposing a ``queries`` list of normalized queries
+        -- in particular the online tuning subsystem's
+        :class:`~repro.tuning.compressor.CompressedWorkload`, whose
+        representative queries carry their aggregated captured weights
+        as frequencies.
+        """
+        if isinstance(workload, Workload):
+            return normalize_workload(workload)
+        if workload is None:
+            return normalize_workload(Workload(name="adhoc"))
+        queries = getattr(workload, "queries", None)
+        if queries is not None:
+            queries = list(queries)
+            if all(isinstance(query, NormalizedQuery) for query in queries):
+                return queries
+        # Materialize once: the argument may be a one-shot iterable, and
+        # the isinstance probe below must not consume it.
+        items = list(workload)
+        if items and all(isinstance(item, NormalizedQuery) for item in items):
+            return items
+        return normalize_workload(_as_workload(items))
 
     def enumerate_candidates(self, queries: Sequence[NormalizedQuery]) -> CandidateSet:
         """Step 1: basic candidates via the Enumerate Indexes mode."""
@@ -146,9 +167,15 @@ class XmlIndexAdvisor:
     # ------------------------------------------------------------------
     # One-call entry point
     # ------------------------------------------------------------------
-    def recommend(self, workload: Union[Workload, Sequence[str]],
+    def recommend(self, workload: "Union[Workload, Sequence[str], Sequence[NormalizedQuery]]",
                   algorithm: Optional[SearchAlgorithm] = None) -> Recommendation:
-        """Run the full pipeline and return the recommendation."""
+        """Run the full pipeline and return the recommendation.
+
+        Besides a :class:`Workload` or statement strings, this accepts
+        already-normalized queries and compressed online workloads (see
+        :meth:`normalize`) -- the entry point the online tuning
+        controller re-advises through.
+        """
         phase_seconds: Dict[str, float] = {}
 
         start = time.perf_counter()

@@ -43,7 +43,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.index.physical import PhysicalPathIndex, build_physical_index
@@ -58,6 +68,9 @@ from repro.xpath.ast import BinaryOp
 from repro.xpath.patterns import PathPattern
 from repro.xquery.model import NormalizedQuery, PathPredicate
 from repro.xquery.normalizer import normalize_statement
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.tuning.monitor import WorkloadMonitor
 
 
 @dataclass
@@ -101,9 +114,14 @@ class QueryExecutor:
                  optimizer: Optional[Optimizer] = None,
                  use_path_summary: bool = True,
                  use_incremental_maintenance: bool = True,
-                 use_collection_routing: bool = True) -> None:
+                 use_collection_routing: bool = True,
+                 monitor: Optional["WorkloadMonitor"] = None) -> None:
         self.database = database
         self.optimizer = optimizer or Optimizer(database)
+        #: Online-tuning capture hook: when attached, every executed
+        #: query (and its measured work) is recorded into the monitor's
+        #: decayed frequency store (see :mod:`repro.tuning.monitor`).
+        self.monitor = monitor
         self.use_path_summary = use_path_summary
         #: Maintain materialized indexes from the collections' delta
         #: journals on data change; ``False`` restores the legacy
@@ -217,11 +235,40 @@ class QueryExecutor:
             self.index_delta_maintenances += 1
             self._mark_maintained(index.definition.name, signature)
 
+    def drop_indexes(self, names: Iterable[str]) -> List[str]:
+        """Drop specific physical indexes (catalog entries and any
+        materialized structures); returns the names actually dropped.
+
+        This is the migration-plan primitive of the online tuning
+        controller: after the drop, subsequent :meth:`execute` calls
+        plan against the reduced catalog (the optimizer's plan cache is
+        keyed to the visible index keys, so stale plans cannot be
+        served).
+        """
+        physical = {definition.name: definition
+                    for definition in self.database.catalog.physical_indexes}
+        dropped: List[str] = []
+        for name in names:
+            definition = physical.get(name)
+            if definition is None:
+                continue
+            self.database.catalog.drop_index(name)
+            self._indexes.pop(definition.key, None)
+            dropped.append(name)
+        return dropped
+
     def drop_all_indexes(self) -> None:
         """Drop every physical index (catalog entries and structures)."""
         for definition in list(self.database.catalog.physical_indexes):
             self.database.catalog.drop_index(definition.name)
         self._indexes.clear()
+
+    # ------------------------------------------------------------------
+    # Workload capture (online tuning)
+    # ------------------------------------------------------------------
+    def attach_monitor(self, monitor: Optional["WorkloadMonitor"]) -> None:
+        """Attach (or, with ``None``, detach) the workload capture hook."""
+        self.monitor = monitor
 
     @property
     def materialized_index_count(self) -> int:
@@ -258,6 +305,11 @@ class QueryExecutor:
         else:
             result = self._execute_scan(query, extract, plan.routing)
         result.elapsed_seconds = time.perf_counter() - start
+        if self.monitor is not None:
+            # Online-tuning capture: the monitor aggregates by query
+            # template, so repeated executions of one statement fold
+            # into a single decayed-weight entry.
+            self.monitor.record(query, result)
         return result
 
     def execute_workload(self, queries: Sequence[NormalizedQuery],

@@ -17,6 +17,7 @@ client-side advisor brackets each Evaluate Indexes call.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
@@ -29,6 +30,29 @@ class CatalogError(Exception):
 
 #: A database data signature: sorted (collection name, version) pairs.
 DataSignature = Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class ConfigurationProvenance:
+    """Where the live physical configuration came from.
+
+    Recorded by the online tuning controller whenever it (re-)advises,
+    so any consumer -- the drift detector above all -- can ask "which
+    workload and which data state was this configuration chosen for?"
+    without the controller having to stay alive.  The catalog treats the
+    workload snapshot as opaque (it is a
+    :class:`repro.tuning.monitor.WorkloadSnapshot`; the storage layer
+    must not depend on the tuning layer).
+    """
+
+    #: Keys of the index definitions the advising pass recommended.
+    index_keys: Tuple[Tuple[str, str], ...]
+    #: Database signature at advising time.
+    data_signature: DataSignature
+    #: The monitor step the advised-on workload snapshot was taken at.
+    advised_step: int
+    #: The advised-on workload snapshot (opaque to the catalog).
+    workload_snapshot: object = None
 
 
 class Catalog:
@@ -47,6 +71,23 @@ class Catalog:
         self._physical: Dict[str, IndexDefinition] = {}
         self._virtual: Dict[str, IndexDefinition] = {}
         self._maintained_signatures: Dict[str, DataSignature] = {}
+        self._provenance: Optional[ConfigurationProvenance] = None
+
+    # ------------------------------------------------------------------
+    # Configuration provenance
+    # ------------------------------------------------------------------
+    def record_configuration_provenance(
+            self, provenance: Optional[ConfigurationProvenance]) -> None:
+        """Remember which workload snapshot / data state the current
+        physical configuration was advised on (online tuning);
+        ``None`` clears the record."""
+        self._provenance = provenance
+
+    @property
+    def configuration_provenance(self) -> Optional[ConfigurationProvenance]:
+        """The last recorded advising provenance, or ``None`` when the
+        configuration was never produced by an advising pass."""
+        return self._provenance
 
     # ------------------------------------------------------------------
     # Physical indexes

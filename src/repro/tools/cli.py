@@ -8,7 +8,12 @@ Sub-commands mirror the demonstration's flow:
 * ``recommend`` -- run the full advisor under a disk budget and print
   the recommended configuration, its DDL and the Figure 5 analysis;
 * ``execute`` -- create the recommended indexes and actually execute the
-  workload with and without them (the demo's final step).
+  workload with and without them (the demo's final step);
+* ``tune`` -- run the online tuning loop: observe the workload through a
+  monitored executor, report drift, re-advise on the compressed captured
+  workload, and apply (or just print, with ``--dry-run``) the migration
+  plan.  ``--shift`` additionally replays the held-out XMark queries
+  afterwards to demonstrate drift detection and re-convergence.
 
 Example::
 
@@ -103,6 +108,33 @@ def build_parser() -> argparse.ArgumentParser:
     execute_parser.add_argument("--budget-kb", type=float, default=256.0)
     execute_parser.add_argument("--algorithm", type=_algorithm,
                                 default=SearchAlgorithm.GREEDY_HEURISTIC)
+
+    tune_parser = subparsers.add_parser(
+        "tune", help="run the online tuning loop "
+                     "(observe -> drift -> advise -> migrate)")
+    _add_scenario_argument(tune_parser)
+    tune_parser.add_argument("--budget-kb", type=float, default=256.0,
+                             help="disk space budget in KiB (0 = unlimited)")
+    tune_parser.add_argument("--rounds", type=int, default=3,
+                             help="observation rounds (one monitor tick each) "
+                                  "before the tuning cycle runs")
+    tune_parser.add_argument("--drift-threshold", type=float, default=0.25,
+                             help="combined drift score that triggers "
+                                  "re-advising")
+    tune_parser.add_argument("--cluster-cap", type=int, default=32,
+                             help="bound on the compressed advisor input")
+    tune_parser.add_argument("--build-budget-kb", type=float, default=0.0,
+                             help="per-cycle index build budget in KiB "
+                                  "(0 = build everything at once)")
+    tune_parser.add_argument("--dry-run", action="store_true",
+                             help="report the migration plan without "
+                                  "applying it")
+    tune_parser.add_argument("--shift", action="store_true",
+                             help="after tuning, replay the held-out XMark "
+                                  "queries and run a second cycle to "
+                                  "demonstrate drift detection")
+    tune_parser.add_argument("--shift-rounds", type=int, default=10,
+                             help="observation rounds for the --shift phase")
     return parser
 
 
@@ -172,11 +204,53 @@ def _command_execute(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_tune(args: argparse.Namespace) -> int:
+    from repro.tuning import TuningController, TuningPolicy
+    from repro.workloads.xmark import xmark_unseen_queries
+
+    scenario = build_scenario(args.scenario)
+    policy = TuningPolicy(
+        drift_threshold=args.drift_threshold,
+        cluster_cap=args.cluster_cap,
+        disk_budget_bytes=_budget_bytes(args.budget_kb),
+        build_budget_bytes=(args.build_budget_kb * 1024.0
+                            if args.build_budget_kb > 0 else None),
+        dry_run=args.dry_run)
+    controller = TuningController(scenario.database, policy=policy)
+
+    workload = _scenario_workload(args, scenario)
+    queries = normalize_workload(workload)
+    executed = controller.observe(queries, rounds=max(1, args.rounds))
+    print(f"observed {executed} execution(s) of {len(queries)} statement(s) "
+          f"over {max(1, args.rounds)} round(s)")
+    print(controller.drift_report().describe())
+    print()
+    event = controller.run_cycle()
+    print(event.describe())
+
+    if args.shift:
+        shifted = normalize_workload(xmark_unseen_queries())
+        executed = controller.observe(shifted, rounds=max(1, args.shift_rounds))
+        print(f"\n-- injected workload shift: observed {executed} "
+              f"execution(s) of {len(shifted)} held-out statement(s) --")
+        event = controller.run_cycle()
+        print(event.describe())
+
+    print("\naudit trail:")
+    print(controller.audit_trail())
+    live = sorted(controller.live_configuration_keys)
+    print(f"\nlive configuration ({len(live)} index(es)):")
+    for pattern, value_type in live:
+        print(f"  {pattern} [{value_type}]")
+    return 0
+
+
 _COMMANDS = {
     "scenarios": _command_scenarios,
     "enumerate": _command_enumerate,
     "recommend": _command_recommend,
     "execute": _command_execute,
+    "tune": _command_tune,
 }
 
 

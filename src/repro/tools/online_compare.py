@@ -1,0 +1,208 @@
+"""Online-vs-offline tuning comparison (shared E10 protocol).
+
+One implementation of the online-loop measurement used by three
+consumers -- the E10 benchmark (``benchmarks/bench_e10_online.py``),
+the tier-1 ``bench_smoke`` guard (``tests/test_bench_smoke.py``), and
+the perf-trajectory recorder (``tools/bench_record.py``) -- so the
+measurement protocol cannot silently diverge between the guard, the
+bench and the recorded numbers.
+
+Protocol (every phase deterministic -- logical steps, no wall clock):
+
+* **stationary convergence** -- an offline advisor run on the XMark
+  training workload is recorded first; then a
+  :class:`~repro.tuning.controller.TuningController` observes the same
+  workload executed round-by-round through a monitored executor and
+  runs one tuning cycle.  The online loop's applied configuration must
+  be byte-identical (index key sets) to the offline recommendation,
+  and a further stationary cycle must report *no* drift (the loop does
+  not oscillate).
+* **shift re-convergence** -- traffic switches to the held-out XMark
+  queries (same shapes, unseen regions/constants).  The controller
+  must detect the drift, migrate (dropping now-useless indexes), and
+  -- once the old traffic has decayed below the prune floor -- hold a
+  configuration byte-identical to an offline advisor run on the
+  shifted workload.
+* **bounded compression** -- a monitor is flooded with ad-hoc query
+  templates (distinct literals and regions), at 1x and at 10x volume;
+  the compressed advisor input must stay at or below the configured
+  cluster cap at both volumes while capture itself keeps aggregating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.advisor.advisor import XmlIndexAdvisor
+from repro.advisor.config import AdvisorParameters
+from repro.executor.executor import QueryExecutor
+from repro.storage.document_store import XmlDatabase
+from repro.tuning.compressor import compress_snapshot
+from repro.tuning.controller import TuningController, TuningPolicy
+from repro.tuning.monitor import WorkloadMonitor
+from repro.workloads.xmark import (
+    XMarkConfig,
+    generate_xmark_database,
+    xmark_query_workload,
+    xmark_unseen_queries,
+)
+from repro.xquery.normalizer import normalize_statement, normalize_workload
+
+#: Policy shape shared by every consumer of the protocol: decay fast
+#: enough that a superseded workload prunes out within the shift phase.
+ONLINE_DECAY = 0.5
+PRUNE_FRACTION = 0.02
+CLUSTER_CAP = 32
+TRAIN_ROUNDS = 3
+SHIFT_ROUNDS = 10
+
+#: The flood phase's cluster cap (small on purpose: the captured
+#: template count must exceed it many times over).
+FLOOD_CLUSTER_CAP = 8
+
+#: Ad-hoc template flood: regions x fields x distinct literals.
+FLOOD_REGIONS: Tuple[str, ...] = ("africa", "asia", "australia",
+                                  "europe", "namerica", "samerica")
+
+
+@dataclass
+class OnlineComparison:
+    """Outcome of one online-vs-offline comparison run."""
+
+    # --- stationary convergence ---------------------------------------
+    #: Online loop's applied configuration == offline advisor's (keys).
+    stationary_identical: bool
+    #: A further stationary cycle reported no drift (no oscillation).
+    stationary_stable: bool
+    online_keys: FrozenSet[Tuple[str, str]]
+    offline_keys: FrozenSet[Tuple[str, str]]
+    #: Queries served by index plans after the first migration.
+    index_plans_after_migration: int
+    # --- shift re-convergence -----------------------------------------
+    #: The post-shift cycle crossed the drift threshold.
+    drift_detected: bool
+    drift_score: float
+    #: The post-shift migration dropped at least one stale index.
+    migrated_with_drops: bool
+    #: Post-shift configuration == offline advisor on the shifted
+    #: workload (keys), once old traffic decayed out.
+    reconverged_identical: bool
+    # --- bounded compression ------------------------------------------
+    captured_templates_1x: int
+    compressed_size_1x: int
+    captured_templates_10x: int
+    compressed_size_10x: int
+    flood_cluster_cap: int
+    #: Captured templates per compressed cluster at 10x volume (the
+    #: deterministic bound ratio: counts, not seconds).
+    @property
+    def compression_ratio(self) -> float:
+        return self.captured_templates_10x / max(self.compressed_size_10x, 1)
+
+    @property
+    def compression_bounded(self) -> bool:
+        return (self.compressed_size_1x <= self.flood_cluster_cap
+                and self.compressed_size_10x <= self.flood_cluster_cap)
+
+    @property
+    def converged(self) -> bool:
+        """Every equivalence/behaviour flag at once."""
+        return (self.stationary_identical and self.stationary_stable
+                and self.drift_detected and self.migrated_with_drops
+                and self.reconverged_identical and self.compression_bounded)
+
+
+def _flood_monitor(monitor: WorkloadMonitor, volume: int) -> None:
+    """Record ``volume`` ad-hoc executions of distinct query templates
+    (regions x fields x literals) into ``monitor``."""
+    fields = ("quantity", "price")
+    for i in range(volume):
+        region = FLOOD_REGIONS[i % len(FLOOD_REGIONS)]
+        field = fields[(i // len(FLOOD_REGIONS)) % len(fields)]
+        literal = 1 + (i % 97)
+        text = (f'for $i in doc("xmark.xml")/site/regions/{region}/item '
+                f'where $i/{field} > {literal} return $i/name')
+        monitor.record(normalize_statement(text, query_id=f"adhoc-{i}"))
+        if (i + 1) % 25 == 0:
+            monitor.tick()
+
+
+def compare_online_offline(scale: float = 0.1, seed: int = 42,
+                           disk_budget_bytes: float = 96 * 1024.0,
+                           flood_volume: int = 60) -> OnlineComparison:
+    """Run the full online-vs-offline protocol at ``scale``."""
+    database = generate_xmark_database(XMarkConfig(scale=scale, seed=seed))
+    train = normalize_workload(xmark_query_workload(name="online-train"))
+    shifted = normalize_workload(xmark_unseen_queries(name="online-shift"))
+
+    # Offline references first: advising is read-only and the loop never
+    # changes documents, so both runs see the same statistics.
+    offline = XmlIndexAdvisor(
+        database, AdvisorParameters(disk_budget_bytes=disk_budget_bytes))
+    offline_keys = frozenset(
+        d.key for d in offline.recommend(
+            xmark_query_workload(name="offline-train")).configuration)
+    offline_shift_keys = frozenset(
+        d.key for d in offline.recommend(
+            xmark_unseen_queries(name="offline-shift")).configuration)
+
+    # --- stationary convergence ---------------------------------------
+    executor = QueryExecutor(database)
+    controller = TuningController(
+        database, executor=executor,
+        policy=TuningPolicy(disk_budget_bytes=disk_budget_bytes,
+                            decay=ONLINE_DECAY,
+                            min_weight_fraction=PRUNE_FRACTION,
+                            cluster_cap=CLUSTER_CAP))
+    controller.observe(train, rounds=TRAIN_ROUNDS)
+    first = controller.run_cycle()
+    online_keys = controller.live_configuration_keys
+    stationary_identical = (first.action == "migrated"
+                            and online_keys == offline_keys)
+
+    # More stationary traffic: served by the new indexes, no re-tuning.
+    controller.observe(train, rounds=2)
+    index_plans_after = sum(
+        1 for query in train if not query.is_update
+        and executor.execute(query).used_index_plan)
+    second = controller.run_cycle()
+    stationary_stable = second.action == "idle"
+
+    # --- shift re-convergence -----------------------------------------
+    controller.observe(shifted, rounds=SHIFT_ROUNDS)
+    third = controller.run_cycle()
+    drift_detected = third.report is not None and third.report.exceeded
+    drift_score = third.report.score if third.report is not None else 0.0
+    migrated_with_drops = (third.action == "migrated"
+                           and third.plan is not None
+                           and len(third.plan.drops) > 0)
+    reconverged_identical = (
+        controller.live_configuration_keys == offline_shift_keys)
+
+    # --- bounded compression ------------------------------------------
+    monitor_1x = WorkloadMonitor(decay=ONLINE_DECAY)
+    _flood_monitor(monitor_1x, flood_volume)
+    snapshot_1x = monitor_1x.snapshot()
+    compressed_1x = compress_snapshot(snapshot_1x, FLOOD_CLUSTER_CAP)
+    monitor_10x = WorkloadMonitor(decay=ONLINE_DECAY)
+    _flood_monitor(monitor_10x, flood_volume * 10)
+    snapshot_10x = monitor_10x.snapshot()
+    compressed_10x = compress_snapshot(snapshot_10x, FLOOD_CLUSTER_CAP)
+
+    return OnlineComparison(
+        stationary_identical=stationary_identical,
+        stationary_stable=stationary_stable,
+        online_keys=online_keys,
+        offline_keys=offline_keys,
+        index_plans_after_migration=index_plans_after,
+        drift_detected=drift_detected,
+        drift_score=drift_score,
+        migrated_with_drops=migrated_with_drops,
+        reconverged_identical=reconverged_identical,
+        captured_templates_1x=len(snapshot_1x.entries),
+        compressed_size_1x=len(compressed_1x.clusters),
+        captured_templates_10x=len(snapshot_10x.entries),
+        compressed_size_10x=len(compressed_10x.clusters),
+        flood_cluster_cap=FLOOD_CLUSTER_CAP,
+    )

@@ -1,0 +1,54 @@
+"""Online tuning subsystem: the advisor's autonomous control plane.
+
+The paper's advisor is an offline tool -- a DBA hands it a training
+workload and receives a configuration.  This package closes the loop for
+*evolving* systems: the workload is captured at the executor, compressed
+into a bounded representative form, watched for drift against the
+workload the live configuration was advised on, and migrated without a
+human in the loop.
+
+* :mod:`repro.tuning.monitor` -- the capture side: a
+  :class:`~repro.tuning.monitor.WorkloadMonitor` hooked into
+  :class:`~repro.executor.executor.QueryExecutor` keeps a bounded,
+  exponentially-decayed frequency store of executed query templates.
+* :mod:`repro.tuning.compressor` -- bounds the advisor's input:
+  captured templates are clustered by pattern containment into at most
+  ``cluster_cap`` representative queries with aggregated weights.
+* :mod:`repro.tuning.drift` -- the trigger: combines workload drift
+  (divergence from the advised-on snapshot) and data drift (changed
+  paths reported by the PR 3 delta machinery) into one scalar score.
+* :mod:`repro.tuning.controller` -- the loop: when drift crosses the
+  policy threshold, re-advise on the compressed workload, diff against
+  the live catalog configuration, and emit/apply an ordered
+  :class:`~repro.tuning.controller.MigrationPlan` under disk and
+  build-cost budgets, with a dry-run mode and a full audit trail.
+
+Everything is deterministic by construction: time is the monitor's
+injected step counter, never the wall clock.
+"""
+
+from repro.tuning.compressor import CompressedWorkload, compress_snapshot
+from repro.tuning.controller import (
+    MigrationPlan,
+    MigrationStep,
+    TuningController,
+    TuningEvent,
+    TuningPolicy,
+)
+from repro.tuning.drift import DriftDetector, DriftReport
+from repro.tuning.monitor import CapturedQuery, WorkloadMonitor, WorkloadSnapshot
+
+__all__ = [
+    "CapturedQuery",
+    "CompressedWorkload",
+    "DriftDetector",
+    "DriftReport",
+    "MigrationPlan",
+    "MigrationStep",
+    "TuningController",
+    "TuningEvent",
+    "TuningPolicy",
+    "WorkloadMonitor",
+    "WorkloadSnapshot",
+    "compress_snapshot",
+]

@@ -1,0 +1,282 @@
+"""Workload compression: bound the advisor's input, whatever the traffic.
+
+The monitor already aggregates re-executions of one template, but a
+production stream can still surface more *distinct* templates than an
+advisor run should chew on (ad-hoc literals, per-tenant paths, ...).
+:func:`compress_snapshot` reduces a
+:class:`~repro.tuning.monitor.WorkloadSnapshot` to at most
+``cluster_cap`` representative queries with aggregated weights, in three
+deterministic stages that engage only while the input still exceeds the
+cap -- at or below it, compression is the identity (one cluster per
+captured template), which is what lets the online loop's advisor input
+stay byte-equal to the raw captured workload on ordinary traffic:
+
+1. **literal folding** -- templates identical except for the compared
+   literals merge (``quantity > 7`` and ``quantity > 9`` are one shape);
+2. **containment clustering** -- clusters whose aligned predicate
+   patterns are containment-related or pairwise-generalizable
+   (:func:`repro.xpath.patterns.pattern_contains` /
+   :func:`~repro.xpath.patterns.generalize_pair` -- the same machinery
+   the advisor's generalization phase runs) merge greedily, most
+   similar (longest common prefix) first;
+3. **truncation** -- anything still beyond the cap is dropped
+   lowest-weight-first, with the shed weight reported rather than
+   silently vanishing.
+
+Each cluster's representative is its highest-weight member, so the
+compressed workload stays made of *real observed queries* (concrete
+literals included) -- exactly what the what-if machinery can cost.
+Below the cap, compression is the identity up to weight aggregation:
+the property the online-vs-offline byte-identity tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.tuning.monitor import CapturedQuery, WorkloadSnapshot, template_key
+from repro.xpath.patterns import (
+    PathPattern,
+    common_prefix_length,
+    generalize_pair,
+    pattern_contains,
+)
+from repro.xquery.model import NormalizedQuery
+
+#: Default bound on the advisor input size.
+DEFAULT_CLUSTER_CAP = 32
+
+
+@dataclass(frozen=True)
+class CompressedCluster:
+    """One cluster of captured templates behind a single representative."""
+
+    #: The highest-weight member's normalized query, re-weighted with the
+    #: cluster's aggregate weight and re-identified deterministically.
+    query: NormalizedQuery
+    #: Aggregate decayed weight of every member.
+    weight: float
+    #: Template keys of the members this cluster absorbed.
+    member_keys: Tuple[str, ...]
+    #: Cost-proxy EMA of the representative member (observability).
+    cost_proxy: Optional[float] = None
+
+    @property
+    def member_count(self) -> int:
+        return len(self.member_keys)
+
+
+@dataclass(frozen=True)
+class CompressedWorkload:
+    """The advisor-ready compressed form of one workload snapshot."""
+
+    clusters: Tuple[CompressedCluster, ...]
+    #: Step of the snapshot this was compressed from.
+    step: int
+    #: The bound the compression ran under.
+    cluster_cap: int
+    #: Distinct templates in the snapshot before compression.
+    captured_templates: int
+    #: Weight dropped by the truncation stage (0.0 when the clustering
+    #: stages got under the cap on their own).
+    truncated_weight: float = 0.0
+
+    @property
+    def queries(self) -> List[NormalizedQuery]:
+        """The representative queries, weights as frequencies -- what the
+        advisor pipeline consumes."""
+        return [cluster.query for cluster in self.clusters]
+
+    @property
+    def total_weight(self) -> float:
+        return sum(cluster.weight for cluster in self.clusters)
+
+    def distribution(self) -> Dict[str, float]:
+        """Representative query id -> normalized weight."""
+        total = self.total_weight
+        if total <= 0:
+            return {}
+        return {cluster.query.query_id: cluster.weight / total
+                for cluster in self.clusters}
+
+    def describe(self) -> str:
+        lines = [f"compressed workload @step {self.step}: "
+                 f"{self.captured_templates} template(s) -> "
+                 f"{len(self.clusters)} cluster(s) (cap {self.cluster_cap})"]
+        for cluster in self.clusters:
+            lines.append(f"  {cluster.weight:8.2f} x{cluster.member_count:<3d} "
+                         f"{cluster.query.text[:60]}")
+        if self.truncated_weight:
+            lines.append(f"  truncated weight: {self.truncated_weight:.2f}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Cluster state used during compression
+# ----------------------------------------------------------------------
+@dataclass
+class _Cluster:
+    representative: CapturedQuery
+    weight: float
+    member_keys: List[str]
+
+    def absorb(self, other: "_Cluster") -> None:
+        if other.representative.weight > self.representative.weight or (
+                other.representative.weight == self.representative.weight
+                and other.representative.key < self.representative.key):
+            self.representative = other.representative
+        self.weight += other.weight
+        self.member_keys.extend(other.member_keys)
+
+
+def _aligned_predicates(first: NormalizedQuery, second: NormalizedQuery
+                        ) -> Optional[List[Tuple[PathPattern, PathPattern]]]:
+    """Pair up the two queries' predicate patterns, or ``None`` when the
+    shapes cannot align (different counts, ops, or value types)."""
+    if len(first.predicates) != len(second.predicates):
+        return None
+    lhs = sorted(first.predicates, key=lambda p: p.pattern.to_text())
+    rhs = sorted(second.predicates, key=lambda p: p.pattern.to_text())
+    pairs: List[Tuple[PathPattern, PathPattern]] = []
+    for a, b in zip(lhs, rhs):
+        a_op = a.op.value if a.op is not None else ""
+        b_op = b.op.value if b.op is not None else ""
+        if a_op != b_op or a.value_type is not b.value_type:
+            return None
+        pairs.append((a.pattern, b.pattern))
+    return pairs
+
+
+def _patterns_mergeable(first: PathPattern, second: PathPattern) -> bool:
+    """Containment-related or pairwise-generalizable patterns cluster."""
+    if first.to_text() == second.to_text():
+        return True
+    if pattern_contains(first, second) or pattern_contains(second, first):
+        return True
+    return generalize_pair(first, second) is not None
+
+
+def _clusters_mergeable(first: _Cluster, second: _Cluster) -> bool:
+    a, b = first.representative.query, second.representative.query
+    if (a.update_kind is not None) != (b.update_kind is not None):
+        return False
+    if a.predicates or b.predicates:
+        pairs = _aligned_predicates(a, b)
+        if pairs is None:
+            return False
+        return all(_patterns_mergeable(x, y) for x, y in pairs)
+    # Pure navigation (or update) templates: cluster on their routing
+    # patterns instead.
+    lhs, rhs = a.routing_patterns(), b.routing_patterns()
+    if len(lhs) != len(rhs) or not lhs:
+        return False
+    lhs = sorted(lhs, key=PathPattern.to_text)
+    rhs = sorted(rhs, key=PathPattern.to_text)
+    return all(_patterns_mergeable(x, y) for x, y in zip(lhs, rhs))
+
+
+def _similarity(first: _Cluster, second: _Cluster) -> int:
+    """Merge preference: longest common pattern prefix first."""
+    a = first.representative.query.routing_patterns()
+    b = second.representative.query.routing_patterns()
+    if not a or not b:
+        return 0
+    return max(common_prefix_length(x, y) for x in a for y in b)
+
+
+def compress_snapshot(snapshot: WorkloadSnapshot,
+                      cluster_cap: int = DEFAULT_CLUSTER_CAP,
+                      query_id_prefix: str = "online"
+                      ) -> CompressedWorkload:
+    """Compress ``snapshot`` into at most ``cluster_cap`` weighted
+    representative queries (see the module docstring for the stages)."""
+    if cluster_cap < 1:
+        raise ValueError("cluster_cap must be at least 1")
+    captured = len(snapshot.entries)
+
+    clusters: List[_Cluster] = [
+        _Cluster(representative=entry, weight=entry.weight,
+                 member_keys=[entry.key])
+        for entry in snapshot.entries]
+
+    # Stage 1: fold templates identical up to literals.  Entries arrive
+    # weight-descending, so the first member of each shape is its
+    # representative and cluster order stays deterministic.
+    if len(clusters) > cluster_cap:
+        by_shape: Dict[str, _Cluster] = {}
+        folded: List[_Cluster] = []
+        for cluster in clusters:
+            shape = template_key(cluster.representative.query,
+                                 include_literals=False)
+            existing = by_shape.get(shape)
+            if existing is None:
+                by_shape[shape] = cluster
+                folded.append(cluster)
+            else:
+                existing.absorb(cluster)
+        clusters = folded
+
+    # Stage 2: greedy containment clustering, most similar pair first.
+    # Pair mergeability/similarity is memoized and only the merged
+    # cluster's rows are recomputed after each merge, so the expensive
+    # pattern-containment work is O(n^2) upfront plus O(n) per merge
+    # instead of O(n^2) per merge.
+    scores: Dict[Tuple[int, int], Optional[int]] = {}
+
+    def pair_score(a: _Cluster, b: _Cluster) -> Optional[int]:
+        key = (id(a), id(b)) if id(a) <= id(b) else (id(b), id(a))
+        if key not in scores:
+            scores[key] = _similarity(a, b) \
+                if _clusters_mergeable(a, b) else None
+        return scores[key]
+
+    while len(clusters) > cluster_cap:
+        best: Optional[Tuple[int, int, int]] = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                score = pair_score(clusters[i], clusters[j])
+                if score is None:
+                    continue
+                if best is None or score > best[0]:
+                    best = (score, i, j)
+        if best is None:
+            break
+        _, i, j = best
+        removed = clusters.pop(j)
+        survivor = clusters[i]
+        survivor.absorb(removed)
+        # The merge may have changed the survivor's representative, so
+        # its memoized pair rows (and the removed cluster's) are stale.
+        stale = {id(survivor), id(removed)}
+        for key in [k for k in scores if k[0] in stale or k[1] in stale]:
+            del scores[key]
+
+    # Stage 3: truncate what clustering could not merge.
+    clusters.sort(key=lambda c: (-c.weight, c.representative.key))
+    truncated_weight = 0.0
+    if len(clusters) > cluster_cap:
+        truncated_weight = sum(c.weight for c in clusters[cluster_cap:])
+        clusters = clusters[:cluster_cap]
+
+    compressed: List[CompressedCluster] = []
+    for position, cluster in enumerate(clusters, start=1):
+        representative = replace(
+            cluster.representative.query,
+            query_id=f"{query_id_prefix}-q{position}",
+            frequency=cluster.weight,
+            predicates=list(cluster.representative.query.predicates),
+            extraction_paths=list(
+                cluster.representative.query.extraction_paths),
+            touched_patterns=list(
+                cluster.representative.query.touched_patterns))
+        compressed.append(CompressedCluster(
+            query=representative,
+            weight=cluster.weight,
+            member_keys=tuple(cluster.member_keys),
+            cost_proxy=cluster.representative.cost_proxy))
+    return CompressedWorkload(clusters=tuple(compressed),
+                              step=snapshot.step,
+                              cluster_cap=cluster_cap,
+                              captured_templates=captured,
+                              truncated_weight=truncated_weight)

@@ -1,0 +1,443 @@
+"""The autonomous tuning loop: drift in, migration plan out.
+
+One :class:`TuningController` owns the whole online pipeline for a
+database: it attaches a :class:`~repro.tuning.monitor.WorkloadMonitor`
+to the executor, scores drift against the configuration's recorded
+provenance each :meth:`run_cycle`, and -- when the policy threshold is
+crossed -- re-advises on the compressed captured workload, diffs the
+recommendation against the live catalog configuration, and emits an
+ordered :class:`MigrationPlan` (drops first, then builds
+cheapest-first under the per-cycle build budget).  In dry-run mode the
+plan is only reported; otherwise it is applied through the executor
+(so physical structures, catalog entries and provenance stay
+coherent), and builds deferred by the build budget are resumed on
+later cycles before any new advising happens.
+
+Everything the loop decides is a function of (captured workload, data
+statistics, policy): time is the monitor's step counter, no wall clock
+is read, so two runs over the same traffic produce byte-identical
+plans -- the property the online-vs-offline equivalence tests pin
+down.  Every cycle appends a :class:`TuningEvent` to the audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.advisor.advisor import Recommendation, XmlIndexAdvisor
+from repro.advisor.config import AdvisorParameters
+from repro.executor.executor import QueryExecutor
+from repro.index.definition import IndexDefinition
+from repro.storage.catalog import ConfigurationProvenance
+from repro.storage.document_store import XmlDatabase
+from repro.tuning.compressor import (
+    DEFAULT_CLUSTER_CAP,
+    CompressedWorkload,
+    compress_snapshot,
+)
+from repro.tuning.drift import DriftDetector, DriftReport
+from repro.tuning.monitor import (
+    DEFAULT_CAPACITY,
+    DEFAULT_DECAY,
+    WorkloadMonitor,
+    WorkloadSnapshot,
+)
+from repro.xquery.model import NormalizedQuery
+
+
+@dataclass
+class TuningPolicy:
+    """Everything the autonomous loop is allowed to decide by."""
+
+    #: Combined drift score at or above which the controller re-advises.
+    drift_threshold: float = 0.25
+    #: Relative weights of workload vs data drift in the combined score.
+    workload_weight: float = 1.0
+    data_weight: float = 1.0
+    #: Bound on the compressed advisor input (representative queries).
+    cluster_cap: int = DEFAULT_CLUSTER_CAP
+    #: Templates below this fraction of total captured weight are pruned
+    #: from advising snapshots (how superseded traffic finally ages out).
+    min_weight_fraction: float = 0.01
+    #: Do not advise before this much captured weight exists (a system
+    #: with no traffic has nothing to tune for).
+    min_captured_weight: float = 1.0
+    #: Disk budget handed to the advisor (``None`` = unconstrained).
+    disk_budget_bytes: Optional[float] = None
+    #: Per-cycle build-cost budget: estimated bytes of index structure
+    #: built per cycle (``None`` = build everything at once).  Drops are
+    #: always applied -- they free resources.
+    build_budget_bytes: Optional[float] = None
+    #: Report migration plans without applying them.
+    dry_run: bool = False
+    #: Monitor sizing (used when the controller creates its own monitor).
+    monitor_capacity: int = DEFAULT_CAPACITY
+    decay: float = DEFAULT_DECAY
+
+    def validate(self) -> None:
+        if self.drift_threshold < 0:
+            raise ValueError("drift threshold must be non-negative")
+        if self.cluster_cap < 1:
+            raise ValueError("cluster_cap must be at least 1")
+        if not 0.0 <= self.min_weight_fraction < 1.0:
+            raise ValueError("min_weight_fraction must be in [0, 1)")
+        if self.build_budget_bytes is not None and self.build_budget_bytes <= 0:
+            raise ValueError("build budget must be positive when set")
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One ordered action of a migration plan."""
+
+    action: str  # "build" | "drop"
+    definition: IndexDefinition
+    #: Estimated structure size -- the build-cost proxy the budget meters.
+    size_bytes: float
+    reason: str
+
+    def describe(self) -> str:
+        return (f"{self.action:5s} {self.definition.name} "
+                f"({self.size_bytes / 1024:.1f} KiB): {self.reason}")
+
+
+@dataclass
+class MigrationPlan:
+    """Ordered index drops and builds taking the catalog to the target."""
+
+    #: Steps to run this cycle: all drops first, then budgeted builds.
+    steps: List[MigrationStep] = field(default_factory=list)
+    #: Builds pushed past the build budget, resumed on later cycles.
+    deferred: List[MigrationStep] = field(default_factory=list)
+    #: Index keys of the advised target configuration.
+    target_keys: frozenset = frozenset()
+    #: Index keys physically configured when the plan was computed.
+    current_keys: frozenset = frozenset()
+
+    @property
+    def drops(self) -> List[MigrationStep]:
+        return [step for step in self.steps if step.action == "drop"]
+
+    @property
+    def builds(self) -> List[MigrationStep]:
+        return [step for step in self.steps if step.action == "build"]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.steps and not self.deferred
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "migration plan: configuration already matches (no-op)"
+        lines = [f"migration plan: {len(self.drops)} drop(s), "
+                 f"{len(self.builds)} build(s), {len(self.deferred)} deferred"]
+        lines.extend("  " + step.describe() for step in self.steps)
+        lines.extend("  (deferred) " + step.describe()
+                     for step in self.deferred)
+        return "\n".join(lines)
+
+
+@dataclass
+class TuningEvent:
+    """One audit-trail entry: what a cycle saw and did."""
+
+    cycle: int
+    step: int
+    action: str  # "idle" | "no-change" | "planned" | "migrated" | "resumed"
+    report: Optional[DriftReport] = None
+    plan: Optional[MigrationPlan] = None
+    recommendation: Optional[Recommendation] = None
+    compressed: Optional[CompressedWorkload] = None
+    applied: bool = False
+
+    def describe(self) -> str:
+        lines = [f"cycle {self.cycle} @step {self.step}: {self.action}"]
+        if self.report is not None:
+            lines.append("  " + self.report.describe())
+        if self.compressed is not None:
+            lines.append(f"  advisor input: {self.compressed.captured_templates}"
+                         f" template(s) -> {len(self.compressed.clusters)}"
+                         f" cluster(s) (cap {self.compressed.cluster_cap})")
+        if self.plan is not None:
+            lines.extend("  " + line for line in self.plan.describe().splitlines())
+        return "\n".join(lines)
+
+
+class TuningController:
+    """Drives the observe -> detect -> advise -> migrate loop.
+
+    Parameters
+    ----------
+    database:
+        The database being tuned.
+    executor:
+        The executor serving traffic; created if not given.  The
+        controller attaches its monitor to it, so ordinary
+        ``executor.execute(...)`` calls feed the loop.
+    policy:
+        Loop policy; :class:`TuningPolicy` defaults otherwise.
+    advisor_parameters:
+        Advisor session parameters (copied, never mutated); a disk
+        budget set on the policy overrides the one set here.  One
+        advisor (and therefore one optimizer plan cache and one
+        incremental evaluator substrate) lives across cycles.
+    """
+
+    def __init__(self, database: XmlDatabase,
+                 executor: Optional[QueryExecutor] = None,
+                 policy: Optional[TuningPolicy] = None,
+                 advisor_parameters: Optional[AdvisorParameters] = None,
+                 monitor: Optional[WorkloadMonitor] = None) -> None:
+        self.database = database
+        self.policy = policy or TuningPolicy()
+        self.policy.validate()
+        self.executor = executor or QueryExecutor(database)
+        self.monitor = monitor or self.executor.monitor or WorkloadMonitor(
+            capacity=self.policy.monitor_capacity, decay=self.policy.decay)
+        self.executor.attach_monitor(self.monitor)
+        parameters = replace(advisor_parameters) \
+            if advisor_parameters is not None else AdvisorParameters()
+        if self.policy.disk_budget_bytes is not None:
+            parameters.disk_budget_bytes = self.policy.disk_budget_bytes
+        self.advisor = XmlIndexAdvisor(database, parameters)
+        # The drift knobs live on the policy only; the detector is handed
+        # them per assessment (see _assess) so a runtime policy change
+        # takes effect immediately.
+        self.detector = DriftDetector(database)
+        #: Audit trail: one event per cycle, in order.
+        self.events: List[TuningEvent] = []
+        self.cycles = 0
+        self._pending: List[MigrationStep] = []
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(self, queries: Sequence[NormalizedQuery],
+                rounds: int = 1, tick: bool = True) -> int:
+        """Convenience: execute ``queries`` through the monitored
+        executor for ``rounds`` logical steps; returns executions made.
+
+        Production traffic does not need this -- any execution through
+        the attached executor is captured -- but replay-style callers
+        (the CLI's ``tune`` command, tests, benchmarks) want the
+        one-round-per-tick shape in one place.
+        """
+        executed = 0
+        for _ in range(rounds):
+            for query in queries:
+                if query.is_update:
+                    self.monitor.record(query)
+                else:
+                    self.executor.execute(query)
+                executed += 1
+            if tick:
+                self.monitor.tick()
+        return executed
+
+    # ------------------------------------------------------------------
+    # Drift
+    # ------------------------------------------------------------------
+    @property
+    def baseline_snapshot(self) -> Optional[WorkloadSnapshot]:
+        """The advised-on snapshot from the catalog's provenance."""
+        provenance = self.database.catalog.configuration_provenance
+        if provenance is None:
+            return None
+        snapshot = provenance.workload_snapshot
+        return snapshot if isinstance(snapshot, WorkloadSnapshot) else None
+
+    def _assess(self, current: WorkloadSnapshot) -> DriftReport:
+        return self.detector.assess(
+            current, self.baseline_snapshot,
+            threshold=self.policy.drift_threshold,
+            workload_weight=self.policy.workload_weight,
+            data_weight=self.policy.data_weight)
+
+    def drift_report(self) -> DriftReport:
+        """Score current captured traffic against the advised-on state."""
+        return self._assess(
+            self.monitor.snapshot(self.policy.min_weight_fraction))
+
+    # ------------------------------------------------------------------
+    # Advising + planning
+    # ------------------------------------------------------------------
+    def advise(self, compressed: Optional[CompressedWorkload] = None
+               ) -> Recommendation:
+        """Run the advisor pipeline on the compressed captured workload."""
+        if compressed is None:
+            snapshot = self.monitor.snapshot(self.policy.min_weight_fraction)
+            compressed = compress_snapshot(snapshot, self.policy.cluster_cap)
+        return self.advisor.recommend(compressed)
+
+    def plan_migration(self, recommendation: Recommendation) -> MigrationPlan:
+        """Diff the recommendation against the live configuration."""
+        current = {definition.key: definition
+                   for definition in self.database.catalog.physical_indexes}
+        target = {definition.key: definition
+                  for definition in recommendation.configuration}
+        plan = MigrationPlan(target_keys=frozenset(target),
+                             current_keys=frozenset(current))
+        for key in sorted(current):
+            if key not in target:
+                plan.steps.append(MigrationStep(
+                    action="drop", definition=current[key], size_bytes=0.0,
+                    reason="not in the advised configuration"))
+        builds: List[MigrationStep] = []
+        for key in sorted(target):
+            if key in current:
+                continue
+            size = recommendation.benefit.index_sizes.get(key, 0.0)
+            builds.append(MigrationStep(
+                action="build", definition=target[key].as_physical(),
+                size_bytes=size, reason="advised, not yet configured"))
+        # Cheapest-first gets the most structures standing per budget
+        # cycle; ties break on the definition key for determinism.
+        builds.sort(key=lambda step: (step.size_bytes, step.definition.key))
+        taken, deferred = self._meter_builds(builds)
+        plan.steps.extend(taken)
+        plan.deferred.extend(deferred)
+        return plan
+
+    def _meter_builds(self, builds: Sequence[MigrationStep]
+                      ) -> Tuple[List[MigrationStep], List[MigrationStep]]:
+        """Split ordered build steps into (this cycle, deferred) under
+        the policy's per-cycle build budget.
+
+        The first build of a cycle always runs even when it alone
+        exceeds the budget -- a structure larger than the whole budget
+        must not starve forever.
+        """
+        budget = self.policy.build_budget_bytes
+        taken: List[MigrationStep] = []
+        deferred: List[MigrationStep] = []
+        spent = 0.0
+        for step in builds:
+            if budget is None or not taken \
+                    or spent + step.size_bytes <= budget:
+                taken.append(step)
+                spent += step.size_bytes
+            else:
+                deferred.append(step)
+        return taken, deferred
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, plan: MigrationPlan,
+              snapshot: Optional[WorkloadSnapshot] = None) -> None:
+        """Run ``plan`` through the executor and record provenance.
+
+        Drops remove catalog entries and materialized structures; builds
+        register and materialize.  The executor/optimizer plan caches
+        stay coherent because plans are keyed to the visible index keys,
+        which this changes.
+        """
+        drops = [step.definition.name for step in plan.drops]
+        if drops:
+            self.executor.drop_indexes(drops)
+        builds = [step.definition for step in plan.builds]
+        if builds:
+            self.executor.create_indexes(builds)
+        self._pending = list(plan.deferred)
+        if snapshot is not None:
+            self.database.catalog.record_configuration_provenance(
+                ConfigurationProvenance(
+                    index_keys=tuple(sorted(plan.target_keys)),
+                    data_signature=self.database.data_signature(),
+                    advised_step=snapshot.step,
+                    workload_snapshot=snapshot))
+            self.detector.rebase()
+
+    def _resume_pending(self) -> Optional[MigrationPlan]:
+        """Continue a budget-deferred migration: as many pending builds
+        as this cycle's build budget allows."""
+        if not self._pending:
+            return None
+        plan = MigrationPlan(
+            target_keys=frozenset(step.definition.key
+                                  for step in self._pending),
+            current_keys=frozenset(
+                definition.key
+                for definition in self.database.catalog.physical_indexes))
+        taken, deferred = self._meter_builds(self._pending)
+        plan.steps.extend(taken)
+        plan.deferred.extend(deferred)
+        return plan
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run_cycle(self) -> TuningEvent:
+        """One control-loop iteration; returns the audit event.
+
+        Order: resume any budget-deferred builds first (the previous
+        decision is still being executed), then assess drift, then --
+        only above threshold and with enough captured traffic --
+        advise, plan, and (unless dry-run) migrate.  Under a dry-run
+        policy pending builds stay parked (nothing is ever applied), so
+        the cycle goes straight to drift assessment instead of wedging
+        on a resume that cannot make progress.
+        """
+        self.cycles += 1
+        if not self.policy.dry_run:
+            pending = self._resume_pending()
+            if pending is not None:
+                builds = [step.definition for step in pending.builds]
+                if builds:
+                    self.executor.create_indexes(builds)
+                self._pending = list(pending.deferred)
+                event = TuningEvent(cycle=self.cycles,
+                                    step=self.monitor.step,
+                                    action="resumed", plan=pending,
+                                    applied=True)
+                self.events.append(event)
+                return event
+
+        snapshot = self.monitor.snapshot(self.policy.min_weight_fraction)
+        report = self._assess(snapshot)
+        if not report.exceeded \
+                or snapshot.total_weight < self.policy.min_captured_weight:
+            event = TuningEvent(cycle=self.cycles, step=snapshot.step,
+                                action="idle", report=report)
+            self.events.append(event)
+            return event
+
+        compressed = compress_snapshot(snapshot, self.policy.cluster_cap)
+        recommendation = self.advise(compressed)
+        plan = self.plan_migration(recommendation)
+        if plan.is_empty:
+            # Re-advising confirmed the live configuration; rebase the
+            # provenance so the same drift does not re-trigger forever.
+            if not self.policy.dry_run:
+                self.apply(plan, snapshot)
+            event = TuningEvent(cycle=self.cycles, step=snapshot.step,
+                                action="no-change", report=report, plan=plan,
+                                recommendation=recommendation,
+                                compressed=compressed,
+                                applied=not self.policy.dry_run)
+            self.events.append(event)
+            return event
+
+        applied = False
+        if not self.policy.dry_run:
+            self.apply(plan, snapshot)
+            applied = True
+        event = TuningEvent(cycle=self.cycles, step=snapshot.step,
+                            action="migrated" if applied else "planned",
+                            report=report, plan=plan,
+                            recommendation=recommendation,
+                            compressed=compressed, applied=applied)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def audit_trail(self) -> str:
+        """The full, human-readable event history."""
+        if not self.events:
+            return "no tuning cycles have run"
+        return "\n".join(event.describe() for event in self.events)
+
+    @property
+    def live_configuration_keys(self) -> frozenset:
+        return frozenset(definition.key for definition
+                         in self.database.catalog.physical_indexes)

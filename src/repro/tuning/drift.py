@@ -1,0 +1,167 @@
+"""Drift detection: when does the live configuration stop fitting?
+
+A configuration is advised for a (workload, data) pair; either half can
+move.  The :class:`DriftDetector` scores both against what the current
+configuration was advised on and combines them into one scalar:
+
+* **workload drift** -- the total-variation distance between the
+  monitor's current decayed template distribution and the distribution
+  recorded as the configuration's provenance
+  (:class:`~repro.tuning.monitor.WorkloadSnapshot`).  0 means the same
+  traffic mix, 1 means completely disjoint traffic; a configuration
+  that was never advised on any workload scores 1 the moment traffic
+  exists.
+* **data drift** -- the fraction of the database's distinct paths whose
+  statistics changed since the configuration was advised, accumulated
+  from the PR 3 delta machinery
+  (:class:`~repro.storage.maintenance.DataChangeTracker` per-path
+  change reports) -- no document walk, no wall clock.
+
+``score = workload_weight * workload_drift + data_weight * data_drift``
+(normalized by the weight sum), compared against the policy threshold by
+the controller.  :meth:`DriftDetector.rebase` resets the accumulated
+data changes after a migration, so each advised configuration is scored
+against its own epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.storage.document_store import XmlDatabase
+from repro.storage.maintenance import DataChangeTracker
+from repro.tuning.monitor import WorkloadSnapshot
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One drift assessment, with the pieces the score combined."""
+
+    #: Total-variation distance between current and advised-on workload
+    #: distributions, in [0, 1].
+    workload_drift: float
+    #: Fraction of distinct paths changed since the last rebase, [0, 1].
+    data_drift: float
+    #: The combined scalar the controller thresholds on.
+    score: float
+    #: The threshold the report was assessed against.
+    threshold: float
+    #: Number of templates in the current snapshot.
+    current_templates: int
+    #: Number of templates in the advised-on snapshot (0 = never advised).
+    baseline_templates: int
+    #: Distinct changed paths accumulated since the last rebase.
+    changed_paths: int
+
+    @property
+    def exceeded(self) -> bool:
+        return self.score >= self.threshold
+
+    def describe(self) -> str:
+        flag = "DRIFTED" if self.exceeded else "stable"
+        return (f"drift {self.score:.3f} (threshold {self.threshold:.3f}, "
+                f"{flag}): workload {self.workload_drift:.3f} "
+                f"[{self.baseline_templates} -> {self.current_templates} "
+                f"template(s)], data {self.data_drift:.3f} "
+                f"[{self.changed_paths} changed path(s)]")
+
+
+def workload_distance(current: WorkloadSnapshot,
+                      baseline: Optional[WorkloadSnapshot]) -> float:
+    """Total-variation distance between two snapshots' distributions.
+
+    ``baseline=None`` (no configuration provenance) counts as maximal
+    drift as soon as any traffic has been captured -- an un-advised
+    system with traffic should always trigger a first advising pass.
+    """
+    current_dist = current.distribution()
+    if baseline is None:
+        return 1.0 if current_dist else 0.0
+    baseline_dist = baseline.distribution()
+    if not current_dist and not baseline_dist:
+        return 0.0
+    keys = set(current_dist) | set(baseline_dist)
+    return 0.5 * sum(abs(current_dist.get(key, 0.0)
+                         - baseline_dist.get(key, 0.0)) for key in keys)
+
+
+class DriftDetector:
+    """Scores workload + data drift for one database.
+
+    Holds its own :class:`DataChangeTracker`, so polling here never
+    steals change reports from the optimizer's or the evaluator's
+    trackers.  Changed paths accumulate across polls until
+    :meth:`rebase` (called by the controller after it migrates).
+    """
+
+    def __init__(self, database: XmlDatabase,
+                 threshold: float = 0.25,
+                 workload_weight: float = 1.0,
+                 data_weight: float = 1.0) -> None:
+        if threshold < 0:
+            raise ValueError("drift threshold must be non-negative")
+        if workload_weight < 0 or data_weight < 0 \
+                or workload_weight + data_weight <= 0:
+            raise ValueError("drift weights must be non-negative and not both 0")
+        self.database = database
+        self.threshold = threshold
+        self.workload_weight = workload_weight
+        self.data_weight = data_weight
+        self._tracker = DataChangeTracker(database)
+        self._changed_paths: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def poll_data_changes(self) -> int:
+        """Absorb any pending data change; returns the accumulated
+        changed-path count."""
+        change = self._tracker.poll()
+        if change is not None:
+            self._changed_paths.update(change.changed_paths)
+        return len(self._changed_paths)
+
+    def data_drift(self) -> float:
+        """Changed-path fraction since the last rebase, in [0, 1]."""
+        self.poll_data_changes()
+        if not self._changed_paths:
+            return 0.0
+        total_paths = len(self.database.statistics.path_stats)
+        if total_paths <= 0:
+            return 1.0
+        return min(1.0, len(self._changed_paths) / total_paths)
+
+    def assess(self, current: WorkloadSnapshot,
+               baseline: Optional[WorkloadSnapshot],
+               threshold: Optional[float] = None,
+               workload_weight: Optional[float] = None,
+               data_weight: Optional[float] = None) -> DriftReport:
+        """Score ``current`` traffic against the advised-on ``baseline``.
+
+        The threshold and weights default to the detector's own; callers
+        holding them elsewhere (the controller's policy) pass them per
+        call so there is a single source of truth for the knobs.
+        """
+        threshold = self.threshold if threshold is None else threshold
+        workload_weight = self.workload_weight \
+            if workload_weight is None else workload_weight
+        data_weight = self.data_weight if data_weight is None else data_weight
+        workload_drift = workload_distance(current, baseline)
+        data_drift = self.data_drift()
+        total_weight = workload_weight + data_weight
+        score = (workload_weight * workload_drift
+                 + data_weight * data_drift) / total_weight
+        return DriftReport(
+            workload_drift=workload_drift,
+            data_drift=data_drift,
+            score=score,
+            threshold=threshold,
+            current_templates=len(current.entries),
+            baseline_templates=len(baseline.entries)
+            if baseline is not None else 0,
+            changed_paths=len(self._changed_paths))
+
+    def rebase(self) -> None:
+        """Start a fresh data-drift epoch (after a migration): pending
+        changes are absorbed and the accumulated path set cleared."""
+        self._tracker.poll()
+        self._changed_paths.clear()

@@ -34,6 +34,13 @@ Sizes are capped by environment variables:
     to both the routed-vs-unrouted scan wall-clock on the co-resident
     XMark+TPoX database and the deterministic what-if re-costing count
     after a single-collection document add.
+``REPRO_SMOKE_MIN_ONLINE_COMPRESSION``
+    Minimum accepted captured-templates-per-compressed-cluster ratio in
+    the online tuning loop's flood phase at 10x volume (default ``2``;
+    the E10 benchmark asserts >= 4x at its larger shapes).  Like the
+    what-if ratio this is deterministic -- it counts templates, not
+    seconds -- so a drop means the workload compressor stopped bounding
+    the advisor input.
 
 Deselect with ``-m "not bench_smoke"`` if an environment is too noisy
 for any timing assertion.
@@ -67,6 +74,7 @@ MIN_SPEEDUP = _env_float("REPRO_SMOKE_MIN_SPEEDUP", 1.5)
 MIN_WHATIF_RATIO = _env_float("REPRO_SMOKE_MIN_WHATIF_RATIO", 5.0)
 MIN_MAINT_RATIO = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
 MIN_ROUTING_RATIO = _env_float("REPRO_SMOKE_MIN_ROUTING_RATIO", 2.0)
+MIN_ONLINE_COMPRESSION = _env_float("REPRO_SMOKE_MIN_ONLINE_COMPRESSION", 2.0)
 
 
 @pytest.fixture(scope="module")
@@ -168,6 +176,42 @@ def test_smoke_routing_faster_and_exact():
         f"{comparison.recostings_unrouted} legacy vs "
         f"{comparison.recostings_routed} routed re-costings "
         f"({comparison.recosting_ratio:.1f}x < {MIN_ROUTING_RATIO:.1f}x)")
+
+
+def test_smoke_online_loop_converges_and_bounded():
+    """The online tuning loop must converge byte-identically to the
+    offline advisor on a stationary workload, detect and migrate
+    through an injected shift, and keep the compressed advisor input
+    at or below the cluster cap as captured volume grows 10x (E10 at
+    smoke scale; every flag and count is deterministic)."""
+    from repro.tools.online_compare import compare_online_offline
+
+    comparison = compare_online_offline(scale=SMOKE_SCALE)
+    assert comparison.stationary_identical, (
+        "online loop configuration diverged from the offline advisor "
+        f"on a stationary workload: online {sorted(comparison.online_keys)} "
+        f"vs offline {sorted(comparison.offline_keys)}")
+    assert comparison.stationary_stable, (
+        "the loop re-tuned on a stationary workload (oscillation)")
+    assert comparison.index_plans_after_migration > 0, (
+        "no query used an index plan after the online migration")
+    assert comparison.drift_detected and comparison.migrated_with_drops, (
+        "the injected workload shift was not detected/migrated "
+        f"(drift score {comparison.drift_score:.3f})")
+    assert comparison.reconverged_identical, (
+        "the loop did not re-converge to the offline advisor's "
+        "configuration after the shift")
+    assert comparison.compression_bounded, (
+        f"compressed advisor input exceeded the cluster cap: "
+        f"{comparison.compressed_size_1x}/{comparison.compressed_size_10x} "
+        f"clusters vs cap {comparison.flood_cluster_cap}")
+    assert comparison.compression_ratio >= MIN_ONLINE_COMPRESSION, (
+        f"online compression regressed: {comparison.captured_templates_10x} "
+        f"captured templates -> {comparison.compressed_size_10x} clusters "
+        f"({comparison.compression_ratio:.1f}x < {MIN_ONLINE_COMPRESSION}x)")
+    # The shared aggregate predicate: catches any flag added to the
+    # protocol that the per-flag asserts above do not know about yet.
+    assert comparison.converged
 
 
 def test_smoke_incremental_maintenance_faster_and_identical():

@@ -117,3 +117,22 @@ class TestCli:
     def test_invalid_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["recommend", "--algorithm", "bogus"])
+
+    def test_tune_command_dry_run(self, capsys):
+        code = main(["tune", "--scenario", "xmark-small", "--rounds", "2",
+                     "--budget-kb", "96", "--dry-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift" in out
+        assert "migration plan" in out
+        assert "audit trail" in out
+        # Dry run: the plan is only reported, nothing was configured.
+        assert "live configuration (0 index(es))" in out
+
+    def test_tune_command_applies_migration(self, capsys):
+        code = main(["tune", "--scenario", "xmark-small", "--rounds", "2",
+                     "--budget-kb", "96"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycle 1" in out and "migrated" in out
+        assert "live configuration (0 index(es))" not in out

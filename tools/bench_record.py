@@ -20,14 +20,20 @@ the numbers to ``BENCH_advisor.json`` (override with ``--output``):
   hatch: routed-vs-unrouted scan wall time, what-if re-costings after a
   single-collection document add (deterministic count), and the
   exactness flags (results, delta benefits, cached recommendations).
+* **E10 (online tuning)** -- the autonomous loop vs the offline
+  advisor: stationary byte-identity, drift detection + re-convergence
+  after an injected workload shift, and the bounded-compression counts
+  (captured templates vs compressed clusters at 1x and 10x volume).
 
 Sizes are controlled by ``REPRO_SMOKE_XMARK_SCALE`` (default ``0.1``)
 so CI stays fast; run with a larger scale locally for headline numbers.
 
 The exit status doubles as a CI gate: non-zero when a comparison lost
 equivalence, the maintenance speedup fell below
-``REPRO_SMOKE_MIN_MAINT_RATIO`` (default ``2``), or the routing ratios
-fell below ``REPRO_SMOKE_MIN_ROUTING_RATIO`` (default ``2``).
+``REPRO_SMOKE_MIN_MAINT_RATIO`` (default ``2``), the routing ratios
+fell below ``REPRO_SMOKE_MIN_ROUTING_RATIO`` (default ``2``), the
+online loop lost convergence/boundedness, or its compression ratio
+fell below ``REPRO_SMOKE_MIN_ONLINE_COMPRESSION`` (default ``2``).
 
 Usage::
 
@@ -158,6 +164,33 @@ def record_e7_routing(scale: float) -> dict:
     }
 
 
+def record_e10_online(scale: float) -> dict:
+    """Online loop vs offline advisor (every flag/count deterministic:
+    logical steps and template counts, no wall clock)."""
+    from repro.tools.online_compare import compare_online_offline
+
+    comparison = compare_online_offline(scale=scale)
+    return {
+        "stationary_identical": comparison.stationary_identical,
+        "stationary_stable": comparison.stationary_stable,
+        "index_plans_after_migration": comparison.index_plans_after_migration,
+        "drift_detected": comparison.drift_detected,
+        "drift_score": round(comparison.drift_score, 3),
+        "migrated_with_drops": comparison.migrated_with_drops,
+        "reconverged_identical": comparison.reconverged_identical,
+        "captured_templates_1x": comparison.captured_templates_1x,
+        "compressed_size_1x": comparison.compressed_size_1x,
+        "captured_templates_10x": comparison.captured_templates_10x,
+        "compressed_size_10x": comparison.compressed_size_10x,
+        "cluster_cap": comparison.flood_cluster_cap,
+        "compression_bounded": comparison.compression_bounded,
+        "compression_ratio": round(comparison.compression_ratio, 2),
+        # The one pass/fail predicate shared with the E10 bench and the
+        # tier-1 smoke guard (OnlineComparison.converged).
+        "converged": comparison.converged,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_advisor.json",
@@ -176,6 +209,7 @@ def main() -> int:
         "e5_execution": record_e5_execution(database, workload),
         "e6_maintenance": record_e6_maintenance(scale),
         "e7_routing": record_e7_routing(scale),
+        "e10_online": record_e10_online(scale),
     }
 
     # Append to the trajectory (a JSON list, one entry per recording) so
@@ -195,6 +229,7 @@ def main() -> int:
 
     e3, e5 = entry["e3_search"], entry["e5_execution"]
     e6, e7 = entry["e6_maintenance"], entry["e7_routing"]
+    e10 = entry["e10_online"]
     print(f"wrote {args.output} (xmark scale {scale})")
     print(f"  E3: identical={e3['identical_configurations']} "
           f"costings {e3['legacy']['query_costings']}"
@@ -212,9 +247,18 @@ def main() -> int:
           f"re-costings {e7['recostings_unrouted']}"
           f"->{e7['recostings_routed']} ({e7['recosting_ratio']}x), "
           f"cross={e7['cross_recostings']}")
+    print(f"  E10: stationary={e10['stationary_identical']} "
+          f"stable={e10['stationary_stable']} "
+          f"drift={e10['drift_detected']} "
+          f"reconverged={e10['reconverged_identical']} "
+          f"compression {e10['captured_templates_10x']}"
+          f"->{e10['compressed_size_10x']} "
+          f"({e10['compression_ratio']}x, cap {e10['cluster_cap']})")
 
     min_maint_ratio = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
     min_routing_ratio = _env_float("REPRO_SMOKE_MIN_ROUTING_RATIO", 2.0)
+    min_online_compression = _env_float(
+        "REPRO_SMOKE_MIN_ONLINE_COMPRESSION", 2.0)
     if not e3["identical_configurations"] or not e6["identical_state"]:
         return 1
     if e6["speedup"] < min_maint_ratio:
@@ -230,6 +274,13 @@ def main() -> int:
         print(f"  FAIL: routing ratios {e7['scan_speedup']}x scan / "
               f"{e7['recosting_ratio']}x re-costing below the floor "
               f"{min_routing_ratio}x")
+        return 1
+    if not e10["converged"]:
+        print("  FAIL: online tuning loop lost convergence/boundedness")
+        return 1
+    if e10["compression_ratio"] < min_online_compression:
+        print(f"  FAIL: online compression ratio {e10['compression_ratio']}x "
+              f"below the floor {min_online_compression}x")
         return 1
     return 0
 

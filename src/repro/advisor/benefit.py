@@ -69,6 +69,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.advisor.config import AdvisorParameters
+from repro.contracts import cache_contract, snapshot_contract
 from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.index.sizing import carry_over_size_estimates, estimate_index_size_bytes
 from repro.optimizer.explain import evaluate_indexes
@@ -79,7 +80,8 @@ from repro.xpath.patterns import pattern_contains
 from repro.xquery.model import NormalizedQuery, ValueType
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True, slots=True)
 class QueryEvaluation:
     """Per-query outcome of evaluating one configuration."""
 
@@ -95,7 +97,8 @@ class QueryEvaluation:
         return (self.cost_without_indexes - self.cost_with_configuration) * self.frequency
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class ConfigurationBenefit:
     """Benefit, size and per-query breakdown of one configuration."""
 
@@ -129,6 +132,11 @@ class ConfigurationBenefit:
                 f"{len(self.unused_indexes)} unused")
 
 
+@cache_contract(memos={
+    "_baseline": {"policy": "revalidate", "revalidators": ("refresh",)},
+    "_query_cache": {"policy": "revalidate", "revalidators": ("refresh",)},
+    "_relevance": {"policy": "static"},
+})
 class ConfigurationEvaluator:
     """Costs configurations over a fixed normalized workload."""
 
@@ -308,10 +316,12 @@ class ConfigurationEvaluator:
     @property
     def baseline_costs(self) -> Dict[str, float]:
         """Per-query cost with no indexes at all."""
+        self.refresh()
         return dict(self._baseline)
 
     @property
     def baseline_workload_cost(self) -> float:
+        self.refresh()
         return sum(self._baseline[q.query_id] * q.frequency for q in self.queries)
 
     # ------------------------------------------------------------------

@@ -12,8 +12,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.contracts import escape_hatch
 from repro.optimizer.cost_model import CostParameters
 from repro.storage.pages import PAGE_SIZE_BYTES
+
+escape_hatch("use_incremental",
+             "legacy full re-evaluation instead of the incremental "
+             "what-if engine (relevance map, delta re-costing, lazy-greedy)")
 
 
 class SearchAlgorithm(enum.Enum):

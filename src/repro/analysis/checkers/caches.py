@@ -1,0 +1,190 @@
+"""Checker 2: cache-invalidation.
+
+Every memo attribute declared through ``@cache_contract`` follows one
+of four invalidation disciplines (see
+:func:`repro.contracts.cache_contract`):
+
+``revalidate``
+    The memo is valid only behind a signature/version comparison.  The
+    *validated set* V is: the declared revalidator methods, any method
+    that directly calls one (``self.refresh()`` before reading), and
+    ``__init__``.  A diagnostic fires when the memo is touched in a
+    method reachable from a public non-V method through intra-class
+    ``self.x()`` calls without passing through V -- that is a read path
+    on which nothing checked the data signature.
+``push``
+    Change notifications keep the memo fresh; only the declared
+    readers, refreshers and ``__init__`` may touch it.
+``object-keyed`` / ``static``
+    No read-side constraints (validity is tied to the owning object's
+    identity, or the memo is data-independent).
+
+The analysis is per-class and purely intra-procedural over the class's
+own method bodies: calls through other objects are invisible, which is
+exactly the isolation the contract wants -- a memo whose freshness
+depends on a *caller's* discipline is the bug class this checker
+exists to reject.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.core import AnalysisContext, CacheDecl, Diagnostic, ParsedFile
+
+__all__ = ["CacheInvalidationChecker"]
+
+
+def _method_nodes(class_node: ast.ClassDef) -> Dict[str, ast.AST]:
+    methods: Dict[str, ast.AST] = {}
+    for stmt in class_node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[stmt.name] = stmt
+    return methods
+
+
+def _self_attribute_touches(method: ast.AST) -> Dict[str, int]:
+    """attr -> first line where ``self.<attr>`` appears (any context)."""
+    touches: Dict[str, int] = {}
+    for node in ast.walk(method):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and node.value.id == "self":
+            touches.setdefault(node.attr, node.lineno)
+    return touches
+
+
+def _self_calls(method: ast.AST) -> Set[str]:
+    """Names of methods invoked as ``self.<name>(...)`` in the body."""
+    calls: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == "self":
+            calls.add(node.func.attr)
+    return calls
+
+
+def _find_class(parsed: ParsedFile, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _as_tuple(value: object) -> Tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(value, (list, tuple)):
+        return tuple(str(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(str(item) for item in value))
+    return ()
+
+
+class CacheInvalidationChecker:
+    name = "cache-invalidation"
+
+    def check_file(self, parsed: ParsedFile,
+                   context: AnalysisContext) -> Iterator[Diagnostic]:
+        out: List[Diagnostic] = []
+        for decl in context.caches:
+            if decl.path != str(parsed.path):
+                continue
+            class_node = _find_class(parsed, decl.class_name)
+            if class_node is None:
+                continue
+            out.extend(self._check_class(parsed, decl, class_node))
+        return iter(out)
+
+    def check_project(self, context: AnalysisContext) \
+            -> Iterable[Diagnostic]:
+        return ()
+
+    # -----------------------------------------------------------------
+    def _check_class(self, parsed: ParsedFile, decl: CacheDecl,
+                     class_node: ast.ClassDef) -> Iterator[Diagnostic]:
+        methods = _method_nodes(class_node)
+        touches = {name: _self_attribute_touches(node)
+                   for name, node in methods.items()}
+        calls = {name: _self_calls(node) for name, node in methods.items()}
+
+        for attr, policy in decl.memos.items():
+            kind = str(policy.get("policy", "revalidate"))
+            if kind in ("object-keyed", "static"):
+                continue
+            if kind == "push":
+                yield from self._check_push(parsed, decl, attr, policy,
+                                            touches)
+            else:
+                yield from self._check_revalidate(parsed, decl, attr,
+                                                  policy, methods, touches,
+                                                  calls)
+
+    def _check_push(self, parsed: ParsedFile, decl: CacheDecl, attr: str,
+                    policy: Mapping[str, object],
+                    touches: Dict[str, Dict[str, int]]) \
+            -> Iterator[Diagnostic]:
+        allowed = set(_as_tuple(policy.get("readers", ())))
+        allowed.update(_as_tuple(policy.get("refreshers", ())))
+        allowed.add("__init__")
+        for method, seen in touches.items():
+            if method in allowed or attr not in seen:
+                continue
+            yield Diagnostic(
+                checker=self.name, path=str(parsed.path), line=seen[attr],
+                col=0,
+                message=(f"push-invalidated memo {decl.class_name}.{attr} "
+                         f"touched in {method}(); allowed accessors: "
+                         f"{', '.join(sorted(allowed))}"))
+
+    def _check_revalidate(self, parsed: ParsedFile, decl: CacheDecl,
+                          attr: str, policy: Mapping[str, object],
+                          methods: Dict[str, ast.AST],
+                          touches: Dict[str, Dict[str, int]],
+                          calls: Dict[str, Set[str]]) \
+            -> Iterator[Diagnostic]:
+        revalidators = set(_as_tuple(policy.get("revalidators", ())))
+        validated = set(revalidators)
+        validated.add("__init__")
+        for method, callees in calls.items():
+            if callees & revalidators:
+                validated.add(method)
+
+        # Entry points: public methods (and dunders other than
+        # __init__) outside the validated set.
+        entries = [name for name in methods
+                   if name not in validated
+                   and (not name.startswith("_") or
+                        (name.startswith("__") and name.endswith("__")
+                         and name != "__init__"))]
+
+        reported: Set[Tuple[str, str]] = set()
+        for entry in entries:
+            # BFS over self-calls; never traverse *into* the validated
+            # set (reads below a revalidation point are safe).
+            queue = deque([entry])
+            visited = {entry}
+            via: Dict[str, str] = {entry: entry}
+            while queue:
+                current = queue.popleft()
+                seen = touches.get(current, {})
+                if attr in seen and (current, attr) not in reported:
+                    reported.add((current, attr))
+                    yield Diagnostic(
+                        checker=self.name, path=str(parsed.path),
+                        line=seen[attr], col=0,
+                        message=(f"memo {decl.class_name}.{attr} touched in "
+                                 f"{current}() on a path from public "
+                                 f"{via[current]}() that never revalidates "
+                                 f"(revalidators: "
+                                 f"{', '.join(sorted(revalidators)) or '-'})"))
+                for callee in calls.get(current, ()):
+                    if callee in validated or callee in visited or \
+                            callee not in methods:
+                        continue
+                    visited.add(callee)
+                    via[callee] = via[current]
+                    queue.append(callee)

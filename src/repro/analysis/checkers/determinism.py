@@ -1,0 +1,273 @@
+"""Checker 4: determinism.
+
+Modules under a ``deterministic_package(...)`` scope (the online tuning
+subsystem, and anything else that feeds ``WorkloadSnapshot`` /
+``TuningEvent`` ordering) must be a pure function of their inputs:
+
+* no wall clocks -- ``time.time`` / ``time.monotonic`` /
+  ``time.perf_counter`` and friends, ``datetime.now`` / ``utcnow`` /
+  ``today``;
+* no ambient randomness -- the module-level ``random`` API (seeded
+  ``random.Random(seed)`` instances are fine: they are explicit
+  inputs);
+* no hash-order leaks -- iterating a bare ``set`` / ``frozenset``
+  (``for``, comprehensions, ``list()`` / ``tuple()`` / ``join``
+  materialization) without ``sorted()``; under hash randomization the
+  visit order, and therefore float accumulation and emitted orderings,
+  changes run to run.
+
+Dict iteration is deliberately *not* flagged: CPython dicts are
+insertion-ordered, and the subsystem's stores are deterministic-order
+dicts by construction.  Set-typedness is inferred locally (literals,
+``set()`` / ``frozenset()`` calls, set operators, ``Set``-annotated
+names and ``self`` attributes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import AnalysisContext, Diagnostic, ParsedFile
+
+__all__ = ["DeterminismChecker"]
+
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+    "clock_gettime",
+})
+_DATETIME_FACTORIES = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+_SEEDED_RANDOM = frozenset({"Random", "SystemRandom"})
+_SET_ANNOTATIONS = frozenset({"Set", "FrozenSet", "MutableSet",
+                              "set", "frozenset", "AbstractSet"})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_set_annotation(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    head = node
+    if isinstance(head, ast.Subscript):
+        head = head.value
+    if isinstance(head, ast.Name):
+        return head.id in _SET_ANNOTATIONS
+    if isinstance(head, ast.Attribute):
+        return head.attr in _SET_ANNOTATIONS
+    if isinstance(head, ast.Constant) and isinstance(head.value, str):
+        return any(head.value.startswith(name) for name in _SET_ANNOTATIONS)
+    return False
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, parsed: ParsedFile, out: List[Diagnostic]) -> None:
+        self.parsed = parsed
+        self.out = out
+        #: Module aliases: local name -> canonical module name.
+        self.modules: Dict[str, str] = {}
+        #: Names imported from datetime that are clock factories'
+        #: owners (datetime, date).
+        self.datetime_names: Set[str] = set()
+        #: Names imported from random (local name -> original name).
+        self.random_names: Dict[str, str] = {}
+        #: Stack of scopes: set-typed local names.
+        self.set_vars: List[Set[str]] = [set()]
+        #: set-typed ``self.<attr>`` names (per enclosing class).
+        self.set_attrs: List[Set[str]] = []
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        self.out.append(Diagnostic(
+            checker="determinism", path=str(self.parsed.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), message=message))
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name.split(".")[0]] = \
+                alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date", "time"):
+                    self.datetime_names.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                self.random_names[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    # -- set-typedness inference --------------------------------------
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name in ("set", "frozenset"):
+                return True
+            # dict_a.keys() - dict_b.keys() style set views are handled
+            # through the BinOp branch below only when an operand is a
+            # recognized set; bare .keys() views stay insertion-ordered.
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self._is_set_expr(node.left) or \
+                self._is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in reversed(self.set_vars))
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == "self" and self.set_attrs:
+            return node.attr in self.set_attrs[-1]
+        return False
+
+    def _bind_target(self, target: ast.expr, is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            if is_set:
+                self.set_vars[-1].add(target.id)
+            else:
+                self.set_vars[-1].discard(target.id)
+        elif isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id == "self" and self.set_attrs:
+            if is_set:
+                self.set_attrs[-1].add(target.attr)
+
+    # -- scopes --------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.set_attrs.append(set())
+        # Pre-scan: annotated set attributes assigned anywhere in the
+        # class body (``self._changed: Set[str] = set()`` in __init__).
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.AnnAssign) and \
+                    isinstance(sub.target, ast.Attribute) and \
+                    isinstance(sub.target.value, ast.Name) and \
+                    sub.target.value.id == "self" and \
+                    _is_set_annotation(sub.annotation):
+                self.set_attrs[-1].add(sub.target.attr)
+        self.generic_visit(node)
+        self.set_attrs.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        scope: Set[str] = set()
+        args = node.args  # type: ignore[attr-defined]
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            if _is_set_annotation(arg.annotation):
+                scope.add(arg.arg)
+        self.set_vars.append(scope)
+        self.generic_visit(node)
+        self.set_vars.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            self._bind_target(target, is_set)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        is_set = _is_set_annotation(node.annotation) or (
+            node.value is not None and self._is_set_expr(node.value))
+        self._bind_target(node.target, is_set)
+        self.generic_visit(node)
+
+    # -- clock / randomness checks ------------------------------------
+    def _dotted(self, node: ast.expr) -> Optional[Tuple[str, ...]]:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        self._check_materialization(node)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            origin = self.random_names.get(func.id)
+            if origin is not None and origin not in _SEEDED_RANDOM:
+                self._report(node, f"ambient randomness: random.{origin} "
+                                   f"called in a deterministic package "
+                                   f"(inject a seeded random.Random "
+                                   f"instead)")
+            return
+        dotted = self._dotted(func)
+        if not dotted or len(dotted) < 2:
+            return
+        root_module = self.modules.get(dotted[0])
+        if root_module == "time" and dotted[-1] in _CLOCK_FUNCS:
+            self._report(node, f"wall clock: {'.'.join(dotted)}() called "
+                               f"in a deterministic package (inject a "
+                               f"logical step counter instead)")
+        elif root_module == "datetime" and len(dotted) >= 3 and \
+                dotted[1] in ("datetime", "date") and \
+                dotted[-1] in _DATETIME_FACTORIES:
+            self._report(node, f"wall clock: {'.'.join(dotted)}() called "
+                               f"in a deterministic package")
+        elif dotted[0] in self.datetime_names and \
+                dotted[-1] in _DATETIME_FACTORIES:
+            self._report(node, f"wall clock: {'.'.join(dotted)}() called "
+                               f"in a deterministic package")
+        elif root_module == "random" and dotted[-1] not in _SEEDED_RANDOM:
+            self._report(node, f"ambient randomness: {'.'.join(dotted)}() "
+                               f"called in a deterministic package "
+                               f"(inject a seeded random.Random instead)")
+
+    # -- set-iteration checks -----------------------------------------
+    def _check_iteration(self, iterable: ast.expr, where: str) -> None:
+        if self._is_set_expr(iterable):
+            self._report(iterable,
+                         f"hash-order leak: {where} iterates a set "
+                         f"without sorted(); wrap the iterable in "
+                         f"sorted(...) to pin the order")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self._check_iteration(generator.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def _check_materialization(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            name = "join"
+        if name in ("list", "tuple", "join") and node.args:
+            self._check_iteration(node.args[0], f"{name}()")
+
+
+class DeterminismChecker:
+    name = "determinism"
+
+    def check_file(self, parsed: ParsedFile,
+                   context: AnalysisContext) -> Iterator[Diagnostic]:
+        if not context.in_deterministic_scope(parsed.module):
+            return iter(())
+        out: List[Diagnostic] = []
+        _DeterminismVisitor(parsed, out).visit(parsed.tree)
+        return iter(out)
+
+    def check_project(self, context: AnalysisContext) \
+            -> Iterable[Diagnostic]:
+        return ()

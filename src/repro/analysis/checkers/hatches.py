@@ -1,0 +1,109 @@
+"""Checker 3: escape-hatch parity.
+
+Every flag declared with ``escape_hatch("use_*")`` is a compatibility
+switch whose whole value is that *both* settings keep working.  The
+checker therefore requires, across the analyzed tree:
+
+* the flag appears in at least one conditional test (``if`` /
+  ``while`` / conditional expression) -- a flag nothing branches on is
+  dead configuration;
+* at least one of those branches guards live code (an ``if flag:
+  pass`` skeleton means one of the two paths has rotted away);
+* the flag name is referenced somewhere under ``tests/`` -- an
+  untested escape hatch is parity on faith.
+
+Diagnostics anchor to the ``escape_hatch(...)`` declaration line, so a
+failure points at the contract rather than at one arbitrary use site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.analysis.core import AnalysisContext, Diagnostic, ParsedFile
+
+__all__ = ["EscapeHatchChecker"]
+
+
+def _references_flag(node: ast.expr, flag: str) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == flag:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == flag:
+            return True
+    return False
+
+
+def _body_is_live(body: List[ast.stmt]) -> bool:
+    return any(not isinstance(stmt, ast.Pass) for stmt in body)
+
+
+def _conditional_sites(parsed: ParsedFile, flag: str) \
+        -> Iterator[Tuple[int, bool]]:
+    """(line, guards_live_code) for every conditional testing ``flag``."""
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, (ast.If, ast.While)) and \
+                _references_flag(node.test, flag):
+            yield node.lineno, _body_is_live(node.body)
+        elif isinstance(node, ast.IfExp) and \
+                _references_flag(node.test, flag):
+            # A conditional expression always yields one of two live
+            # values.
+            yield node.lineno, True
+        elif isinstance(node, ast.Assert) and \
+                _references_flag(node.test, flag):
+            yield node.lineno, True
+
+
+class EscapeHatchChecker:
+    name = "escape-hatch"
+
+    def check_file(self, parsed: ParsedFile,
+                   context: AnalysisContext) -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self, context: AnalysisContext) \
+            -> Iterator[Diagnostic]:
+        if not context.hatches:
+            return
+        test_corpus = self._test_corpus(context)
+        for hatch in context.hatches:
+            sites: List[Tuple[int, bool]] = []
+            for parsed in context.files:
+                sites.extend(_conditional_sites(parsed, hatch.name))
+            if not sites:
+                yield Diagnostic(
+                    checker=self.name, path=hatch.path, line=hatch.line,
+                    col=0,
+                    message=(f"escape hatch {hatch.name!r} is never "
+                             f"branched on anywhere in the analyzed tree"))
+            elif not any(live for _, live in sites):
+                yield Diagnostic(
+                    checker=self.name, path=hatch.path, line=hatch.line,
+                    col=0,
+                    message=(f"escape hatch {hatch.name!r} only guards "
+                             f"dead code (every conditional body is "
+                             f"'pass')"))
+            pattern = re.compile(r"\b%s\b" % re.escape(hatch.name))
+            if not any(pattern.search(text) for text in test_corpus):
+                yield Diagnostic(
+                    checker=self.name, path=hatch.path, line=hatch.line,
+                    col=0,
+                    message=(f"escape hatch {hatch.name!r} is not "
+                             f"referenced by any test under "
+                             f"{context.tests_dir or 'tests/'}"))
+
+    @staticmethod
+    def _test_corpus(context: AnalysisContext) -> List[str]:
+        tests_dir = context.tests_dir
+        if tests_dir is None or not tests_dir.is_dir():
+            return []
+        corpus: List[str] = []
+        for path in sorted(tests_dir.rglob("*.py")):
+            try:
+                corpus.append(path.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+        return corpus

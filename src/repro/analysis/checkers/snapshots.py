@@ -1,0 +1,260 @@
+"""Checker 1: snapshot-immutability.
+
+A class registered with ``@snapshot_contract`` may only be written
+inside its ``__init__`` and its registered builders.  "Written" covers:
+
+* attribute assignment / augmented assignment / deletion
+  (``snap.attr = v``, ``snap.attr += v``, ``del snap.attr``);
+* subscript stores through an attribute (``snap.attr[k] = v``);
+* mutating container method calls on an attribute
+  (``snap.attr.append(v)``, ``.update``, ``.setdefault``, ...);
+* calls of registered *mutator* methods on a snapshot instance
+  (``stats.merge(other)``) outside a build phase.
+
+Snapshot instances are recognized by local type inference: ``self``
+inside a registered class body, names bound by ``Name = SnapshotClass
+(...)`` constructor calls, and names whose parameter/variable
+annotation mentions exactly one registered class.  Aliasing a snapshot
+container out to a local first (``items = snap.items; items.append``)
+defeats the checker -- the runtime freeze mode and code review cover
+that hole (documented in CONTRACTS.md).
+
+Declared ``memo_attrs`` are exempt everywhere: they are content-keyed
+caches whose population does not change the snapshot's value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.core import AnalysisContext, Diagnostic, ParsedFile
+
+__all__ = ["SnapshotImmutabilityChecker", "MUTATING_METHODS"]
+
+#: Container methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "clear", "remove", "discard", "sort", "reverse",
+})
+
+
+def _annotation_snapshot(node: Optional[ast.expr],
+                         context: AnalysisContext) -> Optional[str]:
+    """The single registered class an annotation mentions, if any."""
+    if node is None:
+        return None
+    names = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            names.add(sub.value)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+    matches = [name for name in names if name in context.snapshots]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+class _Scope:
+    """One function scope: inferred name -> snapshot class bindings."""
+
+    def __init__(self, node: Optional[ast.AST], method_name: Optional[str],
+                 class_name: Optional[str]) -> None:
+        self.node = node
+        #: The method name this scope reports as, for builder checks.
+        self.method_name = method_name
+        #: The registered class this scope is a direct method of.
+        self.class_name = class_name
+        self.bindings: Dict[str, str] = {}
+
+
+class _SnapshotVisitor(ast.NodeVisitor):
+    def __init__(self, parsed: ParsedFile, context: AnalysisContext,
+                 out: List[Diagnostic]) -> None:
+        self.parsed = parsed
+        self.context = context
+        self.out = out
+        self.class_stack: List[str] = []
+        self.scopes: List[_Scope] = [_Scope(None, None, None)]
+        self.qual_stack: List[str] = []
+
+    # -- scope / inference helpers ------------------------------------
+    def _current_class(self) -> Optional[str]:
+        return self.class_stack[-1] if self.class_stack else None
+
+    def _bind(self, name: str, class_name: Optional[str]) -> None:
+        if class_name and class_name in self.context.snapshots:
+            self.scopes[-1].bindings[name] = class_name
+
+    def _lookup(self, name: str) -> Optional[str]:
+        for scope in reversed(self.scopes):
+            if name in scope.bindings:
+                return scope.bindings[name]
+        return None
+
+    def _snapshot_of(self, node: ast.expr) -> Optional[str]:
+        """The registered snapshot class ``node`` evaluates to, if
+        inferable."""
+        if isinstance(node, ast.Name):
+            if node.id == "self":
+                current = self._current_class()
+                if current in self.context.snapshots:
+                    return current
+                return None
+            return self._lookup(node.id)
+        return None
+
+    def _in_builder(self) -> bool:
+        """True when any enclosing function is a registered builder."""
+        for scope in self.scopes[1:]:
+            if scope.method_name is None:
+                continue
+            if scope.class_name is not None:
+                decl = self.context.snapshots.get(scope.class_name)
+                if decl and scope.method_name in \
+                        ("__init__",) + decl.builders:
+                    return True
+            qualname = scope.qualname  # type: ignore[attr-defined]
+            if (self.parsed.module, qualname) in \
+                    self.context.builder_functions:
+                return True
+        return False
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        self.out.append(Diagnostic(
+            checker="snapshot-immutability",
+            path=str(self.parsed.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message))
+
+    # -- mutation checks ----------------------------------------------
+    def _check_attribute_write(self, target: ast.Attribute,
+                               verb: str) -> None:
+        owner = self._snapshot_of(target.value)
+        if owner is None:
+            return
+        decl = self.context.snapshots[owner]
+        if target.attr in decl.memo_attrs:
+            return
+        if self._in_builder():
+            return
+        self._report(target, f"snapshot {owner}.{target.attr} {verb} "
+                             f"outside a registered builder "
+                             f"(builders: __init__"
+                             f"{', ' + ', '.join(decl.builders) if decl.builders else ''})")
+
+    def _check_target(self, target: ast.expr, verb: str) -> None:
+        if isinstance(target, ast.Attribute):
+            self._check_attribute_write(target, verb)
+        elif isinstance(target, ast.Subscript) and \
+                isinstance(target.value, ast.Attribute):
+            self._check_attribute_write(target.value,
+                                        f"{verb} (subscript store)")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element, verb)
+
+    # -- visitors ------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.qual_stack.append(node.name)
+        self.generic_visit(node)
+        self.qual_stack.pop()
+        self.class_stack.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        name = node.name  # type: ignore[attr-defined]
+        direct_method = (len(self.qual_stack) > 0
+                         and self.qual_stack[-1] == self._current_class()
+                         and self._current_class() is not None)
+        scope = _Scope(node, name,
+                       self._current_class() if direct_method else None)
+        scope.qualname = ".".join(self.qual_stack + [name])  # type: ignore[attr-defined]
+        # Parameter annotations seed the inference table.
+        args = node.args  # type: ignore[attr-defined]
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            inferred = _annotation_snapshot(arg.annotation, self.context)
+            if inferred:
+                scope.bindings[arg.arg] = inferred
+        self.scopes.append(scope)
+        self.qual_stack.append(name)
+        # Nested classes inside functions would confuse class_stack;
+        # the governed tree has none, so plain recursion is fine.
+        self.generic_visit(node)
+        self.qual_stack.pop()
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Inference: name = SnapshotClass(...)
+        if isinstance(node.value, ast.Call):
+            callee = node.value.func
+            callee_name = callee.id if isinstance(callee, ast.Name) else (
+                callee.attr if isinstance(callee, ast.Attribute) else None)
+            if callee_name in self.context.snapshots:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._bind(target.id, callee_name)
+        for target in node.targets:
+            self._check_target(target, "assigned")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._bind(node.target.id,
+                       _annotation_snapshot(node.annotation, self.context))
+        self._check_target(node.target, "assigned")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, "augmented-assigned")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, "deleted")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # snap.attr.append(...) -- container mutation through an
+            # attribute of a snapshot instance.
+            if func.attr in MUTATING_METHODS and \
+                    isinstance(func.value, ast.Attribute):
+                self._check_attribute_write(
+                    func.value, f"mutated via .{func.attr}()")
+            else:
+                # stats.merge(...) -- registered mutator method call.
+                owner = self._snapshot_of(func.value)
+                if owner is not None:
+                    decl = self.context.snapshots[owner]
+                    if func.attr in decl.mutators and not self._in_builder():
+                        self._report(
+                            node,
+                            f"snapshot mutator {owner}.{func.attr}() called "
+                            f"outside a registered builder")
+        self.generic_visit(node)
+
+
+class SnapshotImmutabilityChecker:
+    name = "snapshot-immutability"
+
+    def check_file(self, parsed: ParsedFile,
+                   context: AnalysisContext) -> Iterator[Diagnostic]:
+        if not context.snapshots:
+            return iter(())
+        out: List[Diagnostic] = []
+        _SnapshotVisitor(parsed, context, out).visit(parsed.tree)
+        return iter(out)
+
+    def check_project(self, context: AnalysisContext) \
+            -> Iterable[Diagnostic]:
+        return ()

@@ -1,0 +1,45 @@
+"""Diagnostic rendering: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.analysis.core import Diagnostic
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """GCC-style one-line-per-finding report with a trailing summary."""
+    lines: List[str] = [diag.render() for diag in diagnostics]
+    if diagnostics:
+        by_checker: dict = {}
+        for diag in diagnostics:
+            by_checker[diag.checker] = by_checker.get(diag.checker, 0) + 1
+        breakdown = ", ".join(f"{name}: {count}" for name, count
+                              in sorted(by_checker.items()))
+        lines.append(f"{len(diagnostics)} contract violation(s) in "
+                     f"{files_checked} file(s) ({breakdown})")
+    else:
+        lines.append(f"contract analysis clean: {files_checked} file(s), "
+                     f"0 violations")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    payload = {
+        "files_checked": files_checked,
+        "violations": len(diagnostics),
+        "diagnostics": [
+            {
+                "checker": diag.checker,
+                "path": diag.path,
+                "line": diag.line,
+                "col": diag.col,
+                "message": diag.message,
+            }
+            for diag in diagnostics
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -55,6 +55,7 @@ from typing import (
     Union,
 )
 
+from repro.contracts import cache_contract, escape_hatch
 from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.index.physical import PhysicalPathIndex, build_physical_index
 from repro.optimizer.optimizer import Optimizer
@@ -71,6 +72,13 @@ from repro.xquery.normalizer import normalize_statement
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from repro.tuning.monitor import WorkloadMonitor
+
+escape_hatch("use_path_summary",
+             "legacy per-document interpretive scans instead of the "
+             "structural path-summary engine")
+escape_hatch("use_collection_routing",
+             "walk every collection instead of pruning by the plan's "
+             "structural routing set")
 
 
 @dataclass
@@ -100,6 +108,20 @@ class ExecutionResult:
                 f"{self.elapsed_seconds * 1000:.1f} ms")
 
 
+@cache_contract(memos={
+    "_doc_lookup": {"policy": "revalidate",
+                    "revalidators": ("_maintain_derived_state",
+                                     "_refresh_document_lookup")},
+    "_lookup_signature": {"policy": "revalidate",
+                          "revalidators": ("_maintain_derived_state",
+                                           "_refresh_document_lookup")},
+    "_collection_rank": {"policy": "push",
+                         "readers": ("_execute_index_plan",),
+                         "refreshers": ("_refresh_document_lookup",)},
+    "_summaries": {"policy": "push",
+                   "readers": ("_summary_for",),
+                   "refreshers": ("_on_collection_change",)},
+})
 class QueryExecutor:
     """Executes normalized queries against a database's documents.
 

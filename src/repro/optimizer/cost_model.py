@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.contracts import cache_contract, snapshot_contract
 from repro.index.definition import IndexDefinition
 from repro.index.sizing import estimate_entry_count, estimate_key_width
 from repro.storage import pages
@@ -43,6 +44,7 @@ from repro.xquery.model import NormalizedQuery, PathPredicate
 RoutingSet = Optional[Tuple[str, ...]]
 
 
+@snapshot_contract()
 @dataclass(frozen=True)
 class CostParameters:
     """Tunable constants of the cost model."""
@@ -66,6 +68,10 @@ class CostParameters:
     update_base_cost: float = 2.0
 
 
+@cache_contract(memos={
+    "_scoped": {"policy": "object-keyed"},
+    "_pattern_routes": {"policy": "object-keyed"},
+})
 class CostModel:
     """Statistics-driven cost estimation for plans and index maintenance.
 

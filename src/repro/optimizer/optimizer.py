@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.contracts import cache_contract, escape_hatch
 from repro.index.definition import IndexDefinition
 from repro.index.matching import IndexMatch, usable_indexes
 from repro.optimizer.cost_model import CostModel, CostParameters, RoutingSet
@@ -46,7 +47,27 @@ _MAX_USEFUL_LEG_SELECTIVITY = 0.9
 #: the set of index keys visible to the planner).
 _PlanKey = Tuple[str, str, FrozenSet[Tuple[str, str]]]
 
+#: Collection-scoped costing and routed plan invalidation; ``False``
+#: restores the legacy whole-database cost model.
+escape_hatch("use_collection_costing")
 
+
+@cache_contract(memos={
+    "_plan_cache": {"policy": "revalidate",
+                    "revalidators": ("_plan_cache_key",
+                                     "_revalidate_plan_cache",
+                                     "clear_plan_cache")},
+    "_update_plan_cache": {"policy": "revalidate",
+                           "revalidators": ("_plan_cache_key",
+                                            "_revalidate_plan_cache",
+                                            "clear_plan_cache")},
+    "_plan_cache_signature": {"policy": "revalidate",
+                              "revalidators": ("_revalidate_plan_cache",
+                                               "clear_plan_cache")},
+    "_cost_model": {"policy": "revalidate", "revalidators": ("cost_model",)},
+    "_statistics_token": {"policy": "revalidate",
+                          "revalidators": ("cost_model",)},
+})
 class Optimizer:
     """Cost-based plan selection over a database's catalog and statistics.
 

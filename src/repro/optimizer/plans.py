@@ -14,12 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.contracts import snapshot_contract
 from repro.index.definition import IndexDefinition
 from repro.xpath.patterns import PathPattern
 from repro.xquery.model import NormalizedQuery, PathPredicate
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class PlanOperator:
     """Base class for plan operators."""
 
@@ -57,7 +59,8 @@ class PlanOperator:
         return found
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class DocumentScan(PlanOperator):
     """Scan and navigate every document of the database/collection."""
 
@@ -69,7 +72,8 @@ class DocumentScan(PlanOperator):
                 f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class IndexScan(PlanOperator):
     """Probe one XML path index for a predicate."""
 
@@ -87,7 +91,8 @@ class IndexScan(PlanOperator):
                 f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class IndexAnding(PlanOperator):
     """Intersect the results of several index scans (XANDOR in DB2)."""
 
@@ -101,7 +106,8 @@ class IndexAnding(PlanOperator):
                 f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class Fetch(PlanOperator):
     """Fetch the documents/subtrees identified by the input operator."""
 
@@ -116,7 +122,8 @@ class Fetch(PlanOperator):
                 f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class ResidualFilter(PlanOperator):
     """Apply the predicates that no index answered, by navigation."""
 
@@ -132,7 +139,8 @@ class ResidualFilter(PlanOperator):
                 f"(cost={self.cost:.1f}, card={self.cardinality:.1f})")
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class QueryPlan:
     """The chosen plan for one query, with its total estimated cost."""
 
@@ -177,7 +185,8 @@ class QueryPlan:
         return header + "\n" + self.root.render(indent=1)
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class UpdatePlan:
     """The plan (really: cost accounting) for an update statement.
 
@@ -206,7 +215,8 @@ class UpdatePlan:
         return "\n".join(lines)
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class IndexMaintenance:
     """Maintenance charge of one update statement against one index."""
 

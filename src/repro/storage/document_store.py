@@ -31,6 +31,7 @@ from typing import (
     Union,
 )
 
+from repro.contracts import builder, cache_contract, escape_hatch
 from repro.storage.catalog import Catalog
 from repro.storage.maintenance import (
     ADD,
@@ -54,6 +55,19 @@ class StorageError(Exception):
     """Raised on invalid document-store operations."""
 
 
+#: Delta-based maintenance of derived state; ``False`` restores the
+#: legacy drop-and-rebuild behaviour for equivalence testing.
+escape_hatch("use_incremental_maintenance")
+
+
+@cache_contract(memos={
+    "_summary": {"policy": "push", "readers": ("path_summary",),
+                 "refreshers": ("_apply_delta", "_invalidate_derived")},
+    "_statistics": {"policy": "push", "readers": ("statistics",),
+                    "refreshers": ("_apply_delta", "_invalidate_derived")},
+    "_accumulator": {"policy": "push", "readers": ("statistics",),
+                     "refreshers": ("_apply_delta", "_invalidate_derived")},
+})
 class XmlCollection:
     """A named collection of XML documents (a table with an XML column)."""
 
@@ -252,6 +266,17 @@ class XmlCollection:
         self._invalidate_derived()
 
 
+@cache_contract(memos={
+    "_signature_cache": {"policy": "push", "readers": ("data_signature",),
+                         "refreshers": ("_on_collection_change",
+                                        "create_collection")},
+    "_merged_statistics": {"policy": "push", "readers": ("statistics",),
+                           "refreshers": ("_on_collection_change",
+                                          "create_collection",
+                                          "invalidate_statistics")},
+    "_merged_signature": {"policy": "push", "readers": ("statistics",),
+                          "refreshers": ("invalidate_statistics",)},
+})
 class XmlDatabase:
     """A set of collections plus the system catalog.
 
@@ -344,6 +369,7 @@ class XmlDatabase:
         return self._signature_cache
 
     @property
+    @builder
     def statistics(self) -> DatabaseStatistics:
         """Merged statistics over every collection (the optimizer's view).
 

@@ -65,6 +65,7 @@ from typing import (
     Tuple,
 )
 
+from repro.contracts import cache_contract, snapshot_contract
 from repro.xmldb.nodes import DocumentNode, XmlNode
 from repro.xpath.patterns import PathPattern
 
@@ -82,6 +83,7 @@ ADD = "add"
 REMOVE = "remove"
 
 
+@snapshot_contract()
 @dataclass(frozen=True)
 class DocumentDelta:
     """One document's contribution to a collection's derived state.
@@ -103,6 +105,7 @@ class DocumentDelta:
         return self.element_count + self.attribute_count
 
 
+@snapshot_contract()
 @dataclass(frozen=True)
 class CollectionDelta:
     """One add/remove operation on a collection, as a propagatable delta.
@@ -220,6 +223,7 @@ def pattern_for_key(pattern_text: str) -> PathPattern:
     return PathPattern.parse(pattern_text)
 
 
+@cache_contract(memos={"_pattern_memo": {"policy": "object-keyed"}})
 @dataclass
 class DataChange:
     """What actually changed between two :class:`DataChangeTracker` polls."""

@@ -37,6 +37,7 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.contracts import builder, cache_contract, snapshot_contract
 from repro.xmldb.nodes import DocumentNode, XmlNode
 from repro.xpath.patterns import PathPattern
 
@@ -48,6 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
 _NO_NODES: List[XmlNode] = []
 
 
+@snapshot_contract(builders=("add_document", "_with_document_added",
+                             "_with_document_removed"),
+                   mutators=("add_document",),
+                   memo_attrs=("_pattern_paths",))
+@cache_contract(memos={"_pattern_paths": {"policy": "object-keyed"}})
 class PathSummary:
     """Maps each distinct rooted simple path to its nodes, per document.
 
@@ -311,6 +317,7 @@ class PathSummary:
                 f"{self.total_attribute_count} attributes")
 
 
+@builder
 def build_path_summary(documents: Iterable[DocumentNode],
                        renumber: bool = False) -> PathSummary:
     """Build a :class:`PathSummary` over ``documents`` in one pass.

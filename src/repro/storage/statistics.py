@@ -45,6 +45,7 @@ from typing import (
     Union,
 )
 
+from repro.contracts import builder, cache_contract, snapshot_contract
 from repro.storage.path_summary import PathSummary, build_path_summary
 from repro.xmldb.nodes import DocumentNode, NodeKind, XmlNode
 from repro.xpath.ast import BinaryOp
@@ -58,6 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
 _DEFAULT_KEY_WIDTH = 8.0
 
 
+@snapshot_contract(builders=("merge",), mutators=("merge",))
 @dataclass
 class PathStatistics:
     """Statistics for one distinct simple path.
@@ -124,6 +126,15 @@ class PathStatistics:
                 self.max_value = bound if self.max_value is None else max(self.max_value, bound)
 
 
+@snapshot_contract(builders=("merge", "copy", "merged_over"),
+                   mutators=("merge",),
+                   memo_attrs=("_match_cache", "size_cache",
+                               "_routing_cache"))
+@cache_contract(memos={
+    "_match_cache": {"policy": "object-keyed"},
+    "size_cache": {"policy": "object-keyed"},
+    "_routing_cache": {"policy": "object-keyed"},
+})
 @dataclass
 class DatabaseStatistics:
     """The full path synopsis for a collection or a whole database."""
@@ -513,6 +524,7 @@ class StatisticsAccumulator:
                 del self._paths[path]
 
     # ------------------------------------------------------------------
+    @builder
     def snapshot(self) -> DatabaseStatistics:
         """Emit an immutable synopsis of the current state (O(paths))."""
         stats = DatabaseStatistics()

@@ -13,7 +13,11 @@ Sub-commands mirror the demonstration's flow:
   monitored executor, report drift, re-advise on the compressed captured
   workload, and apply (or just print, with ``--dry-run``) the migration
   plan.  ``--shift`` additionally replays the held-out XMark queries
-  afterwards to demonstrate drift detection and re-convergence.
+  afterwards to demonstrate drift detection and re-convergence;
+* ``lint`` -- run the contract analyzer (see :mod:`repro.analysis`) over
+  the source tree: snapshot immutability, cache invalidation, escape
+  hatch parity and determinism.  Exits non-zero on violations (the CI
+  gate).
 
 Example::
 
@@ -135,6 +139,20 @@ def build_parser() -> argparse.ArgumentParser:
                                   "demonstrate drift detection")
     tune_parser.add_argument("--shift-rounds", type=int, default=10,
                              help="observation rounds for the --shift phase")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="statically check the contract annotations "
+                     "(snapshot immutability, cache invalidation, "
+                     "escape hatches, determinism)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text", dest="output_format",
+                             help="diagnostic output format")
+    lint_parser.add_argument("--path", action="append", default=None,
+                             help="file or directory to analyze (repeatable; "
+                                  "default: the installed repro package)")
+    lint_parser.add_argument("--tests-dir", default=None,
+                             help="test corpus consulted by the escape-hatch "
+                                  "checker (default: tests/ next to src/)")
     return parser
 
 
@@ -245,12 +263,28 @@ def _command_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import analyze_paths, render_json, render_text
+
+    paths = [Path(p) for p in args.path] if args.path else None
+    tests_dir = Path(args.tests_dir) if args.tests_dir else None
+    context = analyze_paths(paths=paths, tests_dir=tests_dir)
+    if args.output_format == "json":
+        print(render_json(context.diagnostics, len(context.files)))
+    else:
+        print(render_text(context.diagnostics, len(context.files)))
+    return 1 if context.diagnostics else 0
+
+
 _COMMANDS = {
     "scenarios": _command_scenarios,
     "enumerate": _command_enumerate,
     "recommend": _command_recommend,
     "execute": _command_execute,
     "tune": _command_tune,
+    "lint": _command_lint,
 }
 
 

@@ -27,6 +27,7 @@ Everything is deterministic by construction: time is the monitor's
 injected step counter, never the wall clock.
 """
 
+from repro.contracts import deterministic_package
 from repro.tuning.compressor import CompressedWorkload, compress_snapshot
 from repro.tuning.controller import (
     MigrationPlan,
@@ -37,6 +38,12 @@ from repro.tuning.controller import (
 )
 from repro.tuning.drift import DriftDetector, DriftReport
 from repro.tuning.monitor import CapturedQuery, WorkloadMonitor, WorkloadSnapshot
+
+# Determinism contract: nothing in this package may read the wall clock,
+# draw unseeded randomness, or iterate a set into an emitted ordering --
+# two runs over the same traffic must produce byte-identical plans.
+# Machine-checked by ``xml-index-advisor lint`` (determinism checker).
+deterministic_package("repro.tuning")
 
 __all__ = [
     "CapturedQuery",

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.contracts import snapshot_contract
 from repro.tuning.monitor import CapturedQuery, WorkloadSnapshot, template_key
 from repro.xpath.patterns import (
     PathPattern,
@@ -48,6 +49,7 @@ from repro.xquery.model import NormalizedQuery
 DEFAULT_CLUSTER_CAP = 32
 
 
+@snapshot_contract()
 @dataclass(frozen=True)
 class CompressedCluster:
     """One cluster of captured templates behind a single representative."""
@@ -67,6 +69,7 @@ class CompressedCluster:
         return len(self.member_keys)
 
 
+@snapshot_contract()
 @dataclass(frozen=True)
 class CompressedWorkload:
     """The advisor-ready compressed form of one workload snapshot."""

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.advisor.advisor import Recommendation, XmlIndexAdvisor
 from repro.advisor.config import AdvisorParameters
+from repro.contracts import builder, snapshot_contract
 from repro.executor.executor import QueryExecutor
 from repro.index.definition import IndexDefinition
 from repro.storage.catalog import ConfigurationProvenance
@@ -86,6 +87,7 @@ class TuningPolicy:
             raise ValueError("build budget must be positive when set")
 
 
+@snapshot_contract()
 @dataclass(frozen=True)
 class MigrationStep:
     """One ordered action of a migration plan."""
@@ -101,9 +103,16 @@ class MigrationStep:
                 f"({self.size_bytes / 1024:.1f} KiB): {self.reason}")
 
 
+@snapshot_contract()
 @dataclass
 class MigrationPlan:
-    """Ordered index drops and builds taking the catalog to the target."""
+    """Ordered index drops and builds taking the catalog to the target.
+
+    Snapshot contract: plans are assembled only inside the registered
+    builder methods (:meth:`TuningController.plan_migration`,
+    :meth:`TuningController._resume_pending`); once returned they are
+    read-only.
+    """
 
     #: Steps to run this cycle: all drops first, then budgeted builds.
     steps: List[MigrationStep] = field(default_factory=list)
@@ -137,7 +146,8 @@ class MigrationPlan:
         return "\n".join(lines)
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True)
 class TuningEvent:
     """One audit-trail entry: what a cycle saw and did."""
 
@@ -269,6 +279,7 @@ class TuningController:
             compressed = compress_snapshot(snapshot, self.policy.cluster_cap)
         return self.advisor.recommend(compressed)
 
+    @builder
     def plan_migration(self, recommendation: Recommendation) -> MigrationPlan:
         """Diff the recommendation against the live configuration."""
         current = {definition.key: definition
@@ -348,6 +359,7 @@ class TuningController:
                     workload_snapshot=snapshot))
             self.detector.rebase()
 
+    @builder
     def _resume_pending(self) -> Optional[MigrationPlan]:
         """Continue a budget-deferred migration: as many pending builds
         as this cycle's build budget allows."""

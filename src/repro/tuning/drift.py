@@ -29,11 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Set
 
+from repro.contracts import snapshot_contract
 from repro.storage.document_store import XmlDatabase
 from repro.storage.maintenance import DataChangeTracker
 from repro.tuning.monitor import WorkloadSnapshot
 
 
+@snapshot_contract()
 @dataclass(frozen=True)
 class DriftReport:
     """One drift assessment, with the pieces the score combined."""
@@ -81,9 +83,14 @@ def workload_distance(current: WorkloadSnapshot,
     baseline_dist = baseline.distribution()
     if not current_dist and not baseline_dist:
         return 0.0
+    # Sum in sorted key order: float addition is not associative, and
+    # set iteration order varies across processes (hash randomization),
+    # so an unsorted sum could make the drift score -- and therefore
+    # the re-advise decision -- differ between identical runs.
     keys = set(current_dist) | set(baseline_dist)
     return 0.5 * sum(abs(current_dist.get(key, 0.0)
-                         - baseline_dist.get(key, 0.0)) for key in keys)
+                         - baseline_dist.get(key, 0.0))
+                     for key in sorted(keys))
 
 
 class DriftDetector:

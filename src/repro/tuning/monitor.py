@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.contracts import snapshot_contract
 from repro.xquery.model import NormalizedQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
@@ -72,9 +73,15 @@ def template_key(query: NormalizedQuery, include_literals: bool = True) -> str:
                      ";".join(touched)])
 
 
-@dataclass
+@snapshot_contract()
+@dataclass(frozen=True, slots=True)
 class CapturedQuery:
-    """One captured query template with its decayed arrival weight."""
+    """One captured query template with its decayed arrival weight.
+
+    Immutable: the monitor absorbs arrivals by ``dataclasses.replace``,
+    so entries handed out in snapshots can never be retroactively
+    changed by later traffic.
+    """
 
     key: str
     #: A representative normalized form (the first one observed); its
@@ -98,6 +105,7 @@ class CapturedQuery:
         return self.weight * decay ** (step - self.last_step)
 
 
+@snapshot_contract()
 @dataclass(frozen=True)
 class WorkloadSnapshot:
     """An immutable view of the monitor's store at one step.
@@ -188,15 +196,19 @@ class WorkloadMonitor:
         if entry is None:
             entry = CapturedQuery(key=key, query=query, weight=0.0,
                                   arrivals=0, last_step=self.step)
-            self._entries[key] = entry
-        entry.weight = entry.weight_at(self.step, self.decay) + increment
-        entry.arrivals += 1
-        entry.last_step = self.step
+        cost_proxy = entry.cost_proxy
         if result is not None:
             proxy = float(result.documents_examined
                           + result.index_entries_scanned)
-            entry.cost_proxy = proxy if entry.cost_proxy is None \
-                else 0.5 * entry.cost_proxy + 0.5 * proxy
+            cost_proxy = proxy if cost_proxy is None \
+                else 0.5 * cost_proxy + 0.5 * proxy
+        entry = replace(
+            entry,
+            weight=entry.weight_at(self.step, self.decay) + increment,
+            arrivals=entry.arrivals + 1,
+            last_step=self.step,
+            cost_proxy=cost_proxy)
+        self._entries[key] = entry
         if len(self._entries) > self.capacity:
             self._evict_one(protect=key)
         return entry

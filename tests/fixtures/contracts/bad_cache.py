@@ -1,0 +1,49 @@
+"""Seeded violations for the cache-invalidation checker.
+
+Not collected by pytest (no ``test_`` prefix); analyzed by
+``tests/test_contract_analysis.py`` as a golden input.
+"""
+
+from repro.contracts import cache_contract
+
+
+@cache_contract(memos={
+    "_memo": {"policy": "revalidate", "revalidators": ("_revalidate",)},
+    "_pushed": {"policy": "push",
+                "readers": ("read_pushed",),
+                "refreshers": ("_on_change",)},
+    "_keyed": {"policy": "object-keyed"},
+})
+class Cached:
+    def __init__(self) -> None:
+        self._memo = None
+        self._pushed = {}  # type: dict
+        self._keyed = {}  # type: dict
+
+    def _revalidate(self) -> None:
+        self._memo = None
+
+    def good_entry(self):
+        self._revalidate()
+        return self._memo  # allowed: directly revalidated
+
+    def bad_entry(self):
+        return self._memo  # line 31: VIOLATION - unrevalidated read path
+
+    def indirect_bad(self):
+        return self._helper()
+
+    def _helper(self):
+        return self._memo  # line 37: VIOLATION - reached from indirect_bad()
+
+    def read_pushed(self):
+        return self._pushed  # allowed: declared reader
+
+    def _on_change(self) -> None:
+        self._pushed.clear()  # allowed: declared refresher
+
+    def stray_writer(self) -> None:
+        self._pushed["k"] = 1  # line 46: VIOLATION - not a reader/refresher
+
+    def keyed_anywhere(self):
+        return self._keyed  # allowed: object-keyed policy

@@ -1,0 +1,42 @@
+"""Seeded violations for the determinism checker.
+
+Not collected by pytest (no ``test_`` prefix); analyzed by
+``tests/test_contract_analysis.py`` as a golden input.  The module
+registers itself as a deterministic scope so the checker engages.
+"""
+
+import random
+import time
+from datetime import datetime
+from typing import List, Set
+
+from repro.contracts import deterministic_package
+
+deterministic_package("bad_determinism")
+
+
+def stamp() -> float:
+    return time.time()  # line 19: VIOLATION - wall clock
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # line 23: VIOLATION - wall clock
+
+
+def pick(options):
+    return random.choice(options)  # line 27: VIOLATION - unseeded randomness
+
+
+def emit(keys: Set[str]) -> List[str]:
+    out = []  # type: List[str]
+    for key in keys:  # line 32: VIOLATION - unsorted set iteration
+        out.append(key)
+    others = {1, 2, 3}
+    return out + [str(item) for item in list(others)]  # line 35: VIOLATION
+
+
+def clean(keys: Set[str]) -> List[str]:
+    rng = random.Random(7)  # allowed: seeded generator
+    ordered = [key for key in sorted(keys)]  # allowed: sorted first
+    rng.shuffle(ordered)
+    return ordered

@@ -1,0 +1,29 @@
+"""Seeded violations for the escape-hatch checker.
+
+Not collected by pytest (no ``test_`` prefix); analyzed by
+``tests/test_contract_analysis.py`` as a golden input (with an empty
+tests directory, so every fixture flag also counts as untested).
+"""
+
+from repro.contracts import escape_hatch
+
+escape_hatch("use_fixture_fast_path")  # branched live, but untested
+escape_hatch("use_fixture_dead")  # line 11: only guards dead code
+escape_hatch("use_fixture_never")  # line 12: never branched on
+
+
+class Engine:
+    def __init__(self, use_fixture_fast_path: bool = True,
+                 use_fixture_dead: bool = True) -> None:
+        self.use_fixture_fast_path = use_fixture_fast_path
+        self.use_fixture_dead = use_fixture_dead
+
+    def run(self, items):
+        if self.use_fixture_fast_path:
+            return sorted(items)
+        return list(items)
+
+    def dead(self) -> None:
+        if self.use_fixture_dead:
+            pass
+        return None

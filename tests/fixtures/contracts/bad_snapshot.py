@@ -1,0 +1,53 @@
+"""Seeded violations for the snapshot-immutability checker.
+
+Not collected by pytest (no ``test_`` prefix); analyzed by
+``tests/test_contract_analysis.py`` as a golden input.
+"""
+
+from repro.contracts import builder, snapshot_contract
+
+
+@snapshot_contract(builders=("rebuild",), mutators=("rebuild",),
+                   memo_attrs=("_memo",))
+class FrozenThing:
+    def __init__(self) -> None:
+        self.value = 0
+        self.items = []  # type: list
+        self._memo = None
+
+    def rebuild(self) -> "FrozenThing":
+        self.value += 1  # allowed: declared builder
+        return self
+
+    def touch(self) -> None:
+        self.value = 5  # line 23: VIOLATION - write outside a builder
+        self._memo = "cached"  # allowed: memo attribute
+
+    def read(self) -> int:
+        return self.value
+
+
+def mutate_outside() -> FrozenThing:
+    thing = FrozenThing()
+    thing.value = 9  # line 32: VIOLATION - attribute write
+    thing.items.append(1)  # line 33: VIOLATION - container mutation
+    thing.rebuild()  # line 34: VIOLATION - mutator call outside build phase
+    del thing.items  # line 35: VIOLATION - attribute delete
+    return thing
+
+
+def annotated(thing: FrozenThing) -> None:
+    thing.value += 1  # line 40: VIOLATION - augmented write via annotation
+
+
+@builder
+def sanctioned_build() -> FrozenThing:
+    thing = FrozenThing()
+    thing.value = 3  # allowed: registered builder function
+    return thing
+
+
+def suppressed() -> FrozenThing:
+    thing = FrozenThing()
+    thing.value = 1  # contract: allow[snapshot-immutability]
+    return thing

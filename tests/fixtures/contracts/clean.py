@@ -1,0 +1,63 @@
+"""A fixture that uses every governed construct correctly.
+
+Not collected by pytest (no ``test_`` prefix); analyzed by
+``tests/test_contract_analysis.py``, which asserts zero diagnostics.
+"""
+
+from typing import List, Set
+
+from repro.contracts import builder, cache_contract, deterministic_package, \
+    snapshot_contract
+
+deterministic_package("clean")
+
+
+@snapshot_contract(builders=("merge",), mutators=("merge",),
+                   memo_attrs=("_size",))
+class GoodSnapshot:
+    def __init__(self) -> None:
+        self.count = 0
+        self._size = None
+
+    def merge(self, other: "GoodSnapshot") -> "GoodSnapshot":
+        self.count += other.count  # allowed: declared builder
+        return self
+
+    def size(self) -> int:
+        if self._size is None:
+            self._size = self.count  # allowed: memo attribute
+        return self._size
+
+
+@builder
+def build_snapshot(counts) -> GoodSnapshot:
+    merged = GoodSnapshot()
+    for count in counts:
+        item = GoodSnapshot()
+        item.count = count  # allowed: inside a registered builder
+        merged.merge(item)  # allowed: mutator call in a build phase
+    return merged
+
+
+@cache_contract(memos={
+    "_derived": {"policy": "revalidate", "revalidators": ("_refresh",)},
+})
+class GoodCache:
+    def __init__(self, source) -> None:
+        self.source = source
+        self._token = None
+        self._derived = None
+
+    def _refresh(self) -> None:
+        token = len(self.source)
+        if token != self._token:
+            self._token = token
+            self._derived = sum(self.source)
+
+    def total(self):
+        self._refresh()
+        return self._derived  # allowed: revalidated entry point
+
+
+def ordered_emit(keys: Set[str]) -> List[str]:
+    return [key for key in sorted(keys)]  # allowed: deterministic order

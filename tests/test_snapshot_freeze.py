@@ -1,0 +1,183 @@
+"""Runtime enforcement of the snapshot contracts, plus regression tests
+for the violations the contract analyzer surfaced.
+
+``REPRO_FREEZE_SNAPSHOTS`` is read when ``repro.contracts`` is imported,
+so enforcement is exercised in a subprocess with the variable set; the
+regression tests (stale baseline reads, drift-score determinism,
+immutable capture entries) run in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from _support import build_varied_database
+from repro.advisor.benefit import ConfigurationEvaluator
+from repro.tuning.drift import workload_distance
+from repro.tuning.monitor import WorkloadMonitor, WorkloadSnapshot
+from repro.xquery.model import Workload
+from repro.xquery.normalizer import normalize_statement, normalize_workload
+
+SRC = str(Path(__file__).parent.parent / "src")
+
+
+def _run_frozen(snippet: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["REPRO_FREEZE_SNAPSHOTS"] = "1"
+    return subprocess.run([sys.executable, "-c", textwrap.dedent(snippet)],
+                          capture_output=True, text=True, env=env)
+
+
+class TestFreezeEnforcement:
+    def test_direct_write_raises_outside_builder(self):
+        completed = _run_frozen("""
+            from repro.contracts import SnapshotMutationError
+            from repro.storage.statistics import DatabaseStatistics
+            stats = DatabaseStatistics()
+            try:
+                stats.total_documents = 5
+            except SnapshotMutationError:
+                print("TRAPPED")
+        """)
+        assert completed.returncode == 0, completed.stderr
+        assert "TRAPPED" in completed.stdout
+
+    def test_builders_and_memos_stay_usable(self):
+        completed = _run_frozen("""
+            from repro.storage.statistics import DatabaseStatistics, \\
+                PathStatistics
+            first = DatabaseStatistics()
+            other = DatabaseStatistics()
+            other.path_stats["/a"] = PathStatistics(path="/a")
+            first.merge(other)            # builder: writes allowed inside
+            copied = first.copy()         # builder building a fresh object
+            first._match_cache[("k", "v")] = None   # memo attr: exempt
+            print("OK", len(first.path_stats), len(copied.path_stats))
+        """)
+        assert completed.returncode == 0, completed.stderr
+        assert "OK 1 1" in completed.stdout
+
+    def test_error_is_an_attribute_error(self):
+        # Callers catching AttributeError for duck-typing keep working.
+        completed = _run_frozen("""
+            from repro.contracts import SnapshotMutationError
+            assert issubclass(SnapshotMutationError, AttributeError)
+            print("SUBCLASS-OK")
+        """)
+        assert completed.returncode == 0, completed.stderr
+        assert "SUBCLASS-OK" in completed.stdout
+
+    def test_end_to_end_pipeline_under_freeze(self):
+        # The advisor pipeline builds plenty of snapshots (plans,
+        # statistics, evaluations); it must run to completion with the
+        # guard armed.
+        completed = _run_frozen("""
+            from repro.advisor.advisor import XmlIndexAdvisor
+            from repro.xquery.model import Workload
+            from repro.xmldb.nodes import build_document
+            from repro.storage.document_store import XmlDatabase
+
+            database = XmlDatabase("frozen")
+            collection = database.create_collection("site")
+            for d in range(8):
+                doc, site = build_document("site")
+                item = site.add_element("regions").add_element("africa") \\
+                    .add_element("item")
+                item.add_element("quantity", str(10 * d + 1))
+                collection.add_document(doc)
+            workload = Workload(name="w")
+            workload.add('for $i in doc("x")/site/regions/africa/item '
+                         'where $i/quantity > 50 return $i', frequency=2.0)
+            recommendation = XmlIndexAdvisor(database).recommend(workload)
+            print("RECOMMENDED", len(recommendation.configuration))
+        """)
+        assert completed.returncode == 0, completed.stderr
+        assert "RECOMMENDED" in completed.stdout
+
+
+# ======================================================================
+# Regressions for analyzer-surfaced violations
+# ======================================================================
+def _tiny_workload() -> Workload:
+    workload = Workload(name="stale")
+    workload.add('for $i in doc("x")/site/regions/africa/item '
+                 'where $i/quantity > 90 return $i/name', frequency=2.0)
+    return workload
+
+
+class TestBaselineRevalidation:
+    def test_baseline_costs_refresh_after_data_change(self):
+        # The analyzer flagged baseline_costs/baseline_workload_cost as
+        # unrevalidated reads of ``_baseline``: after a data change they
+        # served costs for the old database until some *other* entry
+        # point happened to refresh.  They must now self-revalidate.
+        database = build_varied_database(documents=24, name="stale-base")
+        queries = normalize_workload(_tiny_workload())
+        evaluator = ConfigurationEvaluator(database, queries)
+        before = evaluator.baseline_workload_cost
+        # Quadruple the collection so every baseline cost moves.
+        collection = database.collection("site")
+        for document in list(collection)[:24] * 3:
+            collection.add_document(document.copy()
+                                    if hasattr(document, "copy")
+                                    else document)
+        fresh = ConfigurationEvaluator(database, queries)
+        assert evaluator.baseline_workload_cost == \
+            pytest.approx(fresh.baseline_workload_cost)
+        assert evaluator.baseline_workload_cost != pytest.approx(before)
+        assert evaluator.baseline_costs == fresh.baseline_costs
+
+
+class TestDriftDeterminism:
+    def test_workload_distance_sums_in_sorted_key_order(self):
+        # The analyzer flagged the unsorted ``set | set`` sum: float
+        # addition is order-sensitive, so the drift score could differ
+        # across hash-randomized runs.  Distance must be identical
+        # however the snapshots' entries are ordered.
+        monitor = WorkloadMonitor()
+        texts = [f'for $i in doc("x")/site/regions/africa/item '
+                 f'where $i/quantity > {n} return $i/name'
+                 for n in (1, 2, 3, 4, 5, 6, 7)]
+        for text in texts:
+            monitor.record(normalize_statement(text))
+        current = monitor.snapshot()
+        reversed_baseline = WorkloadSnapshot(
+            step=current.step, entries=tuple(reversed(current.entries)))
+        forward = workload_distance(current, current)
+        backward = workload_distance(current, reversed_baseline)
+        assert forward == 0.0
+        assert backward == 0.0  # same distribution, any entry order
+
+
+class TestImmutableCapture:
+    def test_snapshot_entries_cannot_be_retroactively_changed(self):
+        # CapturedQuery is frozen: an entry handed out in a snapshot is
+        # detached from future traffic by construction.
+        monitor = WorkloadMonitor()
+        query = normalize_statement(
+            'for $i in doc("x")/site/regions/africa/item return $i')
+        monitor.record(query)
+        snapshot = monitor.snapshot()
+        frozen_weight = snapshot.entries[0].weight
+        monitor.record(query)
+        monitor.record(query)
+        assert snapshot.entries[0].weight == frozen_weight
+        with pytest.raises(AttributeError):
+            snapshot.entries[0].weight = 99.0
+
+    def test_record_returns_accumulated_entry(self):
+        monitor = WorkloadMonitor()
+        query = normalize_statement(
+            'for $i in doc("x")/site/regions/africa/item return $i')
+        first = monitor.record(query)
+        second = monitor.record(query)
+        assert first.arrivals == 1 and second.arrivals == 2
+        assert second.weight == pytest.approx(2.0)
+        assert len(monitor) == 1

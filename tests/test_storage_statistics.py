@@ -141,9 +141,14 @@ class TestMerging:
         assert stat.max_value == pytest.approx(100.0)
 
     def test_copy_is_independent(self, stats):
+        # Grow the copy through the sanctioned builder (merge) -- direct
+        # attribute writes are a contract violation under
+        # REPRO_FREEZE_SNAPSHOTS -- and check the original is untouched.
         copy = stats.copy()
-        copy.document_count += 10
+        copy.merge(collect_statistics([parse_document("<a><v>7</v></a>")]))
+        assert copy.document_count == 2
         assert stats.document_count == 1
+        assert stats.stats_for_path("/a/v") is None
 
     def test_total_data_bytes_positive(self, stats):
         assert stats.total_data_bytes > 0

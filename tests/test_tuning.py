@@ -78,7 +78,9 @@ class TestWorkloadMonitor:
                 'where $i/quantity > 5 return $i/name')
         first = monitor.record(_query(text, "a"))
         second = monitor.record(_query(text, "b"))
-        assert first is second
+        # Entries are immutable: both arrivals land on one template key,
+        # and the second record returns the accumulated entry.
+        assert first.key == second.key
         assert len(monitor) == 1
         assert second.weight == pytest.approx(2.0)
         assert second.arrivals == 2

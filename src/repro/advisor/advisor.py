@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.advisor.benefit import ConfigurationBenefit, ConfigurationEvaluator
 from repro.advisor.candidates import CandidateSet, enumerate_basic_candidates
@@ -20,6 +20,7 @@ from repro.advisor.config import AdvisorParameters, SearchAlgorithm
 from repro.advisor.dag import GeneralizationDag
 from repro.advisor.enumeration import SearchResult, create_search
 from repro.advisor.generalization import GeneralizationResult, generalize_candidates
+from repro.faults import guarded_fault_point
 from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.optimizer.optimizer import Optimizer
 from repro.storage.document_store import XmlDatabase
@@ -168,13 +169,21 @@ class XmlIndexAdvisor:
     # One-call entry point
     # ------------------------------------------------------------------
     def recommend(self, workload: "Union[Workload, Sequence[str], Sequence[NormalizedQuery]]",
-                  algorithm: Optional[SearchAlgorithm] = None) -> Recommendation:
+                  algorithm: Optional[SearchAlgorithm] = None,
+                  excluded_keys: Optional[FrozenSet[Tuple[str, str]]] = None
+                  ) -> Recommendation:
         """Run the full pipeline and return the recommendation.
 
         Besides a :class:`Workload` or statement strings, this accepts
         already-normalized queries and compressed online workloads (see
         :meth:`normalize`) -- the entry point the online tuning
         controller re-advises through.
+
+        ``excluded_keys`` -- candidate keys (pattern text, value type
+        name) that must never be recommended; the online controller
+        passes its quarantined definitions here.  The filter runs after
+        generalization because the generalization rules can re-create an
+        excluded pattern from a surviving one.
         """
         phase_seconds: Dict[str, float] = {}
 
@@ -188,19 +197,24 @@ class XmlIndexAdvisor:
 
         start = time.perf_counter()
         generalization = self.generalize(basic)
+        candidates = generalization.candidates
+        dag = generalization.dag
+        if excluded_keys:
+            candidates = CandidateSet(c for c in candidates
+                                      if c.key not in excluded_keys)
+            dag = GeneralizationDag(candidates)
         phase_seconds["generalize"] = time.perf_counter() - start
 
         start = time.perf_counter()
         evaluator = self.build_evaluator(queries)
-        search_result = self.search(generalization.candidates, generalization.dag,
-                                    evaluator, algorithm)
+        search_result = self.search(candidates, dag, evaluator, algorithm)
         phase_seconds["search"] = time.perf_counter() - start
 
         return Recommendation(
             configuration=search_result.configuration,
             benefit=search_result.benefit,
-            candidates=generalization.candidates,
-            dag=generalization.dag,
+            candidates=candidates,
+            dag=dag,
             search_result=search_result,
             queries=queries,
             parameters=self.parameters,
@@ -216,6 +230,9 @@ class XmlIndexAdvisor:
         index structures for execution is the executor's job
         (:func:`repro.executor.executor.create_indexes`).
         """
+        # Consulted before any catalog mutation: a persistent fault
+        # leaves the catalog exactly as it was.
+        guarded_fault_point("migration.commit")
         created: List[IndexDefinition] = []
         for index in recommendation.configuration:
             physical = index.as_physical()

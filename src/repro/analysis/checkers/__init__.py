@@ -1,4 +1,4 @@
-"""The four contract checkers.
+"""The five contract checkers.
 
 Each checker exposes ``name`` plus ``check_file(parsed, context)`` and
 ``check_project(context)`` iterators of
@@ -8,6 +8,7 @@ registry the runner and the CLI iterate.
 
 from repro.analysis.checkers.caches import CacheInvalidationChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.faults import FaultCoverageChecker
 from repro.analysis.checkers.hatches import EscapeHatchChecker
 from repro.analysis.checkers.snapshots import SnapshotImmutabilityChecker
 
@@ -17,6 +18,7 @@ ALL_CHECKERS = (
     CacheInvalidationChecker(),
     EscapeHatchChecker(),
     DeterminismChecker(),
+    FaultCoverageChecker(),
 )
 
 __all__ = [
@@ -24,5 +26,6 @@ __all__ = [
     "CacheInvalidationChecker",
     "DeterminismChecker",
     "EscapeHatchChecker",
+    "FaultCoverageChecker",
     "SnapshotImmutabilityChecker",
 ]

@@ -1,0 +1,117 @@
+"""Checker 5: fault-injection coverage.
+
+The fault harness (:mod:`repro.faults`) only contains failures at seams
+that actually consult it, so the checker enforces, across the analyzed
+tree:
+
+* every literal ``fault_point("...")`` / ``guarded_fault_point("...")``
+  argument names a site registered with ``injection_site(...)`` -- a
+  typo'd site silently never fires;
+* every registered site is consulted by at least one literal
+  fault-point call -- a declared-but-unwired site is coverage on
+  paper only;
+* every function that mutates the catalog's index set (calls
+  ``.add_index`` / ``.drop_index``) contains a fault-point call, so no
+  catalog mutation seam escapes the harness.  Intentionally uncovered
+  mutations (rollback undo paths, post-commit installs) carry a
+  ``# contract: allow[fault-coverage]`` suppression explaining why.
+
+Diagnostics for the unconsulted-site rule anchor to the
+``injection_site(...)`` declaration; the other two anchor to the
+offending call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set
+
+from repro.analysis.core import (
+    AnalysisContext,
+    Diagnostic,
+    ParsedFile,
+    call_name,
+)
+
+__all__ = ["FaultCoverageChecker"]
+
+#: Catalog index-set mutators whose enclosing function must be covered.
+MUTATORS = frozenset({"add_index", "drop_index"})
+
+#: Callee names that consult the fault harness.
+FAULT_POINTS = frozenset({"fault_point", "guarded_fault_point"})
+
+
+def _literal_site(node: ast.Call) -> str | None:
+    """The literal site string of a fault-point call, else ``None``."""
+    if not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+def _fault_point_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and call_name(node) in FAULT_POINTS:
+            yield node
+
+
+class FaultCoverageChecker:
+    name = "fault-coverage"
+
+    def check_file(self, parsed: ParsedFile,
+                   context: AnalysisContext) -> Iterable[Diagnostic]:
+        # The harness's own module declares the sites and defines the
+        # consult functions; its internal calls are not seams.
+        if parsed.module == "repro.faults":
+            return
+        for call in _fault_point_calls(parsed.tree):
+            site = _literal_site(call)
+            if site is not None and site not in context.sites:
+                yield Diagnostic(
+                    checker=self.name, path=str(parsed.path),
+                    line=call.lineno, col=call.col_offset,
+                    message=(f"fault point consults unregistered site "
+                             f"{site!r}; declare it with "
+                             f"injection_site({site!r})"))
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            covered = any(True for _ in _fault_point_calls(node))
+            if covered:
+                continue
+            for call in ast.walk(node):
+                if isinstance(call, ast.Call) \
+                        and call_name(call) in MUTATORS:
+                    yield Diagnostic(
+                        checker=self.name, path=str(parsed.path),
+                        line=call.lineno, col=call.col_offset,
+                        message=(f"{node.name!r} mutates the catalog "
+                                 f"index set without consulting a fault "
+                                 f"injection point; wire a "
+                                 f"guarded_fault_point(...) or suppress "
+                                 f"with a reason"))
+
+    def check_project(self, context: AnalysisContext) \
+            -> Iterator[Diagnostic]:
+        if not context.sites:
+            return
+        consulted: Set[str] = set()
+        for parsed in context.files:
+            if parsed.module == "repro.faults":
+                continue
+            for call in _fault_point_calls(parsed.tree):
+                site = _literal_site(call)
+                if site is not None:
+                    consulted.add(site)
+        for name in sorted(context.sites):
+            if name not in consulted:
+                decl = context.sites[name]
+                yield Diagnostic(
+                    checker=self.name, path=decl.path, line=decl.line,
+                    col=0,
+                    message=(f"injection site {name!r} is declared but "
+                             f"never consulted by any fault point in "
+                             f"the analyzed tree"))

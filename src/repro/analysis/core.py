@@ -28,6 +28,7 @@ __all__ = [
     "SnapshotDecl",
     "CacheDecl",
     "HatchDecl",
+    "SiteDecl",
     "AnalysisContext",
     "parse_file",
     "module_name_for",
@@ -110,6 +111,16 @@ class HatchDecl:
     line: int
 
 
+@dataclass(frozen=True)
+class SiteDecl:
+    """An ``injection_site("...")`` declaration found in the tree."""
+
+    name: str
+    module: str
+    path: str
+    line: int
+
+
 @dataclass
 class AnalysisContext:
     """Everything the checkers need: declarations plus parsed files."""
@@ -123,6 +134,8 @@ class AnalysisContext:
     builder_functions: Set[Tuple[str, str]] = field(default_factory=set)
     caches: List[CacheDecl] = field(default_factory=list)
     hatches: List[HatchDecl] = field(default_factory=list)
+    #: fault-injection site name -> declaration.
+    sites: Dict[str, SiteDecl] = field(default_factory=dict)
     deterministic_packages: List[str] = field(default_factory=list)
     tests_dir: Optional[Path] = None
     #: Filled in by the runner: final, sorted, suppression-filtered.
@@ -268,11 +281,18 @@ class _RegistrationCollector(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         name = call_name(node)
-        if name in ("escape_hatch", "deterministic_package") and node.args:
+        if name in ("escape_hatch", "deterministic_package",
+                    "injection_site") and node.args:
             first = node.args[0]
             if isinstance(first, ast.Constant) and isinstance(first.value, str):
                 if name == "escape_hatch":
                     self.context.hatches.append(HatchDecl(
+                        name=first.value,
+                        module=self.parsed.module,
+                        path=str(self.parsed.path),
+                        line=node.lineno))
+                elif name == "injection_site":
+                    self.context.sites.setdefault(first.value, SiteDecl(
                         name=first.value,
                         module=self.parsed.module,
                         path=str(self.parsed.path),

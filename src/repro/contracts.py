@@ -20,6 +20,11 @@ invariants into *declarations that live next to the code they govern*:
   must branch to two live code paths and be exercised by tests.
 * :func:`deterministic_package` -- declares a package in which wall
   clocks, unseeded randomness and unsorted set iteration are forbidden.
+* :func:`injection_site` -- declares a named fault-injection site: a
+  seam at which :mod:`repro.faults` may raise a scripted failure.  The
+  fault-coverage checker requires every catalog-mutating seam to
+  consult a registered site, and every registered site to be consulted
+  somewhere in the tree.
 
 The declarations are consumed twice:
 
@@ -60,6 +65,7 @@ __all__ = [
     "builder",
     "escape_hatch",
     "deterministic_package",
+    "injection_site",
     "building",
 ]
 
@@ -102,6 +108,7 @@ class ContractRegistry:
         field(default_factory=dict)
     escape_hatches: Dict[str, str] = field(default_factory=dict)
     deterministic_packages: Tuple[str, ...] = ()
+    injection_sites: Dict[str, str] = field(default_factory=dict)
 
 
 #: The process-wide registry (populated as governed modules import).
@@ -288,4 +295,20 @@ def deterministic_package(name: str) -> str:
     if name not in REGISTRY.deterministic_packages:
         REGISTRY.deterministic_packages = \
             REGISTRY.deterministic_packages + (name,)
+    return name
+
+
+def injection_site(name: str, description: str = "") -> str:
+    """Declare a named fault-injection site.
+
+    A site is a seam -- an index build, a journal replay, a migration
+    commit point -- at which the deterministic fault harness
+    (:mod:`repro.faults`) may raise a scripted failure.  Declaring the
+    site here makes it part of the failure contract: the fault-coverage
+    checker verifies that every catalog-mutating function consults a
+    site via ``fault_point``/``guarded_fault_point`` and that every
+    declared site is consulted somewhere in the tree.  Returns ``name``
+    so the call can double as a constant definition.
+    """
+    REGISTRY.injection_sites[name] = description
     return name

@@ -56,6 +56,7 @@ from typing import (
 )
 
 from repro.contracts import cache_contract, escape_hatch
+from repro.faults import FaultError, guarded_fault_point
 from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.index.physical import PhysicalPathIndex, build_physical_index
 from repro.optimizer.optimizer import Optimizer
@@ -106,6 +107,26 @@ class ExecutionResult:
                 f"{self.documents_examined} doc(s) examined, "
                 f"{self.index_entries_scanned} index entries, "
                 f"{self.elapsed_seconds * 1000:.1f} ms")
+
+
+@dataclass(frozen=True)
+class RemovedIndex:
+    """Undo record for one dropped index (migration rollback)."""
+
+    definition: IndexDefinition
+    structure: Optional[PhysicalPathIndex]
+    maintained_signature: Optional[Tuple[Tuple[str, int], ...]]
+    unusable_reason: Optional[str]
+
+
+class _IndexProbeError(Exception):
+    """Internal: one index raised while being probed; carries the name
+    so degraded-mode execution can mark exactly that index unusable."""
+
+    def __init__(self, name: str, error: Exception) -> None:
+        super().__init__(f"index {name!r} probe failed: {error}")
+        self.name = name
+        self.error = error
 
 
 @cache_contract(memos={
@@ -176,6 +197,12 @@ class QueryExecutor:
         #: Documents skipped by structural routing (scan path and
         #: index-plan residual checks), for the benchmarks/tests.
         self.documents_routed_out = 0
+        #: Degraded-mode observability: queries answered by a fallback
+        #: scan after an index failure, unusable indexes repaired, and a
+        #: human-readable trail of every containment event.
+        self.scan_fallbacks = 0
+        self.index_repairs = 0
+        self.fallback_events: List[str] = []
         self._refresh_document_lookup()
 
     # ------------------------------------------------------------------
@@ -189,28 +216,130 @@ class QueryExecutor:
         returns the names of the indexes built.
         """
         built: List[str] = []
-        signature = self.database.data_signature()
-        if signature != self._lookup_signature:
+        if self.database.data_signature() != self._lookup_signature:
             # Bring the already-materialized indexes current *before*
             # building new ones, so a later delta catch-up never replays
             # documents a fresh build already contains.
             self._maintain_derived_state()
         for definition in definitions:
             physical = definition.as_physical()
-            if not self.database.catalog.has_index(physical.name):
-                self.database.catalog.add_index(physical)
-            if physical.key not in self._indexes:
-                self._indexes[physical.key] = build_physical_index(physical, self.database)
+            structure = self._indexes.get(physical.key)
+            if structure is None:
+                # Build before touching the catalog: a failed build must
+                # never strand a definition without a structure.
+                structure = build_physical_index(physical, self.database)
                 built.append(physical.name)
-                self.database.catalog.mark_index_maintained(physical.name, signature)
+            self.install_index(physical, structure)
         return built
 
+    def build_index_structure(self, definition: IndexDefinition) -> PhysicalPathIndex:
+        """Materialize (but do not install) ``definition``'s structure.
+
+        The staging half of a transactional migration: a failure here
+        leaves the catalog and the executor completely untouched.
+        """
+        if self.database.data_signature() != self._lookup_signature:
+            self._maintain_derived_state()
+        return build_physical_index(definition.as_physical(), self.database)
+
+    def install_index(self, definition: IndexDefinition,
+                      structure: PhysicalPathIndex) -> None:
+        """Publish a staged structure: catalog entry plus materialized map.
+
+        The commit half of a migration: pure dict inserts, so a plan
+        that reaches its commit point always completes.
+        """
+        physical = definition.as_physical()
+        catalog = self.database.catalog
+        if not catalog.has_index(physical.name):
+            catalog.add_index(physical)  # contract: allow[fault-coverage] -- post-commit install; covered by migration.commit upstream
+        self._indexes[physical.key] = structure
+        catalog.clear_index_unusable(physical.name)
+        self._mark_maintained(physical.name, self.database.data_signature())
+
+    def remove_index(self, name: str) -> Optional[RemovedIndex]:
+        """Drop one physical index, returning an undo record (or ``None``
+        when no such physical index exists)."""
+        catalog = self.database.catalog
+        definition = next((candidate for candidate in catalog.physical_indexes
+                           if candidate.name == name), None)
+        if definition is None:
+            return None
+        # Consulted before any mutation: a persistent fault aborts the
+        # drop with catalog and structures untouched.
+        guarded_fault_point("index.drop")
+        removed = RemovedIndex(
+            definition=definition,
+            structure=self._indexes.get(definition.key),
+            maintained_signature=catalog.index_maintained_signature(name),
+            unusable_reason=catalog.unusable_indexes.get(name))
+        catalog.drop_index(name)
+        self._indexes.pop(definition.key, None)
+        return removed
+
+    def restore_index(self, removed: RemovedIndex) -> None:
+        """Undo one :meth:`remove_index` (the migration rollback path;
+        pure dict inserts, infallible by design)."""
+        catalog = self.database.catalog
+        catalog.add_index(removed.definition)  # contract: allow[fault-coverage] -- rollback undo must not itself fault
+        if removed.structure is not None:
+            self._indexes[removed.definition.key] = removed.structure
+        if removed.maintained_signature is not None:
+            catalog.mark_index_maintained(removed.definition.name,
+                                          removed.maintained_signature)
+        if removed.unusable_reason is not None:
+            catalog.mark_index_unusable(removed.definition.name,
+                                        removed.unusable_reason)
+
+    def repair_indexes(self) -> List[str]:
+        """Try to rebuild every unusable index; returns the repaired names.
+
+        A repair that fails leaves the index unusable (still served by
+        the fallback scan path) to be retried on a later cycle.
+        """
+        repaired: List[str] = []
+        catalog = self.database.catalog
+        for name in sorted(catalog.unusable_indexes):
+            definition = catalog.index(name)
+            try:
+                structure = self.build_index_structure(definition)
+            except Exception:  # noqa: BLE001 -- containment: stay degraded
+                continue
+            self.install_index(definition, structure)
+            self.index_repairs += 1
+            self._note_fallback(f"index {name!r} repaired (rebuilt)")
+            repaired.append(name)
+        return repaired
+
+    def _degrade_index(self, name: str, reason: str) -> None:
+        """Mark one physical index unusable and drop its structure; the
+        optimizer plans around it until a repair succeeds."""
+        catalog = self.database.catalog
+        definition = next((candidate for candidate in catalog.physical_indexes
+                           if candidate.name == name), None)
+        if definition is not None:
+            self._indexes.pop(definition.key, None)
+            catalog.mark_index_unusable(name, reason)
+        self._note_fallback(f"index {name!r} unusable: {reason}")
+
+    def _note_fallback(self, event: str) -> None:
+        self.fallback_events.append(event)
+
     def _rebuild_indexes(self) -> None:
-        """Re-materialize every built index against the current documents."""
+        """Re-materialize every built index against the current documents.
+
+        A structure whose rebuild fails is degraded (unusable, served by
+        scans) instead of failing the maintenance pass: one broken index
+        must not take the executor down."""
         signature = self.database.data_signature()
         for key, physical in list(self._indexes.items()):
-            self._indexes[key] = build_physical_index(physical.definition,
-                                                      self.database)
+            try:
+                rebuilt = build_physical_index(physical.definition, self.database)
+            except Exception as exc:  # noqa: BLE001 -- containment: degrade
+                self._degrade_index(physical.definition.name,
+                                    f"rebuild failed: {exc}")
+                continue
+            self._indexes[key] = rebuilt
             self.index_rebuilds += 1
             self._mark_maintained(physical.definition.name, signature)
 
@@ -251,11 +380,36 @@ class QueryExecutor:
         # only touches its own collection's keys) but must stay ordered
         # within one, which deltas_since guarantees.
         signature = self.database.data_signature()
-        for index in self._indexes.values():
-            for delta in pending:
-                index.apply_collection_delta(delta)
-            self.index_delta_maintenances += 1
-            self._mark_maintained(index.definition.name, signature)
+        try:
+            guarded_fault_point("journal.replay")
+        except FaultError as exc:
+            self._note_fallback(
+                f"journal replay failed ({exc}); rebuilding indexes")
+            self._rebuild_indexes()
+            return
+        for key, index in list(self._indexes.items()):
+            name = index.definition.name
+            try:
+                for delta in pending:
+                    index.apply_collection_delta(delta)
+            except Exception as exc:  # noqa: BLE001 -- containment: rebuild
+                # The structure may be half-maintained: rebuild just this
+                # index, and degrade it only if the rebuild fails too.
+                self._note_fallback(
+                    f"delta maintenance of index {name!r} failed ({exc}); "
+                    "rebuilding")
+                try:
+                    self._indexes[key] = build_physical_index(
+                        index.definition, self.database)
+                except Exception as rebuild_exc:  # noqa: BLE001
+                    self._degrade_index(
+                        name, "rebuild after failed delta maintenance "
+                              f"failed: {rebuild_exc}")
+                    continue
+                self.index_rebuilds += 1
+            else:
+                self.index_delta_maintenances += 1
+            self._mark_maintained(name, signature)
 
     def drop_indexes(self, names: Iterable[str]) -> List[str]:
         """Drop specific physical indexes (catalog entries and any
@@ -267,22 +421,16 @@ class QueryExecutor:
         keyed to the visible index keys, so stale plans cannot be
         served).
         """
-        physical = {definition.name: definition
-                    for definition in self.database.catalog.physical_indexes}
         dropped: List[str] = []
         for name in names:
-            definition = physical.get(name)
-            if definition is None:
-                continue
-            self.database.catalog.drop_index(name)
-            self._indexes.pop(definition.key, None)
-            dropped.append(name)
+            if self.remove_index(name) is not None:
+                dropped.append(name)
         return dropped
 
     def drop_all_indexes(self) -> None:
         """Drop every physical index (catalog entries and structures)."""
         for definition in list(self.database.catalog.physical_indexes):
-            self.database.catalog.drop_index(definition.name)
+            self.remove_index(definition.name)
         self._indexes.clear()
 
     # ------------------------------------------------------------------
@@ -320,12 +468,34 @@ class QueryExecutor:
             # rebuilding), so index plans neither miss new documents nor
             # return entries with reassigned document ids.
             self._maintain_derived_state()
-        plan = self.optimizer.optimize(
-            query, candidate_indexes=self.database.catalog.physical_indexes)
-        if plan.uses_indexes and self._plan_indexes_materialized(plan):
-            result = self._execute_index_plan(query, plan, extract)
-        else:
+        while True:
+            try:
+                plan = self.optimizer.optimize(
+                    query,
+                    candidate_indexes=self.database.catalog.usable_physical_indexes)
+            except FaultError as exc:
+                # Infrastructure failure while planning (statistics or
+                # synopsis publish): degrade to an unrouted document
+                # scan -- results unchanged, just slower.
+                self._note_fallback(
+                    f"optimizer unavailable ({exc}); full document scan")
+                self.scan_fallbacks += 1
+                result = self._execute_scan(query, extract, None)
+                break
+            if plan.uses_indexes and self._plan_indexes_materialized(plan):
+                try:
+                    result = self._execute_index_plan(query, plan, extract)
+                    break
+                except _IndexProbeError as failure:
+                    # Degraded mode: a raising index must not fail the
+                    # query.  Mark it unusable and re-plan without it;
+                    # each pass removes one index, so this terminates.
+                    self._degrade_index(failure.name,
+                                        f"probe raised: {failure.error}")
+                    self.scan_fallbacks += 1
+                    continue
             result = self._execute_scan(query, extract, plan.routing)
+            break
         result.elapsed_seconds = time.perf_counter() - start
         if self.monitor is not None:
             # Online-tuning capture: the monitor aggregates by query
@@ -387,7 +557,10 @@ class QueryExecutor:
         for operator in self._index_scans(plan):
             index = self._indexes[operator.index.key]
             used_names.append(operator.index.name)
-            entries = self._probe(index, operator.predicate)
+            try:
+                entries = self._probe(index, operator.predicate)
+            except Exception as exc:  # noqa: BLE001 -- attributed, contained by execute()
+                raise _IndexProbeError(operator.index.name, exc) from exc
             entries_scanned += len(entries)
             docs = {(entry.collection, entry.doc_id) for entry in entries}
             candidate_docs = docs if candidate_docs is None else candidate_docs & docs
@@ -552,7 +725,16 @@ class QueryExecutor:
             return None
         summary = self._summaries.get(collection_name)
         if summary is None:
-            summary = self.database.collection(collection_name).path_summary
+            try:
+                summary = self.database.collection(collection_name).path_summary
+            except FaultError as exc:
+                # Degraded mode: when the summary cannot be (re)built,
+                # fall back to interpretive per-document evaluation --
+                # provably the same results, without the summary.
+                self._note_fallback(
+                    f"path summary for {collection_name!r} unavailable "
+                    f"({exc}); interpretive evaluation")
+                return None
             self._summaries[collection_name] = summary
         return summary
 

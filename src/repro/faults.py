@@ -1,0 +1,383 @@
+"""Deterministic fault injection for the tuning and serving stack.
+
+The online advisor is only production-credible if its loop survives its
+own failures: an index build that dies mid-migration, a journal replay
+that cannot catch an index up, a statistics rebuild that falls over.
+This module provides the scripted-failure half of that story; the
+containment half (transactional migrations, degraded-mode execution,
+quarantine) lives in :mod:`repro.tuning.controller` and
+:mod:`repro.executor.executor`.
+
+Design:
+
+* **Named injection sites.**  Every seam that can fail is declared with
+  :func:`repro.contracts.injection_site` and consulted at runtime via
+  :func:`fault_point` (raise through) or :func:`guarded_fault_point`
+  (absorb transient faults in place with bounded retries).  The
+  fault-coverage lint checker keeps the set of seams and the set of
+  declared sites in lockstep.
+* **Logical-step time only.**  A :class:`FaultPlan` schedules failures
+  against per-site *hit counters* -- "fail the 3rd index build", never
+  "fail after 100ms".  The module is registered as a
+  ``deterministic_package``: no wall clocks, no unseeded randomness,
+  so a plan replays byte-identically.
+* **Two failure severities.**  :class:`TransientFaultError` models a
+  failure that succeeds on retry (an allocation blip); seams absorb it
+  locally via :func:`guarded_fault_point`.  :class:`FaultError` models
+  a persistent failure; it propagates to the containment layers, which
+  must roll back, fall back, or quarantine.
+
+Arming the harness:
+
+* programmatically -- ``with faults.inject(plan) as injector: ...``
+* process-wide -- ``REPRO_FAULTS=smoke`` in the environment (read at
+  import) installs :meth:`FaultPlan.smoke`, a canned plan that raises a
+  transient fault at every Nth hit of every registered site.  Because
+  every seam absorbs transients in place, the whole tier-1 suite must
+  pass unchanged under it -- CI runs exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.contracts import deterministic_package, injection_site
+
+deterministic_package("repro.faults")
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultError",
+    "TransientFaultError",
+    "FaultRule",
+    "FaultPlan",
+    "InjectedFault",
+    "FaultInjector",
+    "RobustnessReport",
+    "INDEX_BUILD",
+    "INDEX_DROP",
+    "INDEX_DELTA_APPLY",
+    "JOURNAL_REPLAY",
+    "STATS_REBUILD",
+    "SNAPSHOT_PUBLISH",
+    "MIGRATION_COMMIT",
+    "registered_sites",
+    "active_injector",
+    "install_plan",
+    "clear_plan",
+    "inject",
+    "fault_point",
+    "guarded_fault_point",
+    "plan_from_env",
+]
+
+#: Environment variable that arms a process-wide fault plan at import.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+# The injection-site registry: one declaration per seam.  Constants are
+# exported so plans and tests can name sites without string literals;
+# the seams themselves consult the sites by their literal names, which
+# is what the fault-coverage checker matches against.
+INDEX_BUILD = injection_site(
+    "index.build", "materialization of a physical path index")
+INDEX_DROP = injection_site(
+    "index.drop", "removal of a physical index from catalog and executor")
+INDEX_DELTA_APPLY = injection_site(
+    "index.delta_apply", "per-delta incremental maintenance of an index")
+JOURNAL_REPLAY = injection_site(
+    "journal.replay", "executor catch-up replay from collection delta logs")
+STATS_REBUILD = injection_site(
+    "stats.rebuild", "statistics synopsis (re)build for a collection")
+SNAPSHOT_PUBLISH = injection_site(
+    "snapshot.publish", "publication of a derived snapshot into its cache")
+MIGRATION_COMMIT = injection_site(
+    "migration.commit", "commit point of a tuning migration plan")
+
+
+def registered_sites() -> Tuple[str, ...]:
+    """All declared injection-site names, sorted."""
+    from repro.contracts import REGISTRY
+    return tuple(sorted(REGISTRY.injection_sites))
+
+
+class FaultError(Exception):
+    """An injected persistent fault.
+
+    Retrying the failed operation at the seam will not help; a
+    containment layer must roll back, fall back, or quarantine.
+    """
+
+
+class TransientFaultError(FaultError):
+    """An injected transient fault: retrying at the seam succeeds."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Schedule failures for one site against its logical hit counter."""
+
+    site: str
+    #: 1-based hit numbers that fail (single-shot faults).
+    hits: Tuple[int, ...] = ()
+    #: Additionally fail every ``every``-th hit (0 = never).
+    every: int = 0
+    #: Transient faults are absorbed at the seam; persistent faults
+    #: propagate to the containment layers.
+    transient: bool = True
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if any(hit < 1 for hit in self.hits):
+            raise ValueError(f"fault rule hits must be >= 1, got {self.hits}")
+        if self.every < 0:
+            raise ValueError(f"fault rule 'every' must be >= 0, got {self.every}")
+
+    def fires_at(self, hit: int) -> bool:
+        if hit in self.hits:
+            return True
+        return self.every > 0 and hit % self.every == 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic script of failures, keyed by injection site."""
+
+    rules: Tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        known = registered_sites()
+        for rule in self.rules:
+            if rule.site not in known:
+                raise ValueError(
+                    f"fault rule targets unregistered site {rule.site!r}; "
+                    f"registered sites: {', '.join(known)}")
+
+    def rules_for(self, site: str) -> Tuple[FaultRule, ...]:
+        return tuple(rule for rule in self.rules if rule.site == site)
+
+    @classmethod
+    def fail_hit(cls, site: str, hit: int = 1, *,
+                 transient: bool = False) -> "FaultPlan":
+        """A plan with a single fault at one hit of one site."""
+        return cls(rules=(FaultRule(site=site, hits=(hit,),
+                                    transient=transient),))
+
+    @classmethod
+    def smoke(cls, period: int = 7) -> "FaultPlan":
+        """Transient fault at every ``period``-th hit of every site.
+
+        Every seam absorbs transient faults in place, so this plan must
+        be invisible: the whole tier-1 suite passes unchanged under it.
+        ``period`` must be >= 2 so a retry lands on a passing hit.
+        """
+        if period < 2:
+            raise ValueError(f"smoke period must be >= 2, got {period}")
+        return cls(rules=tuple(FaultRule(site=site, every=period)
+                               for site in registered_sites()))
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the injector actually raised."""
+
+    site: str
+    hit: int
+    transient: bool
+
+    def describe(self) -> str:
+        kind = "transient" if self.transient else "persistent"
+        return f"{self.site}@{self.hit} ({kind})"
+
+
+class FaultInjector:
+    """Counts hits per site and raises faults the plan schedules."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._hits: Dict[str, int] = {}
+        #: Every fault raised, in injection order.
+        self.injected: List[InjectedFault] = []
+        #: Transient faults absorbed by seam-local retries, per site.
+        self.absorbed: Dict[str, int] = {}
+
+    def hit_count(self, site: str) -> int:
+        return self._hits.get(site, 0)
+
+    def consult(self, site: str) -> None:
+        """Count one hit of ``site``; raise if the plan schedules it."""
+        count = self._hits.get(site, 0) + 1
+        self._hits[site] = count
+        for rule in self.plan.rules_for(site):
+            if rule.fires_at(count):
+                record = InjectedFault(site=site, hit=count,
+                                       transient=rule.transient)
+                self.injected.append(record)
+                error = TransientFaultError if rule.transient else FaultError
+                raise error(rule.message
+                            or f"injected fault: {record.describe()}")
+
+    def note_absorbed(self, site: str) -> None:
+        self.absorbed[site] = self.absorbed.get(site, 0) + 1
+
+    def summary(self) -> Tuple[str, ...]:
+        return tuple(record.describe() for record in self.injected)
+
+    @property
+    def absorbed_total(self) -> int:
+        return sum(self.absorbed.values())
+
+
+#: The process-wide active injector (None = harness disarmed; the
+#: fault_point fast path is then a single comparison).
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+def install_plan(plan: FaultPlan) -> FaultInjector:
+    """Arm ``plan`` process-wide; returns the live injector."""
+    global _ACTIVE
+    _ACTIVE = FaultInjector(plan)
+    return _ACTIVE
+
+
+def clear_plan() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class inject:
+    """Context manager arming a plan for a scoped block.
+
+    ``with faults.inject(plan) as injector:`` -- restores the previous
+    injector (usually None) on exit, so tests nest safely.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.injector = FaultInjector(plan)
+        self._previous: Optional[FaultInjector] = None
+
+    def __enter__(self) -> FaultInjector:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.injector
+        return self.injector
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+def fault_point(site: str) -> None:
+    """Consult ``site``: raise if the active plan schedules a fault.
+
+    No-op (one comparison) when the harness is disarmed.  Seams that
+    can absorb transient faults should use :func:`guarded_fault_point`
+    instead.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.consult(site)
+
+
+def guarded_fault_point(site: str, max_retries: int = 2) -> None:
+    """Consult ``site``, absorbing transient faults with bounded retries.
+
+    Each retry consults the site again (consuming another hit of the
+    logical counter).  A persistent fault -- or a transient one that
+    keeps firing past ``max_retries`` -- propagates to the caller's
+    containment layer.
+    """
+    if _ACTIVE is None:
+        return
+    attempts = 0
+    while True:
+        try:
+            _ACTIVE.consult(site)
+            return
+        except TransientFaultError:
+            attempts += 1
+            if attempts > max_retries:
+                raise
+            _ACTIVE.note_absorbed(site)
+
+
+def plan_from_env(value: str) -> Optional[FaultPlan]:
+    """Parse ``REPRO_FAULTS``: empty/"0" = off, "smoke" = canned plan.
+
+    Anything else is an inline spec ``site:hit[:persistent][,...]``,
+    e.g. ``index.build:2:persistent,stats.rebuild:1``.
+    """
+    value = value.strip()
+    if not value or value == "0":
+        return None
+    if value == "smoke":
+        return FaultPlan.smoke()
+    rules = []
+    for part in value.split(","):
+        fields = part.strip().split(":")
+        if len(fields) not in (2, 3):
+            raise ValueError(
+                f"bad {FAULTS_ENV_VAR} spec {part!r}; expected "
+                "'site:hit[:persistent]' or 'smoke'")
+        site, hit = fields[0], int(fields[1])
+        transient = len(fields) < 3 or fields[2] != "persistent"
+        rules.append(FaultRule(site=site, hits=(hit,), transient=transient))
+    return FaultPlan(rules=tuple(rules))
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """What the failure-containment machinery did, for the audit trail."""
+
+    #: Faults the harness injected ("site@hit (kind)" strings).
+    faults_injected: Tuple[str, ...] = ()
+    #: Transient faults absorbed by seam-local retries.
+    seam_retries: int = 0
+    #: Index builds that failed while staging a migration plan.
+    build_failures: int = 0
+    #: Migration plans rolled back to the pre-plan configuration.
+    rollbacks: int = 0
+    #: Degraded-mode events the executor surfaced (fallback scans,
+    #: unusable marks, rebuild recoveries, repairs).
+    fallbacks: Tuple[str, ...] = ()
+    #: Definitions quarantined after repeated build failures.
+    quarantined: Tuple[str, ...] = ()
+    #: Physical indexes currently marked unusable.
+    unusable: Tuple[str, ...] = ()
+
+    @property
+    def is_clean(self) -> bool:
+        return not (self.faults_injected or self.seam_retries
+                    or self.build_failures or self.rollbacks
+                    or self.fallbacks or self.quarantined or self.unusable)
+
+    def describe(self) -> str:
+        if self.is_clean:
+            return "robustness: clean (no faults, no containment activity)"
+        lines = ["robustness:"]
+        if self.faults_injected:
+            lines.append(f"  faults injected ({len(self.faults_injected)}): "
+                         + ", ".join(self.faults_injected))
+        if self.seam_retries:
+            lines.append(f"  transient faults absorbed at seams: "
+                         f"{self.seam_retries}")
+        if self.build_failures:
+            lines.append(f"  staging build failures: {self.build_failures}")
+        if self.rollbacks:
+            lines.append(f"  migration rollbacks: {self.rollbacks}")
+        for event in self.fallbacks:
+            lines.append(f"  fallback: {event}")
+        for entry in self.quarantined:
+            lines.append(f"  quarantined: {entry}")
+        for entry in self.unusable:
+            lines.append(f"  unusable: {entry}")
+        return "\n".join(lines)
+
+
+_env_plan = plan_from_env(os.environ.get(FAULTS_ENV_VAR, ""))
+if _env_plan is not None:
+    install_plan(_env_plan)

@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.faults import guarded_fault_point
 from repro.index.definition import IndexDefinition
 from repro.storage import pages
 from repro.storage.document_store import XmlDatabase
@@ -88,6 +89,10 @@ class PhysicalPathIndex:
         (key, doc, node) order, deletions also slide the document ids
         above the removed key down by one (the store reassigns them).
         """
+        # Consulted before any mutation: a persistent fault leaves the
+        # structure untouched, but the caller cannot know that and must
+        # treat the index as unmaintained (rebuild or degrade).
+        guarded_fault_point("index.delta_apply")
         if delta.is_add:
             return self.insert_document(delta.collection, delta.document)
         return self.delete_document(delta.collection, delta.document.doc_key)
@@ -254,6 +259,10 @@ def build_physical_index(definition: IndexDefinition,
                     if entry is not None:
                         index.insert(entry.key, entry.collection,
                                      entry.doc_id, entry.node_id)
+    # Consulted before finalize: a persistent fault discards the
+    # partially-built structure with the local variable, so a failed
+    # build never publishes anything.
+    guarded_fault_point("index.build")
     return index.finalize()
 
 

@@ -31,6 +31,39 @@ class CatalogError(Exception):
 #: A database data signature: sorted (collection name, version) pairs.
 DataSignature = Tuple[Tuple[str, int], ...]
 
+#: An index definition's identity: (pattern text, value type name).
+IndexKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PendingBuild:
+    """A build the tuning loop still owes: deferred past a budget or
+    parked after a rolled-back plan.  Recorded in the catalog so a fresh
+    controller on the same database resumes it (restart-idempotent)."""
+
+    definition: "IndexDefinition"
+    size_bytes: float
+    reason: str = ""
+
+    @property
+    def key(self) -> IndexKey:
+        return self.definition.key
+
+
+@dataclass(frozen=True)
+class BuildFailureRecord:
+    """One definition's build-failure history, for bounded retry."""
+
+    definition: "IndexDefinition"
+    attempts: int
+    #: Logical monitor step before which the build must not be retried.
+    next_retry_step: int
+    last_error: str = ""
+
+    @property
+    def key(self) -> IndexKey:
+        return self.definition.key
+
 
 @dataclass(frozen=True)
 class ConfigurationProvenance:
@@ -72,6 +105,12 @@ class Catalog:
         self._virtual: Dict[str, IndexDefinition] = {}
         self._maintained_signatures: Dict[str, DataSignature] = {}
         self._provenance: Optional[ConfigurationProvenance] = None
+        # Failure-containment state (durable: lives with the database,
+        # not with any controller or executor instance).
+        self._pending_builds: Dict[IndexKey, PendingBuild] = {}
+        self._build_failures: Dict[IndexKey, BuildFailureRecord] = {}
+        self._quarantined: Dict[IndexKey, str] = {}
+        self._unusable: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Configuration provenance
@@ -107,6 +146,7 @@ class Catalog:
             raise CatalogError(f"unknown index {name!r}")
         del self._physical[name]
         self._maintained_signatures.pop(name, None)
+        self._unusable.pop(name, None)
 
     # ------------------------------------------------------------------
     # Physical-structure staleness
@@ -140,6 +180,105 @@ class Catalog:
     @property
     def physical_indexes(self) -> List[IndexDefinition]:
         return list(self._physical.values())
+
+    # ------------------------------------------------------------------
+    # Degraded-mode state (unusable physical structures)
+    # ------------------------------------------------------------------
+    def mark_index_unusable(self, name: str, reason: str) -> None:
+        """Record that ``name``'s physical structure cannot be served
+        (probe raised, journal catch-up and rebuild both failed).  The
+        executor plans around unusable indexes via the summary-scan
+        path until :meth:`clear_index_unusable` (a successful repair)."""
+        if name not in self._physical:
+            raise CatalogError(f"unknown index {name!r}")
+        self._unusable[name] = reason
+        self._maintained_signatures.pop(name, None)
+
+    def clear_index_unusable(self, name: str) -> None:
+        self._unusable.pop(name, None)
+
+    def index_usable(self, name: str) -> bool:
+        return name not in self._unusable
+
+    @property
+    def unusable_indexes(self) -> Dict[str, str]:
+        """Unusable physical index names mapped to their reasons."""
+        return dict(self._unusable)
+
+    @property
+    def usable_physical_indexes(self) -> List[IndexDefinition]:
+        """Physical indexes the optimizer may plan with."""
+        return [definition for name, definition in self._physical.items()
+                if name not in self._unusable]
+
+    # ------------------------------------------------------------------
+    # Durable tuning state (pending builds, failures, quarantine)
+    # ------------------------------------------------------------------
+    def record_pending_builds(self, pending: Iterable[PendingBuild]) -> None:
+        """Replace the set of builds the tuning loop still owes."""
+        self._pending_builds = {record.key: record for record in pending}
+
+    def clear_pending_build(self, key: IndexKey) -> None:
+        self._pending_builds.pop(key, None)
+
+    @property
+    def pending_builds(self) -> List[PendingBuild]:
+        return list(self._pending_builds.values())
+
+    def record_build_failure(self, record: BuildFailureRecord) -> None:
+        self._build_failures[record.key] = record
+
+    def build_failure(self, key: IndexKey) -> Optional[BuildFailureRecord]:
+        return self._build_failures.get(key)
+
+    def clear_build_failure(self, key: IndexKey) -> None:
+        self._build_failures.pop(key, None)
+
+    def quarantine_index(self, definition: "IndexDefinition",
+                         reason: str) -> None:
+        """Exclude ``definition`` from advising and planning: it failed
+        to build repeatedly and re-planning it would loop forever."""
+        self._quarantined[definition.key] = reason
+        self._pending_builds.pop(definition.key, None)
+        self._build_failures.pop(definition.key, None)
+
+    def is_quarantined(self, key: IndexKey) -> bool:
+        return key in self._quarantined
+
+    def clear_quarantine(self, key: IndexKey) -> None:
+        self._quarantined.pop(key, None)
+
+    @property
+    def quarantined_keys(self) -> List[IndexKey]:
+        return sorted(self._quarantined)
+
+    def quarantine_reason(self, key: IndexKey) -> Optional[str]:
+        return self._quarantined.get(key)
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+    def consistency_errors(self) -> List[str]:
+        """Internal cross-references that must always hold; the chaos
+        tests assert this is empty after every step."""
+        errors: List[str] = []
+        physical_keys = {definition.key for definition in
+                         self._physical.values()}
+        for name in sorted(self._unusable):
+            if name not in self._physical:
+                errors.append(f"unusable mark for unknown index {name!r}")
+        for name in sorted(self._maintained_signatures):
+            if name not in self._physical:
+                errors.append(f"maintained signature for unknown index {name!r}")
+        for key in sorted(self._quarantined):
+            if key in physical_keys:
+                errors.append(f"quarantined definition {key!r} is physical")
+            if key in self._pending_builds:
+                errors.append(f"quarantined definition {key!r} is pending")
+        for key in sorted(self._pending_builds):
+            if key in physical_keys:
+                errors.append(f"pending build {key!r} already physical")
+        return errors
 
     # ------------------------------------------------------------------
     # Virtual indexes

@@ -32,6 +32,7 @@ from typing import (
 )
 
 from repro.contracts import builder, cache_contract, escape_hatch
+from repro.faults import guarded_fault_point
 from repro.storage.catalog import Catalog
 from repro.storage.maintenance import (
     ADD,
@@ -74,6 +75,9 @@ class XmlCollection:
     def __init__(self, name: str,
                  use_incremental_maintenance: bool = True,
                  delta_log_capacity: int = DELTA_LOG_CAPACITY) -> None:
+        if delta_log_capacity < 1:
+            raise ValueError(
+                f"delta_log_capacity must be positive, got {delta_log_capacity}")
         self.name = name
         #: Maintain the path summary and statistics through per-document
         #: deltas (and journal them for downstream consumers) instead of
@@ -237,7 +241,12 @@ class XmlCollection:
         updates.
         """
         if self._summary is None:
-            self._summary = build_path_summary(self._documents)
+            summary = build_path_summary(self._documents)
+            # Publication seam: a persistent injected fault raises here,
+            # before the cache assignment, so a failed publish leaves the
+            # memo empty (crash-safe) rather than half-published.
+            guarded_fault_point("snapshot.publish")
+            self._summary = summary
         return self._summary
 
     @property
@@ -253,11 +262,15 @@ class XmlCollection:
         if self._statistics is None:
             if self.use_incremental_maintenance:
                 if self._accumulator is None:
-                    self._accumulator = StatisticsAccumulator.from_summary(
+                    accumulator = StatisticsAccumulator.from_summary(
                         self.path_summary)
+                    guarded_fault_point("stats.rebuild")
+                    self._accumulator = accumulator
                 self._statistics = self._accumulator.snapshot()
             else:
-                self._statistics = collect_statistics_from_summary(self.path_summary)
+                statistics = collect_statistics_from_summary(self.path_summary)
+                guarded_fault_point("stats.rebuild")
+                self._statistics = statistics
         return self._statistics
 
     def invalidate_statistics(self) -> None:
@@ -288,6 +301,9 @@ class XmlDatabase:
     def __init__(self, name: str = "xmldb",
                  use_incremental_maintenance: bool = True,
                  delta_log_capacity: int = DELTA_LOG_CAPACITY) -> None:
+        if delta_log_capacity < 1:
+            raise ValueError(
+                f"delta_log_capacity must be positive, got {delta_log_capacity}")
         self.name = name
         self.use_incremental_maintenance = use_incremental_maintenance
         #: Journal capacity handed to every collection this database
@@ -390,6 +406,9 @@ class XmlDatabase:
                 # keyed to their data versions.
                 merged.collection_stats[collection.name] = stats
                 merged.collection_versions[collection.name] = collection.version
+            # Publication seam: fails before the cache assignments, so
+            # the merged snapshot is either fully published or not at all.
+            guarded_fault_point("snapshot.publish")
             self._merged_statistics = merged
             self._merged_signature = signature
         return self._merged_statistics

@@ -139,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "demonstrate drift detection")
     tune_parser.add_argument("--shift-rounds", type=int, default=10,
                              help="observation rounds for the --shift phase")
+    tune_parser.add_argument("--chaos", action="store_true",
+                             help="arm a deterministic fault plan (transient "
+                                  "faults at every seam plus one persistent "
+                                  "build failure) and show the rollback, "
+                                  "retry and recovery machinery at work")
 
     lint_parser = subparsers.add_parser(
         "lint", help="statically check the contract annotations "
@@ -222,7 +227,20 @@ def _command_execute(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan():
+    """The ``tune --chaos`` demo plan: background transient faults at
+    every seam plus one persistent failure of the first physical index
+    build, so a rollback and its retry/recovery are visible."""
+    from repro.faults import INDEX_BUILD, FaultPlan, FaultRule
+
+    smoke = FaultPlan.smoke(period=5)
+    return FaultPlan(rules=smoke.rules + (
+        FaultRule(site=INDEX_BUILD, hits=(1,), transient=False,
+                  message="chaos demo: first physical build dies"),))
+
+
 def _command_tune(args: argparse.Namespace) -> int:
+    from repro.faults import inject
     from repro.tuning import TuningController, TuningPolicy
     from repro.workloads.xmark import xmark_unseen_queries
 
@@ -238,29 +256,59 @@ def _command_tune(args: argparse.Namespace) -> int:
 
     workload = _scenario_workload(args, scenario)
     queries = normalize_workload(workload)
-    executed = controller.observe(queries, rounds=max(1, args.rounds))
-    print(f"observed {executed} execution(s) of {len(queries)} statement(s) "
-          f"over {max(1, args.rounds)} round(s)")
-    print(controller.drift_report().describe())
-    print()
-    event = controller.run_cycle()
-    print(event.describe())
-
-    if args.shift:
-        shifted = normalize_workload(xmark_unseen_queries())
-        executed = controller.observe(shifted, rounds=max(1, args.shift_rounds))
-        print(f"\n-- injected workload shift: observed {executed} "
-              f"execution(s) of {len(shifted)} held-out statement(s) --")
+    with inject(_chaos_plan()) if args.chaos else _no_faults():
+        if args.chaos:
+            print("-- chaos mode: deterministic fault plan armed --")
+        executed = controller.observe(queries, rounds=max(1, args.rounds))
+        print(f"observed {executed} execution(s) of {len(queries)} "
+              f"statement(s) over {max(1, args.rounds)} round(s)")
+        print(controller.drift_report().describe())
+        print()
         event = controller.run_cycle()
         print(event.describe())
 
-    print("\naudit trail:")
-    print(controller.audit_trail())
+        if args.chaos and not args.dry_run:
+            # Keep observing and cycling until the containment machinery
+            # has recovered from the injected build failure (bounded:
+            # the backoff expires after a few observation ticks).
+            for _ in range(6):
+                if event.applied \
+                        and not scenario.database.catalog.pending_builds:
+                    break
+                controller.observe(queries, rounds=1)
+                event = controller.run_cycle()
+                print()
+                print(event.describe())
+
+        if args.shift:
+            shifted = normalize_workload(xmark_unseen_queries())
+            executed = controller.observe(shifted,
+                                          rounds=max(1, args.shift_rounds))
+            print(f"\n-- injected workload shift: observed {executed} "
+                  f"execution(s) of {len(shifted)} held-out statement(s) --")
+            event = controller.run_cycle()
+            print(event.describe())
+
+        print("\naudit trail:")
+        print(controller.audit_trail())
+        if args.chaos:
+            print("\nrobustness report:")
+            print(controller.robustness_report().describe())
     live = sorted(controller.live_configuration_keys)
     print(f"\nlive configuration ({len(live)} index(es)):")
     for pattern, value_type in live:
         print(f"  {pattern} [{value_type}]")
     return 0
+
+
+class _no_faults:
+    """Null context for the non-chaos path (harness stays disarmed)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
 
 
 def _command_lint(args: argparse.Namespace) -> int:

@@ -28,9 +28,15 @@ from typing import List, Optional, Sequence, Tuple
 from repro.advisor.advisor import Recommendation, XmlIndexAdvisor
 from repro.advisor.config import AdvisorParameters
 from repro.contracts import builder, snapshot_contract
-from repro.executor.executor import QueryExecutor
+from repro.executor.executor import QueryExecutor, RemovedIndex
+from repro.faults import RobustnessReport, active_injector, guarded_fault_point
 from repro.index.definition import IndexDefinition
-from repro.storage.catalog import ConfigurationProvenance
+from repro.index.physical import PhysicalPathIndex
+from repro.storage.catalog import (
+    BuildFailureRecord,
+    ConfigurationProvenance,
+    PendingBuild,
+)
 from repro.storage.document_store import XmlDatabase
 from repro.tuning.compressor import (
     DEFAULT_CLUSTER_CAP,
@@ -75,16 +81,42 @@ class TuningPolicy:
     #: Monitor sizing (used when the controller creates its own monitor).
     monitor_capacity: int = DEFAULT_CAPACITY
     decay: float = DEFAULT_DECAY
+    #: Bounded retry of failed index builds: a definition is retried
+    #: with exponential logical-step backoff (``retry_backoff_steps *
+    #: 2**(attempts-1)`` monitor steps, capped at ``retry_backoff_cap``)
+    #: and quarantined after ``max_build_attempts`` failures so advising
+    #: stops re-planning the same poison index.
+    max_build_attempts: int = 3
+    retry_backoff_steps: int = 2
+    retry_backoff_cap: int = 32
 
     def validate(self) -> None:
         if self.drift_threshold < 0:
             raise ValueError("drift threshold must be non-negative")
+        if self.workload_weight < 0 or self.data_weight < 0:
+            raise ValueError("drift weights must be non-negative")
+        if self.workload_weight == 0 and self.data_weight == 0:
+            raise ValueError("at least one drift weight must be positive")
         if self.cluster_cap < 1:
             raise ValueError("cluster_cap must be at least 1")
         if not 0.0 <= self.min_weight_fraction < 1.0:
             raise ValueError("min_weight_fraction must be in [0, 1)")
+        if self.min_captured_weight < 0:
+            raise ValueError("min_captured_weight must be non-negative")
+        if self.disk_budget_bytes is not None and self.disk_budget_bytes <= 0:
+            raise ValueError("disk budget must be positive when set")
         if self.build_budget_bytes is not None and self.build_budget_bytes <= 0:
             raise ValueError("build budget must be positive when set")
+        if self.monitor_capacity < 1:
+            raise ValueError("monitor_capacity must be at least 1")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if self.max_build_attempts < 1:
+            raise ValueError("max_build_attempts must be at least 1")
+        if self.retry_backoff_steps < 1:
+            raise ValueError("retry_backoff_steps must be at least 1")
+        if self.retry_backoff_cap < 1:
+            raise ValueError("retry_backoff_cap must be at least 1")
 
 
 @snapshot_contract()
@@ -122,6 +154,8 @@ class MigrationPlan:
     target_keys: frozenset = frozenset()
     #: Index keys physically configured when the plan was computed.
     current_keys: frozenset = frozenset()
+    #: Advised keys excluded because their definitions are quarantined.
+    quarantined_keys: frozenset = frozenset()
 
     @property
     def drops(self) -> List[MigrationStep]:
@@ -143,7 +177,26 @@ class MigrationPlan:
         lines.extend("  " + step.describe() for step in self.steps)
         lines.extend("  (deferred) " + step.describe()
                      for step in self.deferred)
+        lines.extend(f"  (quarantined, excluded) {key}"
+                     for key in sorted(self.quarantined_keys))
         return "\n".join(lines)
+
+
+@snapshot_contract()
+@dataclass(frozen=True)
+class MigrationOutcome:
+    """What one :meth:`TuningController.apply` call actually did."""
+
+    committed: bool
+    rolled_back: bool = False
+    built: Tuple[str, ...] = ()
+    dropped: Tuple[str, ...] = ()
+    #: Key of the definition whose build failed (rollback cause).
+    failed_key: Optional[Tuple[str, str]] = None
+    #: The failed definition crossed ``max_build_attempts`` and was
+    #: quarantined.
+    quarantined: bool = False
+    error: Optional[str] = None
 
 
 @snapshot_contract()
@@ -153,15 +206,23 @@ class TuningEvent:
 
     cycle: int
     step: int
-    action: str  # "idle" | "no-change" | "planned" | "migrated" | "resumed"
+    #: "idle" | "no-change" | "planned" | "migrated" | "resumed"
+    #: | "rolled-back" (a plan failed and was undone)
+    #: | "aborted" (the cycle itself failed; the loop survives)
+    action: str
     report: Optional[DriftReport] = None
     plan: Optional[MigrationPlan] = None
     recommendation: Optional[Recommendation] = None
     compressed: Optional[CompressedWorkload] = None
     applied: bool = False
+    error: Optional[str] = None
+    #: Containment activity visible at the end of this cycle.
+    robustness: Optional[RobustnessReport] = None
 
     def describe(self) -> str:
         lines = [f"cycle {self.cycle} @step {self.step}: {self.action}"]
+        if self.error is not None:
+            lines.append(f"  error: {self.error}")
         if self.report is not None:
             lines.append("  " + self.report.describe())
         if self.compressed is not None:
@@ -170,6 +231,9 @@ class TuningEvent:
                          f" cluster(s) (cap {self.compressed.cluster_cap})")
         if self.plan is not None:
             lines.extend("  " + line for line in self.plan.describe().splitlines())
+        if self.robustness is not None and not self.robustness.is_clean:
+            lines.extend("  " + line
+                         for line in self.robustness.describe().splitlines())
         return "\n".join(lines)
 
 
@@ -217,7 +281,15 @@ class TuningController:
         #: Audit trail: one event per cycle, in order.
         self.events: List[TuningEvent] = []
         self.cycles = 0
-        self._pending: List[MigrationStep] = []
+        #: Containment counters for the robustness report.
+        self.build_failures = 0
+        self.rollbacks = 0
+
+    @property
+    def _pending(self) -> List[PendingBuild]:
+        """Builds still owed (deferred or parked by a rollback) -- read
+        from the catalog, so the state survives controller restarts."""
+        return self.database.catalog.pending_builds
 
     # ------------------------------------------------------------------
     # Observation
@@ -277,17 +349,27 @@ class TuningController:
         if compressed is None:
             snapshot = self.monitor.snapshot(self.policy.min_weight_fraction)
             compressed = compress_snapshot(snapshot, self.policy.cluster_cap)
-        return self.advisor.recommend(compressed)
+        excluded = self.database.catalog.quarantined_keys
+        return self.advisor.recommend(
+            compressed,
+            excluded_keys=frozenset(excluded) if excluded else None)
 
     @builder
     def plan_migration(self, recommendation: Recommendation) -> MigrationPlan:
         """Diff the recommendation against the live configuration."""
+        catalog = self.database.catalog
         current = {definition.key: definition
-                   for definition in self.database.catalog.physical_indexes}
+                   for definition in catalog.physical_indexes}
         target = {definition.key: definition
                   for definition in recommendation.configuration}
-        plan = MigrationPlan(target_keys=frozenset(target),
-                             current_keys=frozenset(current))
+        # Quarantined definitions are excluded from advising already;
+        # filtering here too keeps directly-supplied recommendations
+        # (and older provenance) from re-planning a poison index.
+        quarantined = frozenset(key for key in target
+                                if catalog.is_quarantined(key))
+        plan = MigrationPlan(target_keys=frozenset(target) - quarantined,
+                             current_keys=frozenset(current),
+                             quarantined_keys=quarantined)
         for key in sorted(current):
             if key not in target:
                 plan.steps.append(MigrationStep(
@@ -295,12 +377,23 @@ class TuningController:
                     reason="not in the advised configuration"))
         builds: List[MigrationStep] = []
         for key in sorted(target):
-            if key in current:
+            if key in current or key in quarantined:
                 continue
             size = recommendation.benefit.index_sizes.get(key, 0.0)
-            builds.append(MigrationStep(
+            step = MigrationStep(
                 action="build", definition=target[key].as_physical(),
-                size_bytes=size, reason="advised, not yet configured"))
+                size_bytes=size, reason="advised, not yet configured")
+            failure = catalog.build_failure(key)
+            if failure is not None \
+                    and failure.next_retry_step > self.monitor.step:
+                # Still backing off after a failed build: park it in the
+                # deferred list instead of retrying this cycle.
+                plan.deferred.append(MigrationStep(
+                    action="build", definition=step.definition,
+                    size_bytes=size,
+                    reason=f"backing off until step {failure.next_retry_step}"))
+                continue
+            builds.append(step)
         # Cheapest-first gets the most structures standing per budget
         # cycle; ties break on the definition key for determinism.
         builds.sort(key=lambda step: (step.size_bytes, step.definition.key))
@@ -335,45 +428,162 @@ class TuningController:
     # Application
     # ------------------------------------------------------------------
     def apply(self, plan: MigrationPlan,
-              snapshot: Optional[WorkloadSnapshot] = None) -> None:
-        """Run ``plan`` through the executor and record provenance.
+              snapshot: Optional[WorkloadSnapshot] = None) -> MigrationOutcome:
+        """Apply ``plan`` transactionally and record provenance.
 
-        Drops remove catalog entries and materialized structures; builds
-        register and materialize.  The executor/optimizer plan caches
+        Every build is *staged* first (materialized without touching the
+        catalog); any staging failure rolls the whole plan back -- the
+        pre-plan configuration is untouched, the failure is recorded for
+        bounded logical-step backoff, and a definition that keeps
+        failing is quarantined.  Only past the commit point are drops
+        executed (with an undo log, so a failing drop also rolls back)
+        and staged structures installed; the install half is pure dict
+        inserts and cannot fail.  The executor/optimizer plan caches
         stay coherent because plans are keyed to the visible index keys,
         which this changes.
         """
-        drops = [step.definition.name for step in plan.drops]
-        if drops:
-            self.executor.drop_indexes(drops)
-        builds = [step.definition for step in plan.builds]
-        if builds:
-            self.executor.create_indexes(builds)
-        self._pending = list(plan.deferred)
+        catalog = self.database.catalog
+        now = self.monitor.step
+        staged: List[Tuple[MigrationStep, PhysicalPathIndex]] = []
+        for step in plan.builds:
+            try:
+                structure = self.executor.build_index_structure(step.definition)
+            except Exception as exc:  # noqa: BLE001 -- containment: rollback
+                self.build_failures += 1
+                self.rollbacks += 1
+                quarantined = self._note_build_failure(step, exc, now)
+                self._park_pending(plan)
+                return MigrationOutcome(
+                    committed=False, rolled_back=True,
+                    failed_key=step.definition.key, quarantined=quarantined,
+                    error=f"build of {step.definition.name!r} failed: {exc}")
+            staged.append((step, structure))
+        removed: List[RemovedIndex] = []
+        try:
+            # The commit point: a persistent fault aborts the plan here,
+            # before any catalog mutation.
+            guarded_fault_point("migration.commit")
+            for step in plan.drops:
+                record = self.executor.remove_index(step.definition.name)
+                if record is not None:
+                    removed.append(record)
+        except Exception as exc:  # noqa: BLE001 -- containment: rollback
+            for record in reversed(removed):
+                self.executor.restore_index(record)
+            self.rollbacks += 1
+            self._park_pending(plan)
+            return MigrationOutcome(committed=False, rolled_back=True,
+                                    error=f"migration commit failed: {exc}")
+        # Past the point of no return: pure installs.
+        for step, structure in staged:
+            self.executor.install_index(step.definition, structure)
+            catalog.clear_build_failure(step.definition.key)
+            catalog.clear_pending_build(step.definition.key)
+        catalog.record_pending_builds(
+            PendingBuild(definition=step.definition,
+                         size_bytes=step.size_bytes, reason=step.reason)
+            for step in plan.deferred)
         if snapshot is not None:
-            self.database.catalog.record_configuration_provenance(
+            catalog.record_configuration_provenance(
                 ConfigurationProvenance(
                     index_keys=tuple(sorted(plan.target_keys)),
                     data_signature=self.database.data_signature(),
                     advised_step=snapshot.step,
                     workload_snapshot=snapshot))
             self.detector.rebase()
+        return MigrationOutcome(
+            committed=True,
+            built=tuple(step.definition.name for step, _ in staged),
+            dropped=tuple(record.definition.name for record in removed))
+
+    def _note_build_failure(self, step: MigrationStep, exc: Exception,
+                            now: int) -> bool:
+        """Record one failed build; returns True when the definition
+        crossed the attempt bound and was quarantined."""
+        catalog = self.database.catalog
+        key = step.definition.key
+        previous = catalog.build_failure(key)
+        attempts = (previous.attempts if previous is not None else 0) + 1
+        if attempts >= self.policy.max_build_attempts:
+            catalog.quarantine_index(
+                step.definition,
+                f"build failed {attempts} time(s); last error: {exc}")
+            return True
+        backoff = min(self.policy.retry_backoff_steps * (2 ** (attempts - 1)),
+                      self.policy.retry_backoff_cap)
+        catalog.record_build_failure(BuildFailureRecord(
+            definition=step.definition, attempts=attempts,
+            next_retry_step=now + backoff, last_error=str(exc)))
+        return False
+
+    def _park_pending(self, plan: MigrationPlan) -> None:
+        """After a rollback, record the plan's unbuilt builds as the
+        catalog's pending set so later cycles (or a fresh controller)
+        retry them -- minus anything built or quarantined meanwhile."""
+        catalog = self.database.catalog
+        current = {definition.key
+                   for definition in catalog.physical_indexes}
+        records = []
+        for step in list(plan.builds) + list(plan.deferred):
+            key = step.definition.key
+            if key in current or catalog.is_quarantined(key):
+                continue
+            records.append(PendingBuild(
+                definition=step.definition, size_bytes=step.size_bytes,
+                reason="parked by rolled-back plan"))
+        catalog.record_pending_builds(records)
 
     @builder
     def _resume_pending(self) -> Optional[MigrationPlan]:
-        """Continue a budget-deferred migration: as many pending builds
-        as this cycle's build budget allows."""
-        if not self._pending:
+        """Continue pending builds recorded in the catalog (deferred by
+        budget, or parked by a rollback), as many as this cycle's build
+        budget allows.
+
+        Idempotent across controller restarts: the pending set lives in
+        the catalog, so a fresh controller on the same database picks it
+        up, and records already satisfied (built, or quarantined
+        meanwhile) are cleared rather than re-applied.  Returns ``None``
+        when nothing is ready (no pending work, or all of it still
+        backing off after failed builds).
+        """
+        catalog = self.database.catalog
+        pending = catalog.pending_builds
+        if not pending:
             return None
+        current = {definition.key
+                   for definition in catalog.physical_indexes}
+        ready: List[MigrationStep] = []
+        backing_off: List[MigrationStep] = []
+        for record in pending:
+            key = record.key
+            if key in current or catalog.is_quarantined(key):
+                catalog.clear_pending_build(key)
+                continue
+            failure = catalog.build_failure(key)
+            if failure is not None \
+                    and failure.next_retry_step > self.monitor.step:
+                backing_off.append(MigrationStep(
+                    action="build", definition=record.definition.as_physical(),
+                    size_bytes=record.size_bytes,
+                    reason=f"backing off until step {failure.next_retry_step}"))
+                continue
+            ready.append(MigrationStep(
+                action="build", definition=record.definition.as_physical(),
+                size_bytes=record.size_bytes,
+                reason=record.reason or "resumed pending build"))
+        if not ready:
+            # Nothing actionable this cycle; keep the records parked and
+            # let the cycle proceed to drift assessment.
+            return None
+        ready.sort(key=lambda step: (step.size_bytes, step.definition.key))
         plan = MigrationPlan(
             target_keys=frozenset(step.definition.key
-                                  for step in self._pending),
-            current_keys=frozenset(
-                definition.key
-                for definition in self.database.catalog.physical_indexes))
-        taken, deferred = self._meter_builds(self._pending)
+                                  for step in ready + backing_off),
+            current_keys=frozenset(current))
+        taken, deferred = self._meter_builds(ready)
         plan.steps.extend(taken)
         plan.deferred.extend(deferred)
+        plan.deferred.extend(backing_off)
         return plan
 
     # ------------------------------------------------------------------
@@ -382,26 +592,42 @@ class TuningController:
     def run_cycle(self) -> TuningEvent:
         """One control-loop iteration; returns the audit event.
 
-        Order: resume any budget-deferred builds first (the previous
-        decision is still being executed), then assess drift, then --
-        only above threshold and with enough captured traffic --
-        advise, plan, and (unless dry-run) migrate.  Under a dry-run
-        policy pending builds stay parked (nothing is ever applied), so
-        the cycle goes straight to drift assessment instead of wedging
-        on a resume that cannot make progress.
+        Order: repair any unusable indexes and resume any pending builds
+        first (the previous decision is still being executed), then
+        assess drift, then -- only above threshold and with enough
+        captured traffic -- advise, plan, and (unless dry-run) migrate.
+        Under a dry-run policy pending builds stay parked (nothing is
+        ever applied), so the cycle goes straight to drift assessment
+        instead of wedging on a resume that cannot make progress.
+
+        The loop is self-contained: any failure inside a cycle --
+        injected or real -- is recorded as an ``aborted`` audit event
+        instead of killing the autonomous loop.
         """
         self.cycles += 1
+        try:
+            return self._run_cycle_inner()
+        except Exception as exc:  # noqa: BLE001 -- the loop must survive
+            event = TuningEvent(cycle=self.cycles, step=self.monitor.step,
+                                action="aborted", error=str(exc),
+                                robustness=self.robustness_report())
+            self.events.append(event)
+            return event
+
+    def _run_cycle_inner(self) -> TuningEvent:
         if not self.policy.dry_run:
+            if self.database.catalog.unusable_indexes:
+                # Heal degraded structures before planning against them.
+                self.executor.repair_indexes()
             pending = self._resume_pending()
             if pending is not None:
-                builds = [step.definition for step in pending.builds]
-                if builds:
-                    self.executor.create_indexes(builds)
-                self._pending = list(pending.deferred)
-                event = TuningEvent(cycle=self.cycles,
-                                    step=self.monitor.step,
-                                    action="resumed", plan=pending,
-                                    applied=True)
+                outcome = self.apply(pending)
+                event = TuningEvent(
+                    cycle=self.cycles, step=self.monitor.step,
+                    action="resumed" if outcome.committed else "rolled-back",
+                    plan=pending, applied=outcome.committed,
+                    error=outcome.error,
+                    robustness=self.robustness_report())
                 self.events.append(event)
                 return event
 
@@ -430,17 +656,46 @@ class TuningController:
             self.events.append(event)
             return event
 
-        applied = False
-        if not self.policy.dry_run:
-            self.apply(plan, snapshot)
-            applied = True
-        event = TuningEvent(cycle=self.cycles, step=snapshot.step,
-                            action="migrated" if applied else "planned",
-                            report=report, plan=plan,
-                            recommendation=recommendation,
-                            compressed=compressed, applied=applied)
+        if self.policy.dry_run:
+            event = TuningEvent(cycle=self.cycles, step=snapshot.step,
+                                action="planned", report=report, plan=plan,
+                                recommendation=recommendation,
+                                compressed=compressed, applied=False)
+            self.events.append(event)
+            return event
+
+        outcome = self.apply(plan, snapshot)
+        event = TuningEvent(
+            cycle=self.cycles, step=snapshot.step,
+            action="migrated" if outcome.committed else "rolled-back",
+            report=report, plan=plan, recommendation=recommendation,
+            compressed=compressed, applied=outcome.committed,
+            error=outcome.error, robustness=self.robustness_report())
         self.events.append(event)
         return event
+
+    # ------------------------------------------------------------------
+    # Robustness
+    # ------------------------------------------------------------------
+    def robustness_report(self) -> RobustnessReport:
+        """Assemble the containment picture for the audit trail: what
+        the fault harness injected, what the seams absorbed, and what
+        the rollback/fallback/quarantine machinery did about the rest."""
+        injector = active_injector()
+        catalog = self.database.catalog
+        quarantined = tuple(
+            f"{key[0]} [{key[1]}]: {catalog.quarantine_reason(key)}"
+            for key in catalog.quarantined_keys)
+        unusable = tuple(f"{name}: {reason}" for name, reason
+                         in sorted(catalog.unusable_indexes.items()))
+        return RobustnessReport(
+            faults_injected=injector.summary() if injector is not None else (),
+            seam_retries=injector.absorbed_total if injector is not None else 0,
+            build_failures=self.build_failures,
+            rollbacks=self.rollbacks,
+            fallbacks=tuple(self.executor.fallback_events),
+            quarantined=quarantined,
+            unusable=unusable)
 
     # ------------------------------------------------------------------
     def audit_trail(self) -> str:

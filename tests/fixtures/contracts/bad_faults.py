@@ -1,0 +1,23 @@
+"""Seeded violations for the fault-coverage checker.
+
+Not collected by pytest (no ``test_`` prefix); analyzed by
+``tests/test_contract_analysis.py`` as a golden input.
+"""
+
+from repro.faults import guarded_fault_point
+from repro.contracts import injection_site
+
+FIXTURE_WIRED = injection_site("fixture.wired", "consulted below")
+FIXTURE_ORPHAN = injection_site("fixture.orphan")  # line 11: never consulted
+
+
+class FixtureCatalogUser:
+    def covered_mutation(self, catalog, definition) -> None:
+        guarded_fault_point("fixture.wired")
+        catalog.add_index(definition)
+
+    def uncovered_mutation(self, catalog, name) -> None:
+        catalog.drop_index(name)  # line 20: no fault point in function
+
+    def typo_consult(self) -> None:
+        guarded_fault_point("fixture.wried")  # line 23: unregistered site

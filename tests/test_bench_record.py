@@ -1,0 +1,71 @@
+"""Tests for the perf-recorder's history handling (``tools/bench_record.py``).
+
+The recorder appends one entry per run to ``BENCH_advisor.json``; these
+tests pin the tolerant loading added for PR 7: a missing or empty file
+starts a fresh series instead of crashing, corrupt JSON is preserved in
+a ``.corrupt`` backup, and a legacy single-object file is wrapped into
+a list.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    spec = importlib.util.spec_from_file_location(
+        "bench_record", _TOOLS / "bench_record.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLoadHistory:
+    def test_missing_file_starts_fresh(self, bench_record, tmp_path):
+        assert bench_record._load_history(str(tmp_path / "absent.json")) == []
+
+    def test_empty_file_starts_fresh(self, bench_record, tmp_path):
+        target = tmp_path / "empty.json"
+        target.write_text("")
+        assert bench_record._load_history(str(target)) == []
+
+    def test_whitespace_only_file_starts_fresh(self, bench_record, tmp_path):
+        target = tmp_path / "blank.json"
+        target.write_text("  \n\t\n")
+        assert bench_record._load_history(str(target)) == []
+
+    def test_corrupt_file_backed_up_and_fresh(self, bench_record, tmp_path,
+                                              capsys):
+        target = tmp_path / "bench.json"
+        target.write_text("{not json")
+        assert bench_record._load_history(str(target)) == []
+        backup = tmp_path / "bench.json.corrupt"
+        assert backup.read_text() == "{not json"
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_valid_list_returned_as_is(self, bench_record, tmp_path):
+        target = tmp_path / "bench.json"
+        entries = [{"schema": 1}, {"schema": 2}]
+        target.write_text(json.dumps(entries))
+        assert bench_record._load_history(str(target)) == entries
+
+    def test_legacy_single_object_wrapped(self, bench_record, tmp_path):
+        target = tmp_path / "bench.json"
+        target.write_text(json.dumps({"schema": 1}))
+        assert bench_record._load_history(str(target)) == [{"schema": 1}]
+
+
+class TestWriteHistory:
+    def test_round_trips_through_load(self, bench_record, tmp_path):
+        target = tmp_path / "bench.json"
+        entries = [{"b": 2, "a": 1}]
+        bench_record._write_history(str(target), entries)
+        assert bench_record._load_history(str(target)) == entries
+        assert target.read_text().endswith("\n")

@@ -107,6 +107,22 @@ class TestDeterminismChecker:
         assert all(d.line < 38 for d in diagnostics)
 
 
+class TestFaultCoverageChecker:
+    def test_seeded_violations(self, empty_tests_dir):
+        diagnostics = _diagnose("bad_faults", empty_tests_dir)
+        assert _checker_lines(diagnostics) == {
+            ("fault-coverage", 11),  # registered site never consulted
+            ("fault-coverage", 20),  # catalog mutation with no fault point
+            ("fault-coverage", 23),  # consult of an unregistered site
+        }
+
+    def test_covered_mutation_is_silent(self, empty_tests_dir):
+        diagnostics = _diagnose("bad_faults", empty_tests_dir)
+        # covered_mutation pairs its add_index with a fault point (17),
+        # and the wired site's declaration (10) is consulted.
+        assert {d.line for d in diagnostics}.isdisjoint({10, 16, 17})
+
+
 class TestCleanFixture:
     def test_correct_usage_is_silent(self, empty_tests_dir):
         assert _diagnose("clean", empty_tests_dir) == []
@@ -129,6 +145,8 @@ class TestLiveTree:
             "use_collection_routing",
         }
         assert "repro.tuning" in context.deterministic_packages
+        assert "index.build" in context.sites
+        assert "migration.commit" in context.sites
 
     def test_default_source_root_is_package(self):
         assert default_source_root().name == "repro"
@@ -145,7 +163,7 @@ class TestCli:
         assert code == 1
         out = capsys.readouterr().out
         for checker in ("snapshot-immutability", "cache-invalidation",
-                        "escape-hatch", "determinism"):
+                        "escape-hatch", "determinism", "fault-coverage"):
             assert checker in out
 
     def test_lint_json_format(self, capsys, empty_tests_dir):

@@ -35,6 +35,13 @@ class TestXmlCollection:
         with pytest.raises(StorageError):
             XmlCollection("c").remove_document(3)
 
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_rejects_non_positive_delta_log_capacity(self, capacity):
+        with pytest.raises(ValueError) as excinfo:
+            XmlCollection("c", delta_log_capacity=capacity)
+        assert str(excinfo.value) \
+            == f"delta_log_capacity must be positive, got {capacity}"
+
     def test_statistics_cached_and_invalidated(self):
         collection = XmlCollection("c")
         collection.add_document("<a><b>1</b></a>")
@@ -52,6 +59,18 @@ class TestXmlDatabase:
         second = database.create_collection("orders")
         assert first is second
         assert database.collection_names == ["orders"]
+
+    @pytest.mark.parametrize("capacity", [0, -7])
+    def test_rejects_non_positive_delta_log_capacity(self, capacity):
+        with pytest.raises(ValueError) as excinfo:
+            XmlDatabase("db", delta_log_capacity=capacity)
+        assert str(excinfo.value) \
+            == f"delta_log_capacity must be positive, got {capacity}"
+
+    def test_delta_log_capacity_forwarded_to_collections(self):
+        database = XmlDatabase("db", delta_log_capacity=3)
+        collection = database.create_collection("orders")
+        assert collection.delta_log_capacity == 3
 
     def test_unknown_collection_raises(self):
         with pytest.raises(StorageError):

@@ -331,6 +331,42 @@ class TestDrift:
 # ======================================================================
 # Controller
 # ======================================================================
+class TestPolicyValidation:
+    @pytest.mark.parametrize("overrides, message", [
+        ({"drift_threshold": -0.1}, "drift threshold must be non-negative"),
+        ({"workload_weight": -1.0}, "drift weights must be non-negative"),
+        ({"data_weight": -1.0}, "drift weights must be non-negative"),
+        ({"workload_weight": 0.0, "data_weight": 0.0},
+         "at least one drift weight must be positive"),
+        ({"cluster_cap": 0}, "cluster_cap must be at least 1"),
+        ({"min_weight_fraction": 1.0},
+         "min_weight_fraction must be in [0, 1)"),
+        ({"min_captured_weight": -1.0},
+         "min_captured_weight must be non-negative"),
+        ({"disk_budget_bytes": 0.0},
+         "disk budget must be positive when set"),
+        ({"build_budget_bytes": -5.0},
+         "build budget must be positive when set"),
+        ({"monitor_capacity": 0}, "monitor_capacity must be at least 1"),
+        ({"decay": 0.0}, "decay must be in (0, 1]"),
+        ({"decay": 1.5}, "decay must be in (0, 1]"),
+        ({"max_build_attempts": 0},
+         "max_build_attempts must be at least 1"),
+        ({"retry_backoff_steps": 0},
+         "retry_backoff_steps must be at least 1"),
+        ({"retry_backoff_cap": 0},
+         "retry_backoff_cap must be at least 1"),
+    ])
+    def test_rejects_non_positive_numeric_fields(self, overrides, message):
+        policy = TuningPolicy(**overrides)
+        with pytest.raises(ValueError) as excinfo:
+            policy.validate()
+        assert str(excinfo.value) == message
+
+    def test_defaults_validate(self):
+        TuningPolicy().validate()
+
+
 class TestController:
     def _controller(self, database, **policy_overrides):
         policy = TuningPolicy(disk_budget_bytes=BUDGET, decay=0.5,
@@ -481,6 +517,9 @@ class TestController:
         finally:
             controller.executor.drop_all_indexes()
             online_database.catalog.record_configuration_provenance(None)
+            # Pending builds are durable catalog state now; clear them so
+            # the shared module-scope database starts the next test clean.
+            online_database.catalog.record_pending_builds(())
 
     def test_no_change_rebases_provenance(self, online_database,
                                           train_queries):

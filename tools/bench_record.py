@@ -24,6 +24,11 @@ the numbers to ``BENCH_advisor.json`` (override with ``--output``):
   advisor: stationary byte-identity, drift detection + re-convergence
   after an injected workload shift, and the bounded-compression counts
   (captured templates vs compressed clusters at 1x and 10x volume).
+* **E12 (fault recovery)** -- tuning through a deterministic fault plan
+  (transient faults at every seam plus one persistent build failure)
+  vs fault-free: recovery wall-time overhead, convergence to the same
+  configuration, and degraded-mode (summary-scan fallback) result
+  identity.
 
 Sizes are controlled by ``REPRO_SMOKE_XMARK_SCALE`` (default ``0.1``)
 so CI stays fast; run with a larger scale locally for headline numbers.
@@ -32,8 +37,10 @@ The exit status doubles as a CI gate: non-zero when a comparison lost
 equivalence, the maintenance speedup fell below
 ``REPRO_SMOKE_MIN_MAINT_RATIO`` (default ``2``), the routing ratios
 fell below ``REPRO_SMOKE_MIN_ROUTING_RATIO`` (default ``2``), the
-online loop lost convergence/boundedness, or its compression ratio
-fell below ``REPRO_SMOKE_MIN_ONLINE_COMPRESSION`` (default ``2``).
+online loop lost convergence/boundedness, its compression ratio
+fell below ``REPRO_SMOKE_MIN_ONLINE_COMPRESSION`` (default ``2``), the
+recovery run lost convergence/result identity, or its overhead ratio
+exceeded ``REPRO_SMOKE_MAX_RECOVERY_OVERHEAD`` (default ``10``).
 
 Usage::
 
@@ -191,6 +198,69 @@ def record_e10_online(scale: float) -> dict:
     }
 
 
+def record_e12_recovery(scale: float) -> dict:
+    """Clean-vs-faulted tuning recovery (counters and equivalence flags
+    deterministic; the overhead ratio is the one wall-clock number)."""
+    from repro.tools.recovery_compare import compare_recovery_modes
+
+    comparison = compare_recovery_modes(scale=scale)
+    return {
+        "clean_seconds": round(comparison.clean_seconds, 4),
+        "faulted_seconds": round(comparison.faulted_seconds, 4),
+        "overhead_ratio": round(comparison.overhead_ratio, 2),
+        "faults_injected": comparison.faults_injected,
+        "transients_absorbed": comparison.transients_absorbed,
+        "rollbacks": comparison.rollbacks,
+        "build_failures": comparison.build_failures,
+        "cycles_clean": comparison.cycles_clean,
+        "cycles_faulted": comparison.cycles_faulted,
+        "converged": comparison.converged,
+        "results_identical": comparison.results_identical,
+        "fallback_identical": comparison.fallback_identical,
+        "repaired": comparison.repaired,
+    }
+
+
+def _load_history(output: str) -> list:
+    """The existing trajectory at ``output``, tolerating absence.
+
+    A missing or empty file starts a fresh series; a corrupt file is
+    backed up to ``<output>.corrupt`` (so the bytes survive for
+    inspection) with a warning to stderr, and the series restarts.
+    """
+    if not os.path.exists(output):
+        return []
+    try:
+        with open(output, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"warning: could not read {output} ({exc}); "
+              f"starting a fresh series", file=sys.stderr)
+        return []
+    if not text.strip():
+        return []
+    try:
+        loaded = json.loads(text)
+    except json.JSONDecodeError as exc:
+        backup = output + ".corrupt"
+        try:
+            with open(backup, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            where = f"backed up to {backup}"
+        except OSError:
+            where = "backup failed"
+        print(f"warning: {output} holds invalid JSON ({exc}); {where}; "
+              f"starting a fresh series", file=sys.stderr)
+        return []
+    return loaded if isinstance(loaded, list) else [loaded]
+
+
+def _write_history(output: str, entries: list) -> None:
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(entries, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_advisor.json",
@@ -210,26 +280,18 @@ def main() -> int:
         "e6_maintenance": record_e6_maintenance(scale),
         "e7_routing": record_e7_routing(scale),
         "e10_online": record_e10_online(scale),
+        "e12_recovery": record_e12_recovery(scale),
     }
 
     # Append to the trajectory (a JSON list, one entry per recording) so
     # successive PRs accumulate instead of overwriting each other.
-    entries = []
-    if os.path.exists(args.output):
-        try:
-            with open(args.output, "r", encoding="utf-8") as handle:
-                loaded = json.load(handle)
-            entries = loaded if isinstance(loaded, list) else [loaded]
-        except (json.JSONDecodeError, OSError):
-            entries = []
+    entries = _load_history(args.output)
     entries.append(entry)
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(entries, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    _write_history(args.output, entries)
 
     e3, e5 = entry["e3_search"], entry["e5_execution"]
     e6, e7 = entry["e6_maintenance"], entry["e7_routing"]
-    e10 = entry["e10_online"]
+    e10, e12 = entry["e10_online"], entry["e12_recovery"]
     print(f"wrote {args.output} (xmark scale {scale})")
     print(f"  E3: identical={e3['identical_configurations']} "
           f"costings {e3['legacy']['query_costings']}"
@@ -254,6 +316,13 @@ def main() -> int:
           f"compression {e10['captured_templates_10x']}"
           f"->{e10['compressed_size_10x']} "
           f"({e10['compression_ratio']}x, cap {e10['cluster_cap']})")
+    print(f"  E12: converged={e12['converged']} "
+          f"results={e12['results_identical']} "
+          f"fallback={e12['fallback_identical']} "
+          f"repaired={e12['repaired']} "
+          f"recovery {e12['clean_seconds']}s->{e12['faulted_seconds']}s "
+          f"({e12['overhead_ratio']}x over {e12['faults_injected']} "
+          f"fault(s), {e12['rollbacks']} rollback(s))")
 
     min_maint_ratio = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
     min_routing_ratio = _env_float("REPRO_SMOKE_MIN_ROUTING_RATIO", 2.0)
@@ -281,6 +350,16 @@ def main() -> int:
     if e10["compression_ratio"] < min_online_compression:
         print(f"  FAIL: online compression ratio {e10['compression_ratio']}x "
               f"below the floor {min_online_compression}x")
+        return 1
+    max_recovery_overhead = _env_float(
+        "REPRO_SMOKE_MAX_RECOVERY_OVERHEAD", 10.0)
+    if not (e12["converged"] and e12["results_identical"]
+            and e12["fallback_identical"] and e12["repaired"]):
+        print("  FAIL: fault recovery lost convergence or result identity")
+        return 1
+    if e12["overhead_ratio"] > max_recovery_overhead:
+        print(f"  FAIL: recovery overhead {e12['overhead_ratio']}x exceeds "
+              f"the ceiling {max_recovery_overhead}x")
         return 1
     return 0
 

@@ -48,6 +48,11 @@ class Recommendation:
     parameters: AdvisorParameters = field(default_factory=AdvisorParameters)
     #: Wall-clock seconds spent in each phase.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Footprint of the database's columnar pre/post encoding at
+    #: recommendation time (statistics-derived, identical in both
+    #: ``use_columnar`` modes), so size reports show the base storage
+    #: the recommended indexes sit on top of.
+    base_columnar_bytes: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -80,7 +85,9 @@ class Recommendation:
         lines = [
             f"recommended configuration ({self.search_result.algorithm.value} search):",
             f"  {len(self.configuration)} index(es), "
-            f"size {self.total_size_bytes / 1024:.1f} KiB, "
+            f"size {self.total_size_bytes / 1024:.1f} KiB "
+            f"(over {self.base_columnar_bytes / 1024:.1f} KiB of columnar "
+            f"base storage), "
             f"estimated improvement {self.improvement_percent():.1f}%",
         ]
         for index in self.configuration:
@@ -219,6 +226,7 @@ class XmlIndexAdvisor:
             queries=queries,
             parameters=self.parameters,
             phase_seconds=phase_seconds,
+            base_columnar_bytes=self.database.statistics.columnar_bytes,
         )
 
     # ------------------------------------------------------------------

@@ -8,10 +8,13 @@ Execution follows the optimizer's plan choice:
   patterns (structural routing; a query rooted in one collection no
   longer walks the others, and ``use_collection_routing=False``
   restores the walk-everything behaviour).  The per-document node sets
-  come from the collection's structural
-  :class:`~repro.storage.path_summary.PathSummary` (dictionary lookups)
-  whenever the path shape allows it; the interpretive XPath evaluator
-  handles the residue (see :mod:`repro.xpath.compiler`).
+  come from the collection's columnar pre/post store
+  (:class:`~repro.storage.columnar.ColumnarStore` -- every linear
+  spine, with exact descendant-or-self ``//`` semantics) or its
+  structural :class:`~repro.storage.path_summary.PathSummary`
+  (dictionary lookups) whenever the path shape allows it; the
+  interpretive XPath evaluator handles the residue (see
+  :mod:`repro.xpath.compiler`).
 * **Index plans** probe the physical indexes chosen by the optimizer to
   obtain candidate document ids, intersect them across predicates
   (index ANDing), and then evaluate the full query only on the
@@ -41,6 +44,7 @@ multi-path merges (``CompiledXPath.select_nodes(ordered=True)``).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import (
@@ -61,6 +65,7 @@ from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.index.physical import PhysicalPathIndex, build_physical_index
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.plans import IndexScan, QueryPlan
+from repro.storage.columnar import ColumnarStore
 from repro.storage.document_store import XmlDatabase
 from repro.storage.path_summary import PathSummary
 from repro.xmldb.nodes import DocumentNode, XmlNode
@@ -80,6 +85,9 @@ escape_hatch("use_path_summary",
 escape_hatch("use_collection_routing",
              "walk every collection instead of pruning by the plan's "
              "structural routing set")
+escape_hatch("use_columnar",
+             "answer path spines from the object-tree summary/interpreter "
+             "instead of the columnar pre/post axis engine")
 
 
 @dataclass
@@ -142,6 +150,9 @@ class _IndexProbeError(Exception):
     "_summaries": {"policy": "push",
                    "readers": ("_summary_for",),
                    "refreshers": ("_on_collection_change",)},
+    "_columnars": {"policy": "push",
+                   "readers": ("_columnar_for",),
+                   "refreshers": ("_on_collection_change",)},
 })
 class QueryExecutor:
     """Executes normalized queries against a database's documents.
@@ -150,7 +161,13 @@ class QueryExecutor:
     answers path lookups from each collection's structural
     :class:`~repro.storage.path_summary.PathSummary`; ``False`` forces
     the legacy per-document interpretive evaluation (kept for
-    benchmarking and equivalence testing).
+    benchmarking and equivalence testing).  ``use_columnar`` layers the
+    columnar pre/post axis engine on top: linear spines -- including
+    the summary-unsafe ``//`` shapes the summary cannot answer -- are
+    served from each collection's
+    :class:`~repro.storage.columnar.ColumnarStore` instead of the
+    summary or the interpreter.  Defaults to the ``REPRO_USE_COLUMNAR``
+    environment switch (on unless set to ``"0"``).
     """
 
     def __init__(self, database: XmlDatabase,
@@ -158,6 +175,7 @@ class QueryExecutor:
                  use_path_summary: bool = True,
                  use_incremental_maintenance: bool = True,
                  use_collection_routing: bool = True,
+                 use_columnar: Optional[bool] = None,
                  monitor: Optional["WorkloadMonitor"] = None) -> None:
         self.database = database
         self.optimizer = optimizer or Optimizer(database)
@@ -178,6 +196,14 @@ class QueryExecutor:
         #: only the work done.  ``False`` restores the walk-everything
         #: behaviour for benchmarking and equivalence testing.
         self.use_collection_routing = use_collection_routing
+        #: Columnar pre/post engine: serve linear path spines from each
+        #: collection's ColumnarStore (exact descendant-or-self ``//``
+        #: semantics) instead of the summary/interpreter.  Only active
+        #: together with ``use_path_summary`` so the legacy interpretive
+        #: mode stays purely interpretive for equivalence benchmarks.
+        if use_columnar is None:
+            use_columnar = os.environ.get("REPRO_USE_COLUMNAR", "1") != "0"
+        self.use_columnar = use_columnar
         #: Physical index structures keyed by definition key.
         self._indexes: Dict[Tuple[str, str], PhysicalPathIndex] = {}
         self._doc_lookup: Dict[Tuple[str, int], DocumentNode] = {}
@@ -189,6 +215,7 @@ class QueryExecutor:
         #: execution.
         self._collection_rank: Dict[str, int] = {}
         self._summaries: Dict[str, PathSummary] = {}
+        self._columnars: Dict[str, ColumnarStore] = {}
         self._subscribed: set = set()
         #: Indexes rebuilt from scratch / maintained via deltas since
         #: construction (observability for tests and benchmarks).
@@ -203,6 +230,11 @@ class QueryExecutor:
         self.scan_fallbacks = 0
         self.index_repairs = 0
         self.fallback_events: List[str] = []
+        #: Path spines answered by the interpretive evaluator because
+        #: neither the columnar store nor the summary could back them
+        #: (observability: the E13 benchmark asserts this stays zero on
+        #: the columnar path).
+        self.interpretive_spine_fallbacks = 0
         self._refresh_document_lookup()
 
     # ------------------------------------------------------------------
@@ -227,7 +259,8 @@ class QueryExecutor:
             if structure is None:
                 # Build before touching the catalog: a failed build must
                 # never strand a definition without a structure.
-                structure = build_physical_index(physical, self.database)
+                structure = build_physical_index(physical, self.database,
+                                                 use_columnar=self.use_columnar)
                 built.append(physical.name)
             self.install_index(physical, structure)
         return built
@@ -240,7 +273,8 @@ class QueryExecutor:
         """
         if self.database.data_signature() != self._lookup_signature:
             self._maintain_derived_state()
-        return build_physical_index(definition.as_physical(), self.database)
+        return build_physical_index(definition.as_physical(), self.database,
+                                    use_columnar=self.use_columnar)
 
     def install_index(self, definition: IndexDefinition,
                       structure: PhysicalPathIndex) -> None:
@@ -334,7 +368,8 @@ class QueryExecutor:
         signature = self.database.data_signature()
         for key, physical in list(self._indexes.items()):
             try:
-                rebuilt = build_physical_index(physical.definition, self.database)
+                rebuilt = build_physical_index(physical.definition, self.database,
+                                               use_columnar=self.use_columnar)
             except Exception as exc:  # noqa: BLE001 -- containment: degrade
                 self._degrade_index(physical.definition.name,
                                     f"rebuild failed: {exc}")
@@ -400,7 +435,8 @@ class QueryExecutor:
                     "rebuilding")
                 try:
                     self._indexes[key] = build_physical_index(
-                        index.definition, self.database)
+                        index.definition, self.database,
+                        use_columnar=self.use_columnar)
                 except Exception as rebuild_exc:  # noqa: BLE001
                     self._degrade_index(
                         name, "rebuild after failed delta maintenance "
@@ -532,13 +568,14 @@ class QueryExecutor:
             collections = pruned
         for collection in collections:
             summary = self._summary_for(collection.name)
+            columnar = self._columnar_for(collection.name)
             for document in collection:
                 examined += 1
-                if self._document_matches(document, query, summary):
+                if self._document_matches(document, query, summary, columnar):
                     matching_docs += 1
                     if extracted is not None:
-                        extracted.extend(
-                            self._extract_nodes(document, query, summary))
+                        extracted.extend(self._extract_nodes(
+                            document, query, summary, columnar))
         return ExecutionResult(query_id=query.query_id, result_count=matching_docs,
                                documents_examined=examined, index_entries_scanned=0,
                                used_index_plan=False, extracted_nodes=extracted)
@@ -596,12 +633,13 @@ class QueryExecutor:
             if document is None:
                 continue
             summary = self._summary_for(key[0])
+            columnar = self._columnar_for(key[0])
             examined += 1
-            if self._document_matches(document, query, summary):
+            if self._document_matches(document, query, summary, columnar):
                 matching += 1
                 if extracted is not None:
                     extracted.extend(self._extract_nodes(
-                        document, query, summary))
+                        document, query, summary, columnar))
         return ExecutionResult(query_id=query.query_id, result_count=matching,
                                documents_examined=examined,
                                index_entries_scanned=entries_scanned,
@@ -636,54 +674,79 @@ class QueryExecutor:
     # Residual evaluation
     # ------------------------------------------------------------------
     def _document_matches(self, document: DocumentNode, query: NormalizedQuery,
-                          summary: Optional[PathSummary] = None) -> bool:
+                          summary: Optional[PathSummary] = None,
+                          columnar: Optional[ColumnarStore] = None) -> bool:
         evaluator: Optional[XPathEvaluator] = None
 
         def nodes_for(pattern: PathPattern) -> List[XmlNode]:
-            # Compiled patterns answer from the summary; without one
-            # (legacy mode) or for summary-unsafe ``//`` shapes, the
-            # compiled form delegates to the interpretive evaluator,
-            # which is created once per document and reused.
+            # Compiled patterns answer from the columnar store (every
+            # linear spine, including summary-unsafe ``//`` shapes) or
+            # the summary; without either (legacy mode, non-linear
+            # expressions) the compiled form delegates to the
+            # interpretive evaluator, which is created once per
+            # document and reused.
             nonlocal evaluator
             compiled = compile_pattern(pattern)
-            if evaluator is None and (summary is None
-                                      or not compiled.is_summary_backed):
-                evaluator = XPathEvaluator(document)
-            return compiled.select_nodes(summary, document, evaluator)
+            backed = ((columnar is not None and compiled.is_columnar_backed)
+                      or (summary is not None and compiled.is_summary_backed))
+            if not backed:
+                self.interpretive_spine_fallbacks += 1
+                if evaluator is None:
+                    evaluator = XPathEvaluator(document)
+            return compiled.select_nodes(summary, document, evaluator,
+                                         columnar=columnar)
 
         for predicate in query.predicates:
             if not self._predicate_holds(nodes_for(predicate.pattern), predicate):
                 return False
         if not query.predicates:
             # Pure navigation query: the document qualifies when the first
-            # extraction path is non-empty.
+            # extraction path is non-empty.  Only existence is needed, so
+            # columnar-backed spines answer from the postings early-exit
+            # instead of materializing the node list.
             for pattern in query.extraction_paths:
-                if nodes_for(pattern):
+                compiled = compile_pattern(pattern)
+                backed = ((columnar is not None
+                           and compiled.is_columnar_backed)
+                          or (summary is not None
+                              and compiled.is_summary_backed))
+                if not backed:
+                    self.interpretive_spine_fallbacks += 1
+                    if evaluator is None:
+                        evaluator = XPathEvaluator(document)
+                if compiled.has_match(summary, document, evaluator,
+                                      columnar=columnar):
                     return True
             return False
         return True
 
     def _extract_nodes(self, document: DocumentNode, query: NormalizedQuery,
-                       summary: Optional[PathSummary]) -> List[XmlNode]:
+                       summary: Optional[PathSummary],
+                       columnar: Optional[ColumnarStore] = None
+                       ) -> List[XmlNode]:
         """The nodes the query's extraction paths select in ``document``,
         per path in document order.
 
-        Ordered extraction is what the summary's node-id merges exist
-        for: a multi-path pattern (``/site/regions/*/item/name``) comes
-        back as one document-ordered stream instead of grouped by
-        distinct path (``CompiledXPath.select_nodes(ordered=True)``).
-        The interpretive fallback already yields step-expansion order,
-        which is document order for these linear paths.
+        Ordered extraction is what the summary's node-id merges (and the
+        columnar store's postings merges) exist for: a multi-path
+        pattern (``/site/regions/*/item/name``) comes back as one
+        document-ordered stream instead of grouped by distinct path
+        (``CompiledXPath.select_nodes(ordered=True)``).  The
+        interpretive fallback already yields step-expansion order, which
+        is document order for these linear paths.
         """
         evaluator: Optional[XPathEvaluator] = None
         nodes: List[XmlNode] = []
         for pattern in query.extraction_paths:
             compiled = compile_pattern(pattern)
-            if evaluator is None and (summary is None
-                                      or not compiled.is_summary_backed):
-                evaluator = XPathEvaluator(document)
+            backed = ((columnar is not None and compiled.is_columnar_backed)
+                      or (summary is not None and compiled.is_summary_backed))
+            if not backed:
+                self.interpretive_spine_fallbacks += 1
+                if evaluator is None:
+                    evaluator = XPathEvaluator(document)
             nodes.extend(compiled.select_nodes(summary, document, evaluator,
-                                               ordered=True))
+                                               ordered=True, columnar=columnar))
         return nodes
 
     @staticmethod
@@ -716,6 +779,7 @@ class QueryExecutor:
 
     def _on_collection_change(self, collection) -> None:
         self._summaries.pop(collection.name, None)
+        self._columnars.pop(collection.name, None)
 
     def _summary_for(self, collection_name: str) -> Optional[PathSummary]:
         """The collection's current path summary (memoized behind the
@@ -737,6 +801,32 @@ class QueryExecutor:
                 return None
             self._summaries[collection_name] = summary
         return summary
+
+    def _columnar_for(self, collection_name: str) -> Optional[ColumnarStore]:
+        """The collection's current columnar store (memoized behind the
+        per-collection version listeners), or ``None`` when the columnar
+        engine is off or the store cannot be (re)built.
+
+        Gated on *both* hatches: legacy interpretive mode
+        (``use_path_summary=False``) must stay purely interpretive, so
+        the columnar engine only activates alongside the summary engine.
+        """
+        if not (self.use_path_summary and self.use_columnar):
+            return None
+        columnar = self._columnars.get(collection_name)
+        if columnar is None:
+            try:
+                columnar = self.database.collection(collection_name).columnar_store
+            except FaultError as exc:
+                # Degraded mode: when the columnar snapshot cannot be
+                # (re)built, fall back to the summary/interpreter --
+                # provably the same results, without the axis engine.
+                self._note_fallback(
+                    f"columnar store for {collection_name!r} unavailable "
+                    f"({exc}); summary/interpretive evaluation")
+                return None
+            self._columnars[collection_name] = columnar
+        return columnar
 
 
 def _compare_node(node, predicate: PathPredicate) -> bool:

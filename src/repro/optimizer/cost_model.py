@@ -38,9 +38,11 @@ from repro.xquery.model import NormalizedQuery, PathPredicate
 #: A routing set: the collections a query's structural patterns can
 #: match, sorted.  ``None`` stands for "every collection" -- used when
 #: collection-scoped costing is disabled, when the statistics carry no
-#: per-collection sub-synopses, or when a conservative fallback (a
-#: pattern whose ``//`` semantics the summary cannot answer exactly)
-#: widens the set to the whole database.
+#: per-collection sub-synopses, or when a query's patterns genuinely
+#: cover every collection.  Summary-unsafe ``//`` shapes no longer
+#: widen the set: their descendant-or-self semantics are decided
+#: exactly against each collection's path synopsis
+#: (:meth:`~repro.xpath.patterns.PathPattern.matches_evaluator`).
 RoutingSet = Optional[Tuple[str, ...]]
 
 
@@ -105,20 +107,26 @@ class CostModel:
                                 ) -> Optional[FrozenSet[str]]:
         """The collections whose synopsis ``pattern`` can match.
 
-        Returns ``None`` ("every collection") for patterns whose ``//``
-        descendant-or-self semantics the summary cannot decide exactly
-        (:func:`~repro.xpath.compiler.pattern_summary_safe` is False):
-        the interpretive evaluator may select nodes on paths the pattern
-        does not match, so pruning by synopsis paths would be unsound.
+        Summary-safe patterns are decided by strict pattern matching
+        over each collection's path synopsis.  Summary-unsafe ``//``
+        shapes -- where a descendant step can match its own context --
+        are decided by the *loose* matcher
+        (:meth:`~repro.xpath.patterns.PathPattern.matches_evaluator`),
+        which implements the interpreter's (and the columnar store's)
+        exact descendant-or-self semantics per simple path, so routing
+        stays sound without widening to every collection.
         """
         cached = self._pattern_routes.get(pattern)
         if cached is None and pattern not in self._pattern_routes:
-            if not pattern_summary_safe(pattern):
-                cached = None
-            else:
+            if pattern_summary_safe(pattern):
                 cached = frozenset(
                     name for name, stats in self.statistics.collection_stats.items()
                     if stats.paths_matching(pattern))
+            else:
+                cached = frozenset(
+                    name for name, stats in self.statistics.collection_stats.items()
+                    if any(pattern.matches_evaluator(path)
+                           for path in stats.path_stats))
             self._pattern_routes[pattern] = cached
         return cached
 

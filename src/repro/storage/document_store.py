@@ -42,6 +42,7 @@ from repro.storage.maintenance import (
     DeltaLog,
     compute_document_delta,
 )
+from repro.storage.columnar import ColumnarStore, build_columnar_store
 from repro.storage.path_summary import PathSummary, build_path_summary
 from repro.storage.statistics import (
     DatabaseStatistics,
@@ -68,6 +69,8 @@ escape_hatch("use_incremental_maintenance")
                     "refreshers": ("_apply_delta", "_invalidate_derived")},
     "_accumulator": {"policy": "push", "readers": ("statistics",),
                      "refreshers": ("_apply_delta", "_invalidate_derived")},
+    "_columnar": {"policy": "push", "readers": ("columnar_store",),
+                  "refreshers": ("_apply_delta", "_invalidate_derived")},
 })
 class XmlCollection:
     """A named collection of XML documents (a table with an XML column)."""
@@ -90,6 +93,7 @@ class XmlCollection:
         self._statistics: Optional[DatabaseStatistics] = None
         self._summary: Optional[PathSummary] = None
         self._accumulator: Optional[StatisticsAccumulator] = None
+        self._columnar: Optional[ColumnarStore] = None
         self._delta_log = DeltaLog(capacity=delta_log_capacity)
         self._change_listeners: List[Callable[["XmlCollection"], None]] = []
         #: Monotonic data version, bumped on every document add/remove so
@@ -145,6 +149,8 @@ class XmlCollection:
         """Fold one add/remove into the cached derived state and journal it."""
         if self._summary is not None:
             self._summary = self._summary.apply_delta(delta)
+        if self._columnar is not None:
+            self._columnar = self._columnar.apply_delta(delta)
         if self._accumulator is not None:
             self._accumulator.apply_delta(delta)
         self._statistics = None  # snapshot lazily from the accumulator
@@ -163,6 +169,7 @@ class XmlCollection:
         self._statistics = None
         self._summary = None
         self._accumulator = None
+        self._columnar = None
         self._version += 1
         self._delta_log.mark_discontinuity(self._version)
         self._notify_change()
@@ -248,6 +255,25 @@ class XmlCollection:
             guarded_fault_point("snapshot.publish")
             self._summary = summary
         return self._summary
+
+    @property
+    def columnar_store(self) -> ColumnarStore:
+        """The columnar pre/post encoding of this collection (lazy).
+
+        Maintained exactly like :attr:`path_summary`: with incremental
+        maintenance the cached store is *replaced* on document
+        add/remove via
+        :meth:`~repro.storage.columnar.ColumnarStore.apply_delta`;
+        without it, it is dropped and rebuilt here.  Consumers must
+        re-fetch per use instead of holding one across updates.
+        """
+        if self._columnar is None:
+            store = build_columnar_store(self._documents)
+            # Publication seam, as for the path summary: a persistent
+            # injected fault raises before the cache assignment.
+            guarded_fault_point("snapshot.publish")
+            self._columnar = store
+        return self._columnar
 
     @property
     def statistics(self) -> DatabaseStatistics:

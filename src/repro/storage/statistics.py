@@ -281,6 +281,25 @@ class DatabaseStatistics:
         return (self.total_node_count * XML_NODE_OVERHEAD_BYTES
                 + self.total_text_bytes)
 
+    @property
+    def columnar_bytes(self) -> int:
+        """Footprint of the columnar pre/post encoding of this data.
+
+        Derived from the synopsis alone: every stored node (element or
+        attribute; document nodes are virtual in the columnar plane)
+        costs :data:`~repro.storage.columnar.COLUMNAR_NODE_BYTES` of
+        column/postings storage plus its normalized typed-value text.
+        By construction this equals ``ColumnarStore.nbytes`` of the
+        same data -- the advisor's size estimates and the tuning
+        controller's ``build_budget_bytes`` consult it so the encoding's
+        real footprint is accounted for.
+        """
+        from repro.storage.columnar import COLUMNAR_NODE_BYTES
+        stored_nodes = self.total_node_count - self.document_count
+        value_bytes = sum(stat.total_value_bytes
+                          for stat in self.path_stats.values())
+        return stored_nodes * COLUMNAR_NODE_BYTES + value_bytes
+
     # ------------------------------------------------------------------
     # Per-collection routing views
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ def recommendation_to_dict(recommendation: Recommendation) -> Dict[str, Any]:
         "algorithm": recommendation.search_result.algorithm.value,
         "disk_budget_bytes": recommendation.parameters.disk_budget_bytes,
         "total_size_bytes": round(recommendation.total_size_bytes, 1),
+        "base_columnar_bytes": recommendation.base_columnar_bytes,
         "total_benefit": round(recommendation.total_benefit, 3),
         "estimated_improvement_percent": round(recommendation.improvement_percent(), 2),
         "indexes": [index_to_dict(index, sizes.get(index.key))

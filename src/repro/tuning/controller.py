@@ -397,24 +397,38 @@ class TuningController:
         # Cheapest-first gets the most structures standing per budget
         # cycle; ties break on the definition key for determinism.
         builds.sort(key=lambda step: (step.size_bytes, step.definition.key))
-        taken, deferred = self._meter_builds(builds)
+        base_spent = 0.0
+        if builds and not current:
+            # First materialization from an empty configuration also
+            # encodes the collections' columnar stores (index builds
+            # lower onto them); the planning model charges that
+            # footprint against the cycle's build budget regardless of
+            # the executor's engine hatches, the same way the cost
+            # model prices both modes identically.
+            base_spent = float(self.database.statistics.columnar_bytes)
+        taken, deferred = self._meter_builds(builds, base_spent=base_spent)
         plan.steps.extend(taken)
         plan.deferred.extend(deferred)
         return plan
 
-    def _meter_builds(self, builds: Sequence[MigrationStep]
+    def _meter_builds(self, builds: Sequence[MigrationStep],
+                      base_spent: float = 0.0
                       ) -> Tuple[List[MigrationStep], List[MigrationStep]]:
         """Split ordered build steps into (this cycle, deferred) under
         the policy's per-cycle build budget.
 
-        The first build of a cycle always runs even when it alone
-        exceeds the budget -- a structure larger than the whole budget
-        must not starve forever.
+        ``base_spent`` is build work already owed this cycle before any
+        index structure (the columnar encoding of a first
+        materialization, estimated from the statistics synopsis --
+        :attr:`~repro.storage.statistics.DatabaseStatistics.columnar_bytes`).
+        The first build of a cycle always runs even when it alone (or
+        the base charge) exceeds the budget -- a structure larger than
+        the whole budget must not starve forever.
         """
         budget = self.policy.build_budget_bytes
         taken: List[MigrationStep] = []
         deferred: List[MigrationStep] = []
-        spent = 0.0
+        spent = base_spent
         for step in builds:
             if budget is None or not taken \
                     or spent + step.size_bytes <= budget:

@@ -17,9 +17,15 @@ that summary:
   spine elements' direct text children;
 * everything else (relative paths, variables, predicates on inner
   steps, expressions that are not location paths) falls back to the
-  interpretive evaluator, as do path shapes whose ``//`` semantics
-  differ between pattern matching and step-by-step evaluation (see
-  :func:`steps_summary_safe`).
+  interpretive evaluator.  Path shapes whose ``//`` semantics differ
+  between pattern matching and step-by-step evaluation (see
+  :func:`steps_summary_safe`) cannot use the summary, but they *can*
+  use a collection's columnar store
+  (:class:`~repro.storage.columnar.ColumnarStore`), whose pattern
+  matching implements the interpreter's descendant-or-self semantics
+  exactly -- so every linear spine carries a :attr:`columnar_pattern`
+  and only non-linear expressions still reach the interpreter when a
+  columnar store is available.
 
 Parsing and compilation are cached with LRUs keyed by expression text,
 so repeated queries -- the executor evaluates the same predicate paths
@@ -68,17 +74,24 @@ class CompiledXPath:
     (``fallback_reason`` says why).
     """
 
-    __slots__ = ("source", "expression", "pattern", "residual_predicates",
-                 "text_tail", "fallback_reason")
+    __slots__ = ("source", "expression", "pattern", "columnar_pattern",
+                 "residual_predicates", "text_tail", "fallback_reason")
 
     def __init__(self, source: str, expression: PathExpr,
                  pattern: Optional[PathPattern] = None,
+                 columnar_pattern: Optional[PathPattern] = None,
                  residual_predicates: Tuple[Predicate, ...] = (),
                  text_tail: bool = False,
                  fallback_reason: Optional[str] = None) -> None:
         self.source = source
         self.expression = expression
         self.pattern = pattern
+        #: The linear spine for the columnar backend.  Set for *every*
+        #: linear path -- including summary-unsafe ``//`` shapes, whose
+        #: descendant-or-self semantics the columnar store answers
+        #: exactly -- and ``None`` only for non-linear expressions.
+        self.columnar_pattern = columnar_pattern if columnar_pattern is not None \
+            else pattern
         self.residual_predicates = residual_predicates
         self.text_tail = text_tail
         self.fallback_reason = fallback_reason
@@ -88,27 +101,41 @@ class CompiledXPath:
         """True when the path spine is answered from the summary."""
         return self.pattern is not None
 
+    @property
+    def is_columnar_backed(self) -> bool:
+        """True when the path spine is answered from a columnar store."""
+        return self.columnar_pattern is not None
+
     def select_nodes(self, summary, document: DocumentNode,
                      evaluator: Optional[XPathEvaluator] = None,
-                     ordered: bool = False) -> List[XmlNode]:
+                     ordered: bool = False, columnar=None) -> List[XmlNode]:
         """The node set this expression selects in ``document``.
 
         ``summary`` is the path summary covering ``document`` (keyed by
-        its ``doc_id``); pass ``evaluator`` to reuse one
+        its ``doc_id``); ``columnar`` is the document's collection
+        :class:`~repro.storage.columnar.ColumnarStore`, preferred over
+        the summary when the spine lowers onto it (it also answers
+        summary-unsafe ``//`` spines); pass ``evaluator`` to reuse one
         :class:`XPathEvaluator` across calls for the same document.
         With ``ordered=True`` the spine nodes come back in document
         order even when the pattern matches several distinct paths
-        (node-id merge in the summary), so the result can serve ordered
-        extraction; residual filtering and ``text()`` expansion preserve
-        that order.  The result must be treated as read-only unless
+        (node-id merge in the summary, postings merge in the columnar
+        store), so the result can serve ordered extraction; residual
+        filtering and ``text()`` expansion preserve that order.  The
+        result must be treated as read-only unless
         :attr:`residual_predicates` or :attr:`text_tail` forced a copy.
         """
-        if self.pattern is None or summary is None:
+        if columnar is not None and self.columnar_pattern is not None:
+            nodes = columnar.nodes_for_pattern(self.columnar_pattern,
+                                               document.doc_id,
+                                               ordered=ordered)
+        elif self.pattern is not None and summary is not None:
+            nodes = summary.nodes_for_pattern(self.pattern, document.doc_id,
+                                              ordered=ordered)
+        else:
             if evaluator is None:
                 evaluator = XPathEvaluator(document)
             return evaluator.select_nodes(self.expression)
-        nodes = summary.nodes_for_pattern(self.pattern, document.doc_id,
-                                          ordered=ordered)
         if self.text_tail and nodes:
             texts: List[XmlNode] = []
             for node in nodes:
@@ -121,6 +148,22 @@ class CompiledXPath:
             nodes = [node for node in nodes
                      if evaluator.passes_predicates(node, self.residual_predicates)]
         return nodes
+
+    def has_match(self, summary, document: DocumentNode,
+                  evaluator: Optional[XPathEvaluator] = None,
+                  columnar=None) -> bool:
+        """Existence test: does this expression select any node?
+
+        The residual scan's document-qualification check only needs a
+        boolean, so a columnar-backed bare spine (no ``text()`` tail, no
+        residual predicates) answers from the store's postings with an
+        early exit instead of materializing the node list.
+        """
+        if (columnar is not None and self.columnar_pattern is not None
+                and not self.text_tail and not self.residual_predicates):
+            return columnar.has_match(self.columnar_pattern, document.doc_id)
+        return bool(self.select_nodes(summary, document, evaluator,
+                                      columnar=columnar))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = (f"summary pattern={self.pattern.to_text()!r}" if self.pattern
@@ -200,7 +243,14 @@ def compile_location_path(source: str, path: LocationPath) -> CompiledXPath:
     if not pattern_steps:
         return fallback("no structural steps")
     if not steps_summary_safe(pattern_steps):
-        return fallback("descendant step may match its own context")
+        # The summary cannot answer this spine, but the columnar store
+        # can: its pattern matching has the interpreter's exact
+        # descendant-or-self semantics.
+        return CompiledXPath(
+            source, path,
+            columnar_pattern=PathPattern(steps=tuple(pattern_steps)),
+            residual_predicates=residual, text_tail=text_tail,
+            fallback_reason="descendant step may match its own context")
     return CompiledXPath(source, path,
                          pattern=PathPattern(steps=tuple(pattern_steps)),
                          residual_predicates=residual, text_tail=text_tail)
@@ -222,8 +272,10 @@ def compile_pattern(pattern: PathPattern) -> CompiledXPath:
 
     Index patterns are already linear and predicate-free, so the only
     question is whether their ``//`` shape is summary-safe; unsafe
-    patterns compile to an interpreter fallback over the pattern's
-    XPath rendering.  This is the entry point the executor uses for
+    patterns stay columnar-backed (exact descendant-or-self matching)
+    and only reach the interpreter, over the pattern's XPath rendering,
+    when no columnar store is available.  This is the entry point the
+    executor uses for
     the patterns carried by normalized query predicates and extraction
     paths.
     """
@@ -232,6 +284,7 @@ def compile_pattern(pattern: PathPattern) -> CompiledXPath:
         return CompiledXPath(source, parse_xpath_cached(source),
                              pattern=pattern)
     return CompiledXPath(source, parse_xpath_cached(source),
+                         columnar_pattern=pattern,
                          fallback_reason="descendant step may match its own context")
 
 

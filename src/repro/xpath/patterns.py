@@ -224,6 +224,59 @@ class PathPattern:
         """Filter ``paths`` down to those this pattern matches."""
         return [p for p in paths if self.matches(p)]
 
+    def matches_evaluator(self, simple_path: str) -> bool:
+        """Does this pattern match ``simple_path`` under *evaluator*
+        (descendant-or-self) semantics?
+
+        :meth:`matches` implements the index-pattern language, where a
+        ``//`` step steps strictly *down* before testing its label.  The
+        interpretive :class:`~repro.xpath.evaluator.XPathEvaluator`
+        implements XPath's ``descendant-or-self::`` instead: ``/a//a``
+        selects ``/a`` itself.  Because the evaluator's result set for a
+        linear pattern depends only on each node's root-to-node label
+        chain, that semantics is decidable per simple path: it is the
+        strict NFA of :meth:`_match_labels` plus an epsilon-closure that
+        lets a ``//`` element step consume the label *just matched* a
+        second time ("self").  The columnar backend and collection
+        routing use this to answer ``//`` shapes exactly instead of
+        falling back to interpretation or widening to all collections.
+        """
+        labels = split_simple_path(simple_path)
+        return self._match_labels_evaluator(labels)
+
+    def _match_labels_evaluator(self, labels: Sequence[str]) -> bool:
+        states: Set[int] = {0}
+        for label in labels:
+            is_attribute = label.startswith("@")
+            next_states: Set[int] = set()
+            for state in states:
+                if state < len(self.steps):
+                    step = self.steps[state]
+                    if step.descendant and not is_attribute:
+                        # ``//`` may skip this label entirely.
+                        next_states.add(state)
+                    if step.matches_label(label):
+                        next_states.add(state + 1)
+            if not is_attribute:
+                # Descendant-or-self closure: a following ``//`` element
+                # step may also match the label just consumed (its own
+                # context node).  Iterate to fixpoint so chains such as
+                # ``/a//a//a`` accept ``/a``.
+                frontier = list(next_states)
+                while frontier:
+                    state = frontier.pop()
+                    if state < len(self.steps):
+                        step = self.steps[state]
+                        if step.descendant and not step.is_attribute \
+                                and step.matches_label(label):
+                            if state + 1 not in next_states:
+                                next_states.add(state + 1)
+                                frontier.append(state + 1)
+            states = next_states
+            if not states:
+                return False
+        return len(self.steps) in states
+
     # ------------------------------------------------------------------
     # Containment and equivalence
     # ------------------------------------------------------------------

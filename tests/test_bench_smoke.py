@@ -34,6 +34,12 @@ Sizes are capped by environment variables:
     to both the routed-vs-unrouted scan wall-clock on the co-resident
     XMark+TPoX database and the deterministic what-if re-costing count
     after a single-collection document add.
+``REPRO_SMOKE_MIN_COLUMNAR_RATIO``
+    Minimum accepted columnar-over-interpretive scan ratio on the
+    descendant-heavy ``//`` workload (default ``2``; the E13 benchmark
+    asserts >= 5x at its larger scale).  The exactness half of the
+    check is deterministic: byte-identical results and zero
+    interpretive spine fallbacks on the columnar side.
 ``REPRO_SMOKE_MIN_ONLINE_COMPRESSION``
     Minimum accepted captured-templates-per-compressed-cluster ratio in
     the online tuning loop's flood phase at 10x volume (default ``2``;
@@ -75,6 +81,7 @@ MIN_WHATIF_RATIO = _env_float("REPRO_SMOKE_MIN_WHATIF_RATIO", 5.0)
 MIN_MAINT_RATIO = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
 MIN_ROUTING_RATIO = _env_float("REPRO_SMOKE_MIN_ROUTING_RATIO", 2.0)
 MIN_ONLINE_COMPRESSION = _env_float("REPRO_SMOKE_MIN_ONLINE_COMPRESSION", 2.0)
+MIN_COLUMNAR_RATIO = _env_float("REPRO_SMOKE_MIN_COLUMNAR_RATIO", 2.0)
 
 
 @pytest.fixture(scope="module")
@@ -176,6 +183,31 @@ def test_smoke_routing_faster_and_exact():
         f"{comparison.recostings_unrouted} legacy vs "
         f"{comparison.recostings_routed} routed re-costings "
         f"({comparison.recosting_ratio:.1f}x < {MIN_ROUTING_RATIO:.1f}x)")
+
+
+def test_smoke_columnar_scan_faster_and_exact():
+    """The columnar pre/post axis engine must beat the interpretive
+    escape hatch on the descendant-heavy ``//`` workload while keeping
+    per-query results byte-identical and recording zero interpretive
+    spine fallbacks on the columnar side (E13 at smoke scale)."""
+    from repro.tools.columnar_compare import compare_columnar_modes
+
+    best_scan_ratio = 0.0
+    for _ in range(3):  # best-of-3 damps scheduler noise on tiny runs
+        comparison = compare_columnar_modes(scale=SMOKE_SCALE)
+        assert comparison.identical_results, (
+            "columnar evaluation changed descendant-query results")
+        assert comparison.sizing_consistent, (
+            "ColumnarStore.nbytes diverged from statistics.columnar_bytes")
+        assert comparison.columnar_fallbacks == 0, (
+            "a descendant-heavy query left the columnar axis engine")
+        assert comparison.interpretive_fallbacks > 0, (
+            "the escape hatch did not exercise the interpretive residuals")
+        best_scan_ratio = max(best_scan_ratio, comparison.scan_ratio)
+    assert best_scan_ratio >= MIN_COLUMNAR_RATIO, (
+        f"columnar scan speedup regressed: best-of-3 "
+        f"{best_scan_ratio:.2f}x < {MIN_COLUMNAR_RATIO:.1f}x "
+        f"at scale {SMOKE_SCALE}")
 
 
 def test_smoke_online_loop_converges_and_bounded():

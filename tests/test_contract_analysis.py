@@ -142,7 +142,7 @@ class TestLiveTree:
         assert hatch_names == {
             "use_incremental", "use_incremental_maintenance",
             "use_collection_costing", "use_path_summary",
-            "use_collection_routing",
+            "use_collection_routing", "use_columnar",
         }
         assert "repro.tuning" in context.deterministic_packages
         assert "index.build" in context.sites

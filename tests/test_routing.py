@@ -3,8 +3,9 @@
 Three contracts are covered:
 
 * **routing sets** -- which collections a query's patterns can match,
-  with the conservative fallbacks (summary-unsafe ``//`` shapes, empty
-  matches) and the ``use_collection_costing`` escape hatch;
+  including exact loose-matched routing for summary-unsafe ``//``
+  shapes (PR 8), empty matches, and the ``use_collection_costing``
+  escape hatch;
 * **reduction** -- on a single-collection database the collection-
   scoped model must be byte-identical to the legacy whole-database
   model (costs, plans, benefits, recommendations), and on any database
@@ -86,14 +87,23 @@ class TestRoutingSets:
         query = normalize_statement("/no/such/path[thing = 'x']")
         assert model.routing_set(query) == ()
 
-    def test_summary_unsafe_pattern_is_conservative(self):
-        # ``//site//*``-shaped patterns have descendant-or-self
-        # semantics the synopsis cannot answer exactly: routing must
-        # widen to every collection (None) instead of guessing.
+    def test_summary_unsafe_pattern_routes_exactly(self):
+        # ``/site//*``-shaped patterns (a descendant step that can match
+        # its own context) used to widen routing to every collection
+        # (None); the loose per-path matcher now decides their
+        # descendant-or-self semantics exactly against each synopsis,
+        # so the routing set shrinks to the matching collections.
         database = _coresident_database()
         model = Optimizer(database).cost_model
-        query = normalize_statement("/site//site")
-        assert model.routing_set(query) is None
+        assert model.routing_set(normalize_statement("/site//*")) \
+            == ("xmark",)
+        # Descendant-or-self: the context node itself satisfies
+        # ``//site``, so the shape still routes (exactly) to xmark.
+        assert model.routing_set(normalize_statement("/site//site")) \
+            == ("xmark",)
+        # An unsafe shape no collection can satisfy routes nowhere
+        # instead of everywhere.
+        assert model.routing_set(normalize_statement("/FIXML//site")) == ()
 
     def test_escape_hatch_disables_routing(self):
         database = _coresident_database()

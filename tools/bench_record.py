@@ -20,6 +20,11 @@ the numbers to ``BENCH_advisor.json`` (override with ``--output``):
   hatch: routed-vs-unrouted scan wall time, what-if re-costings after a
   single-collection document add (deterministic count), and the
   exactness flags (results, delta benefits, cached recommendations).
+* **E13 (columnar)** -- the columnar pre/post axis engine vs the
+  interpretive escape hatch (``use_columnar=False``) on the
+  descendant-heavy ``//`` workload: wall time per mode, the speedup,
+  result byte-identity, the interpretive-fallback counters (columnar
+  side must be zero), and the nbytes-vs-statistics sizing flag.
 * **E10 (online tuning)** -- the autonomous loop vs the offline
   advisor: stationary byte-identity, drift detection + re-convergence
   after an injected workload shift, and the bounded-compression counts
@@ -36,7 +41,9 @@ so CI stays fast; run with a larger scale locally for headline numbers.
 The exit status doubles as a CI gate: non-zero when a comparison lost
 equivalence, the maintenance speedup fell below
 ``REPRO_SMOKE_MIN_MAINT_RATIO`` (default ``2``), the routing ratios
-fell below ``REPRO_SMOKE_MIN_ROUTING_RATIO`` (default ``2``), the
+fell below ``REPRO_SMOKE_MIN_ROUTING_RATIO`` (default ``2``), the columnar
+comparison lost equivalence/exactness or its scan ratio fell below
+``REPRO_SMOKE_MIN_COLUMNAR_RATIO`` (default ``2``), the
 online loop lost convergence/boundedness, its compression ratio
 fell below ``REPRO_SMOKE_MIN_ONLINE_COMPRESSION`` (default ``2``), the
 recovery run lost convergence/result identity, or its overhead ratio
@@ -171,6 +178,36 @@ def record_e7_routing(scale: float) -> dict:
     }
 
 
+def record_e13_columnar(scale: float) -> dict:
+    """Columnar vs interpretive descendant-heavy scans (best of 3 for
+    the timed half; fallback counters and flags are deterministic)."""
+    from repro.tools.columnar_compare import compare_columnar_modes
+
+    best = None
+    for _ in range(3):
+        comparison = compare_columnar_modes(scale=scale)
+        exact = (comparison.identical_results and comparison.sizing_consistent
+                 and comparison.columnar_fallbacks == 0
+                 and comparison.interpretive_fallbacks > 0)
+        if not exact:
+            best = comparison
+            break
+        if best is None or comparison.scan_ratio > best.scan_ratio:
+            best = comparison
+    return {
+        "documents": best.documents,
+        "node_count": best.node_count,
+        "columnar_seconds": round(best.columnar_seconds, 4),
+        "interpretive_seconds": round(best.interpretive_seconds, 4),
+        "scan_speedup": round(best.scan_ratio, 2),
+        "columnar_fallbacks": best.columnar_fallbacks,
+        "interpretive_fallbacks": best.interpretive_fallbacks,
+        "result_rows": best.result_rows,
+        "identical_results": best.identical_results,
+        "sizing_consistent": best.sizing_consistent,
+    }
+
+
 def record_e10_online(scale: float) -> dict:
     """Online loop vs offline advisor (every flag/count deterministic:
     logical steps and template counts, no wall clock)."""
@@ -279,6 +316,7 @@ def main() -> int:
         "e5_execution": record_e5_execution(database, workload),
         "e6_maintenance": record_e6_maintenance(scale),
         "e7_routing": record_e7_routing(scale),
+        "e13_columnar": record_e13_columnar(scale),
         "e10_online": record_e10_online(scale),
         "e12_recovery": record_e12_recovery(scale),
     }
@@ -292,6 +330,7 @@ def main() -> int:
     e3, e5 = entry["e3_search"], entry["e5_execution"]
     e6, e7 = entry["e6_maintenance"], entry["e7_routing"]
     e10, e12 = entry["e10_online"], entry["e12_recovery"]
+    e13 = entry["e13_columnar"]
     print(f"wrote {args.output} (xmark scale {scale})")
     print(f"  E3: identical={e3['identical_configurations']} "
           f"costings {e3['legacy']['query_costings']}"
@@ -309,6 +348,12 @@ def main() -> int:
           f"re-costings {e7['recostings_unrouted']}"
           f"->{e7['recostings_routed']} ({e7['recosting_ratio']}x), "
           f"cross={e7['cross_recostings']}")
+    print(f"  E13: identical={e13['identical_results']} "
+          f"sizing={e13['sizing_consistent']} "
+          f"descendant scan {e13['interpretive_seconds']}s -> columnar "
+          f"{e13['columnar_seconds']}s ({e13['scan_speedup']}x), "
+          f"fallbacks {e13['interpretive_fallbacks']}"
+          f"->{e13['columnar_fallbacks']}")
     print(f"  E10: stationary={e10['stationary_identical']} "
           f"stable={e10['stationary_stable']} "
           f"drift={e10['drift_detected']} "
@@ -343,6 +388,15 @@ def main() -> int:
         print(f"  FAIL: routing ratios {e7['scan_speedup']}x scan / "
               f"{e7['recosting_ratio']}x re-costing below the floor "
               f"{min_routing_ratio}x")
+        return 1
+    min_columnar_ratio = _env_float("REPRO_SMOKE_MIN_COLUMNAR_RATIO", 2.0)
+    if not (e13["identical_results"] and e13["sizing_consistent"]) \
+            or e13["columnar_fallbacks"] or not e13["interpretive_fallbacks"]:
+        print("  FAIL: columnar comparison lost equivalence/exactness")
+        return 1
+    if e13["scan_speedup"] < min_columnar_ratio:
+        print(f"  FAIL: columnar scan speedup {e13['scan_speedup']}x below "
+              f"the floor {min_columnar_ratio}x")
         return 1
     if not e10["converged"]:
         print("  FAIL: online tuning loop lost convergence/boundedness")

@@ -1,0 +1,79 @@
+"""E14 (vectorized): set-at-a-time value predicates vs. the per-object
+hop on a predicate-heavy XMark+TPoX workload.
+
+Before PR 9, every value predicate cost one ``XmlNode`` list
+materialization per document plus a typed compare per node
+(`_document_matches` -> `_predicate_holds` -> `_compare_node`), even
+though the columnar store already held every node's normalized value.
+The vectorized engine answers each predicate with two bisects over the
+path's value-sorted projection and intersects the per-predicate
+document sets, serving extraction values straight from the values
+column:
+
+* **scan wall-clock** -- the predicate-heavy workload (quantity/price
+  ranges, attribute comparisons, string equality, conjunctions over
+  XMark and all three TPoX collections) executed with value extraction
+  by a vectorized executor (``use_vectorized_predicates=True``, the
+  default) and by the escape hatch
+  (``use_vectorized_predicates=False``, object-hop compares).  Both
+  sides keep the columnar axis engine on, so the ratio isolates
+  predicate evaluation.  Expected: ~5-8x at the default benchmark
+  scale; asserted floor 5x (2x in smoke mode).
+* **exactness** -- per-query result counts, documents examined and
+  extracted value streams byte-identical between the modes; the
+  vectorized side runs with **zero** ``XmlNode`` materializations (the
+  acceptance criterion: predicates and extraction never leave the
+  columns) while the escape hatch materializes per (query, document).
+* **sizing** -- ``ColumnarStore.nbytes`` (now including the projection
+  permutation and numeric slots) equal to the statistics-derived
+  ``columnar_bytes`` for every co-resident collection.
+
+Shape: ``repro.tools.vectorized_compare.compare_vectorized_modes``
+(shared with the tier-1 ``bench_smoke`` guard and the perf recorder),
+run at the benchmark scale.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SMOKE, XMARK_SCALE, print_section
+
+from repro.tools.report import render_table
+from repro.tools.vectorized_compare import compare_vectorized_modes
+
+#: Minimum accepted vectorized-over-object-hop scan ratio: the
+#: acceptance floor at benchmark scale, conservative in smoke mode
+#: where tiny timed runs are noisy.
+MIN_VECTORIZED_RATIO = 2.0 if BENCH_SMOKE else 5.0
+
+
+def test_e14_vectorized_speedup_and_exactness(benchmark):
+    comparison = benchmark.pedantic(
+        compare_vectorized_modes, kwargs={"scale": XMARK_SCALE},
+        rounds=1, iterations=1)
+
+    table = render_table(
+        ["docs", "vectorized s", "hatch s", "scan x",
+         "vec mat", "hatch mat", "rows"],
+        [[comparison.documents,
+          f"{comparison.vectorized_seconds:.4f}",
+          f"{comparison.hatch_seconds:.4f}",
+          f"{comparison.scan_ratio:.1f}x",
+          comparison.vectorized_materializations,
+          comparison.hatch_materializations,
+          comparison.result_rows]])
+    print_section(
+        "E14 vectorized - set-at-a-time predicates vs object hop "
+        f"(XMark scale {XMARK_SCALE})", table)
+
+    assert comparison.identical_results, (
+        "vectorized evaluation changed predicate-query results")
+    assert comparison.sizing_consistent, (
+        "ColumnarStore.nbytes diverged from statistics.columnar_bytes")
+    # The acceptance criterion: the vectorized path never materializes
+    # XmlNode lists, and the escape hatch genuinely exercises the
+    # object hop being compared.
+    assert comparison.vectorized_materializations == 0
+    assert comparison.hatch_materializations > 0
+    assert comparison.scan_ratio >= MIN_VECTORIZED_RATIO, (
+        f"vectorized scan speedup regressed: {comparison.scan_ratio:.2f}x "
+        f"< {MIN_VECTORIZED_RATIO:.1f}x at scale {XMARK_SCALE}")

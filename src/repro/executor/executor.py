@@ -40,6 +40,20 @@ Extraction: ``execute(query, extract=True)`` additionally returns the
 nodes selected by the query's extraction paths in document order --
 ``(collection, document, node id)`` -- served by the summary's ordered
 multi-path merges (``CompiledXPath.select_nodes(ordered=True)``).
+
+Vectorized predicates: with ``use_vectorized_predicates`` (the
+default), scan plans never touch ``XmlNode`` objects at all.  Each
+predicate becomes one call to
+:meth:`~repro.storage.columnar.ColumnarStore.matching_documents` --
+two bisects over the path's value-sorted posting permutation -- and the
+per-predicate document sets are intersected, so a scan costs
+O(matching postings) instead of O(documents x predicate nodes).
+Index-plan residual checks ride the same sets, and
+``execute(extract_values=True)`` serves the extraction paths'
+*normalized values* straight from the values column
+(``ExecutionResult.extracted_values``) without materializing nodes.
+The ``scan_node_materializations`` counter proves it: zero on the
+vectorized path, positive on every legacy path.
 """
 
 from __future__ import annotations
@@ -68,7 +82,7 @@ from repro.optimizer.plans import IndexScan, QueryPlan
 from repro.storage.columnar import ColumnarStore
 from repro.storage.document_store import XmlDatabase
 from repro.storage.path_summary import PathSummary
-from repro.xmldb.nodes import DocumentNode, XmlNode
+from repro.xmldb.nodes import DocumentNode, XmlNode, normalized_node_value
 from repro.xpath.compiler import compile_pattern
 from repro.xpath.evaluator import XPathEvaluator
 from repro.xpath.ast import BinaryOp
@@ -88,6 +102,10 @@ escape_hatch("use_collection_routing",
 escape_hatch("use_columnar",
              "answer path spines from the object-tree summary/interpreter "
              "instead of the columnar pre/post axis engine")
+escape_hatch("use_vectorized_predicates",
+             "evaluate value predicates per document over materialized "
+             "XmlNode objects instead of the columnar store's set-at-a-time "
+             "value projections")
 
 
 @dataclass
@@ -104,6 +122,12 @@ class ExecutionResult:
     #: Nodes selected by the query's extraction paths, in document order
     #: per path per document; only populated by ``execute(extract=True)``.
     extracted_nodes: Optional[List[XmlNode]] = None
+    #: Normalized string values of the nodes the extraction paths select,
+    #: in the same order as ``extracted_nodes``; only populated by
+    #: ``execute(extract_values=True)``.  On the vectorized path these
+    #: come straight from the columnar values column -- byte-identical
+    #: to ``normalized_node_value`` over the extracted nodes.
+    extracted_values: Optional[List[str]] = None
 
     @property
     def extracted_count(self) -> int:
@@ -176,6 +200,7 @@ class QueryExecutor:
                  use_incremental_maintenance: bool = True,
                  use_collection_routing: bool = True,
                  use_columnar: Optional[bool] = None,
+                 use_vectorized_predicates: Optional[bool] = None,
                  monitor: Optional["WorkloadMonitor"] = None) -> None:
         self.database = database
         self.optimizer = optimizer or Optimizer(database)
@@ -204,6 +229,18 @@ class QueryExecutor:
         if use_columnar is None:
             use_columnar = os.environ.get("REPRO_USE_COLUMNAR", "1") != "0"
         self.use_columnar = use_columnar
+        #: Set-at-a-time value predicates: evaluate each predicate as two
+        #: bisects over the columnar store's value-sorted projection and
+        #: intersect the resulting document sets, instead of materializing
+        #: XmlNode objects per document and comparing one at a time.
+        #: Rides on top of the columnar engine, so it only activates where
+        #: ``_columnar_for`` yields a store (hatches on, no fault
+        #: degradation).  Defaults to the ``REPRO_USE_VECTORIZED``
+        #: environment switch (on unless set to ``"0"``).
+        if use_vectorized_predicates is None:
+            use_vectorized_predicates = (
+                os.environ.get("REPRO_USE_VECTORIZED", "1") != "0")
+        self.use_vectorized_predicates = use_vectorized_predicates
         #: Physical index structures keyed by definition key.
         self._indexes: Dict[Tuple[str, str], PhysicalPathIndex] = {}
         self._doc_lookup: Dict[Tuple[str, int], DocumentNode] = {}
@@ -235,6 +272,12 @@ class QueryExecutor:
         #: (observability: the E13 benchmark asserts this stays zero on
         #: the columnar path).
         self.interpretive_spine_fallbacks = 0
+        #: XmlNode list materializations performed while matching or
+        #: extracting (every ``select_nodes`` call on a legacy path).
+        #: The E14 benchmark and the vectorized equivalence tests assert
+        #: this stays zero on the vectorized scan path -- the proof that
+        #: predicates and value extraction never left the columns.
+        self.scan_node_materializations = 0
         self._refresh_document_lookup()
 
     # ------------------------------------------------------------------
@@ -484,12 +527,17 @@ class QueryExecutor:
     # Execution
     # ------------------------------------------------------------------
     def execute(self, query: Union[NormalizedQuery, str],
-                extract: bool = False) -> ExecutionResult:
+                extract: bool = False,
+                extract_values: bool = False) -> ExecutionResult:
         """Execute a query (normalized or raw statement text).
 
         With ``extract=True``, the result additionally carries the nodes
         selected by the query's extraction paths in every matching
         document, in document order (``ExecutionResult.extracted_nodes``).
+        With ``extract_values=True``, it carries those nodes' normalized
+        string values instead (``ExecutionResult.extracted_values``) --
+        on the vectorized path served straight from the columnar values
+        column, with no node materialization at all.
         """
         if isinstance(query, str):
             query = normalize_statement(query)
@@ -516,11 +564,12 @@ class QueryExecutor:
                 self._note_fallback(
                     f"optimizer unavailable ({exc}); full document scan")
                 self.scan_fallbacks += 1
-                result = self._execute_scan(query, extract, None)
+                result = self._execute_scan(query, extract, None, extract_values)
                 break
             if plan.uses_indexes and self._plan_indexes_materialized(plan):
                 try:
-                    result = self._execute_index_plan(query, plan, extract)
+                    result = self._execute_index_plan(query, plan, extract,
+                                                      extract_values)
                     break
                 except _IndexProbeError as failure:
                     # Degraded mode: a raising index must not fail the
@@ -530,7 +579,8 @@ class QueryExecutor:
                                         f"probe raised: {failure.error}")
                     self.scan_fallbacks += 1
                     continue
-            result = self._execute_scan(query, extract, plan.routing)
+            result = self._execute_scan(query, extract, plan.routing,
+                                        extract_values)
             break
         result.elapsed_seconds = time.perf_counter() - start
         if self.monitor is not None:
@@ -541,20 +591,23 @@ class QueryExecutor:
         return result
 
     def execute_workload(self, queries: Sequence[NormalizedQuery],
-                         extract: bool = False) -> List[ExecutionResult]:
+                         extract: bool = False,
+                         extract_values: bool = False) -> List[ExecutionResult]:
         """Execute every (non-update) query of a normalized workload."""
-        return [self.execute(query, extract=extract)
+        return [self.execute(query, extract=extract,
+                             extract_values=extract_values)
                 for query in queries if not query.is_update]
 
     # ------------------------------------------------------------------
     # Scan execution
     # ------------------------------------------------------------------
     def _execute_scan(self, query: NormalizedQuery, extract: bool = False,
-                      routing: Optional[Tuple[str, ...]] = None
-                      ) -> ExecutionResult:
+                      routing: Optional[Tuple[str, ...]] = None,
+                      extract_values: bool = False) -> ExecutionResult:
         matching_docs = 0
         examined = 0
         extracted: Optional[List[XmlNode]] = [] if extract else None
+        values: Optional[List[str]] = [] if extract_values else None
         collections = self.database.collections
         if self.use_collection_routing and routing is not None:
             # Structural pruning: a collection outside the plan's
@@ -569,6 +622,30 @@ class QueryExecutor:
         for collection in collections:
             summary = self._summary_for(collection.name)
             columnar = self._columnar_for(collection.name)
+            if columnar is not None and self.use_vectorized_predicates:
+                # Set-at-a-time: one document set per predicate (two
+                # bisects over the path's value-sorted projection),
+                # intersected -- no per-document loop, no XmlNode hop.
+                doc_keys = self._vectorized_document_keys(columnar, query)
+                examined += len(collection)
+                matching_docs += len(doc_keys)
+                if extracted is None and values is None:
+                    continue
+                # Collections iterate in ascending doc-id order, so the
+                # sorted key walk reproduces the legacy extraction
+                # stream exactly.
+                for doc_key in sorted(doc_keys):
+                    if values is not None:
+                        for pattern in query.extraction_paths:
+                            values.extend(columnar.values_for_pattern(
+                                pattern, doc_key, ordered=True))
+                    if extracted is not None:
+                        document = self._doc_lookup.get(
+                            (collection.name, doc_key))
+                        if document is not None:
+                            extracted.extend(self._extract_nodes(
+                                document, query, summary, columnar))
+                continue
             for document in collection:
                 examined += 1
                 if self._document_matches(document, query, summary, columnar):
@@ -576,9 +653,43 @@ class QueryExecutor:
                     if extracted is not None:
                         extracted.extend(self._extract_nodes(
                             document, query, summary, columnar))
+                    if values is not None:
+                        values.extend(self._extract_values(
+                            document, query, summary, columnar))
         return ExecutionResult(query_id=query.query_id, result_count=matching_docs,
                                documents_examined=examined, index_entries_scanned=0,
-                               used_index_plan=False, extracted_nodes=extracted)
+                               used_index_plan=False, extracted_nodes=extracted,
+                               extracted_values=values)
+
+    def _vectorized_document_keys(self, columnar: ColumnarStore,
+                                  query: NormalizedQuery) -> Set[int]:
+        """Document keys of one collection matching every predicate.
+
+        Each predicate costs two bisects over its paths' value-sorted
+        projections plus one pass over the matching postings
+        (:meth:`ColumnarStore.matching_documents`); the per-predicate
+        sets are intersected with an empty-set early exit.  A pure
+        navigation query matches where any extraction path has a
+        posting (:meth:`ColumnarStore.documents_with_match` -- a
+        skip-scan, one probe per distinct document).  Byte-identical to
+        `_document_matches` over every document by construction: the
+        projections sort the same ``typed_value``/``double_value``
+        results ``_compare_node`` reads.
+        """
+        docs: Optional[Set[int]] = None
+        for predicate in query.predicates:
+            matched = columnar.matching_documents(
+                predicate.pattern, predicate.op, predicate.value)
+            docs = matched if docs is None else docs & matched
+            if not docs:
+                return set()
+        if docs is None:
+            # Pure navigation query: a document qualifies when any
+            # extraction path selects at least one node.
+            docs = set()
+            for pattern in query.extraction_paths:
+                docs |= columnar.documents_with_match(pattern)
+        return docs
 
     # ------------------------------------------------------------------
     # Index plan execution
@@ -587,7 +698,8 @@ class QueryExecutor:
         return all(index.key in self._indexes for index in plan.used_indexes)
 
     def _execute_index_plan(self, query: NormalizedQuery, plan: QueryPlan,
-                            extract: bool = False) -> ExecutionResult:
+                            extract: bool = False,
+                            extract_values: bool = False) -> ExecutionResult:
         candidate_docs: Optional[Set[Tuple[str, int]]] = None
         entries_scanned = 0
         used_names: List[str] = []
@@ -616,18 +728,24 @@ class QueryExecutor:
         matching = 0
         examined = 0
         extracted: Optional[List[XmlNode]] = [] if extract else None
+        values: Optional[List[str]] = [] if extract_values else None
         # Candidate sets are unordered; extraction iterates them in
         # (collection insertion order, doc id) order -- the same order
         # the scan path visits documents -- so plan choice never changes
         # the extraction stream.  The rank map is memoized behind the
         # per-collection version listeners (`_refresh_document_lookup`).
-        if extract:
+        if extract or extract_values:
             rank = self._collection_rank
             ordered_docs: Iterable[Tuple[str, int]] = sorted(
                 candidate_docs,
                 key=lambda key: (rank.get(key[0], len(rank)), key[1]))
         else:
             ordered_docs = candidate_docs
+        # Residual checks on the vectorized path: the full matching-key
+        # set is computed once per collection (the same intersected
+        # bisect sets the scan path uses) and each candidate becomes a
+        # set-membership probe instead of a per-document node walk.
+        vectorized_keys: Dict[str, Set[int]] = {}
         for key in ordered_docs:
             document = self._doc_lookup.get(key)
             if document is None:
@@ -635,16 +753,35 @@ class QueryExecutor:
             summary = self._summary_for(key[0])
             columnar = self._columnar_for(key[0])
             examined += 1
-            if self._document_matches(document, query, summary, columnar):
+            if columnar is not None and self.use_vectorized_predicates:
+                matched_keys = vectorized_keys.get(key[0])
+                if matched_keys is None:
+                    matched_keys = self._vectorized_document_keys(
+                        columnar, query)
+                    vectorized_keys[key[0]] = matched_keys
+                matched = key[1] in matched_keys
+            else:
+                matched = self._document_matches(document, query, summary,
+                                                 columnar)
+            if matched:
                 matching += 1
                 if extracted is not None:
                     extracted.extend(self._extract_nodes(
                         document, query, summary, columnar))
+                if values is not None:
+                    if columnar is not None and self.use_vectorized_predicates:
+                        for pattern in query.extraction_paths:
+                            values.extend(columnar.values_for_pattern(
+                                pattern, key[1], ordered=True))
+                    else:
+                        values.extend(self._extract_values(
+                            document, query, summary, columnar))
         return ExecutionResult(query_id=query.query_id, result_count=matching,
                                documents_examined=examined,
                                index_entries_scanned=entries_scanned,
                                used_indexes=used_names, used_index_plan=True,
-                               extracted_nodes=extracted)
+                               extracted_nodes=extracted,
+                               extracted_values=values)
 
     def _index_scans(self, plan: QueryPlan) -> List[IndexScan]:
         scans: List[IndexScan] = []
@@ -693,6 +830,7 @@ class QueryExecutor:
                 self.interpretive_spine_fallbacks += 1
                 if evaluator is None:
                     evaluator = XPathEvaluator(document)
+            self.scan_node_materializations += 1
             return compiled.select_nodes(summary, document, evaluator,
                                          columnar=columnar)
 
@@ -745,9 +883,21 @@ class QueryExecutor:
                 self.interpretive_spine_fallbacks += 1
                 if evaluator is None:
                     evaluator = XPathEvaluator(document)
+            self.scan_node_materializations += 1
             nodes.extend(compiled.select_nodes(summary, document, evaluator,
                                                ordered=True, columnar=columnar))
         return nodes
+
+    def _extract_values(self, document: DocumentNode, query: NormalizedQuery,
+                        summary: Optional[PathSummary],
+                        columnar: Optional[ColumnarStore] = None
+                        ) -> List[str]:
+        """Normalized values of the extraction-path nodes -- the legacy
+        (object-hop) counterpart of reading the columnar values column;
+        byte-identical by construction, since the column stores exactly
+        ``normalized_node_value`` per node."""
+        return [normalized_node_value(node) for node in
+                self._extract_nodes(document, query, summary, columnar)]
 
     @staticmethod
     def _predicate_holds(nodes: List[XmlNode],

@@ -35,6 +35,16 @@ pattern against the path table with
 ``//`` descendant-or-self semantics -- no ``pattern_summary_safe``
 widening) and unions pre-sorted postings.
 
+On top of the values column sits the *set-at-a-time predicate engine*:
+per path, a lazy snapshot-memoized value projection (the postings
+re-sorted by value, plus the parsed DOUBLE column over the castable
+subset) turns an ``EQ``/range comparison into two bisects returning
+pre-position runs, and :meth:`ColumnarStore.matching_documents` maps
+those straight to doc-key sets -- the executor intersects one set per
+predicate instead of materializing ``XmlNode`` lists per document.
+Value extraction for value-only consumers reads the flat values column
+in document order (:meth:`ColumnarStore.values_for_pattern`).
+
 Maintenance mirrors :class:`~repro.storage.path_summary.PathSummary`:
 the store is immutable once built and is replaced through
 :meth:`apply_delta` under the existing
@@ -47,11 +57,28 @@ filtered pass -- the same contract as
 from __future__ import annotations
 
 from array import array
-from bisect import bisect_left
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from bisect import bisect_left, bisect_right
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.contracts import builder, cache_contract, snapshot_contract
-from repro.xmldb.nodes import DocumentNode, NodeKind, XmlNode
+from repro.xmldb.nodes import (
+    DocumentNode,
+    NodeKind,
+    XmlNode,
+    normalized_node_value,
+)
+from repro.xpath.ast import BinaryOp
 from repro.xpath.patterns import PathPattern, PatternStep
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
@@ -61,28 +88,102 @@ KIND_ELEMENT = 0
 KIND_ATTRIBUTE = 1
 
 #: Deterministic per-node footprint of the encoding: five 8-byte columns
-#: (pre, post, parent, path-id, sub), the 1-byte kind column, and the
-#: node's slot in its path's postings array.  Together with the
-#: synopsis's per-path ``total_value_bytes`` this makes the store's
-#: :attr:`ColumnarStore.nbytes` derivable from statistics alone (see
+#: (pre, post, parent, path-id, sub), the 1-byte kind column, the node's
+#: slot in its path's postings array, and its slot in the path's
+#: value-sorted permutation (the string half of the value projection).
+#: Together with the synopsis's per-path ``total_value_bytes`` and
+#: ``numeric_count`` this makes the store's :attr:`ColumnarStore.nbytes`
+#: derivable from statistics alone (see
 #: ``DatabaseStatistics.columnar_bytes``), identically in both
 #: ``use_columnar`` modes.
 COLUMNAR_NODE_BYTES = 5 * array("q").itemsize + array("b").itemsize \
-    + array("q").itemsize
+    + 2 * array("q").itemsize
+
+#: Per-numeric-value charge of the parsed DOUBLE column of a path's
+#: value projection.  The accounting counts castable entries of the
+#: values column -- the same predicate the synopsis's ``numeric_count``
+#: applies -- so the charge is deterministic regardless of which
+#: projections happen to be built.
+NUMERIC_PROJECTION_ENTRY_BYTES = array("d").itemsize
 
 #: Shared empty results; callers must treat lookup results as read-only.
 _NO_NODES: List[XmlNode] = []
+_NO_VALUES: List[str] = []
 _NO_POSITIONS = array("q")
 
+#: The synopsis-shared value normalization (one definition in
+#: :mod:`repro.xmldb.nodes`, so columns and synopsis can never disagree
+#: on a value's bytes).
+_normalized_value = normalized_node_value
 
-def _normalized_value(node: XmlNode) -> str:
-    """The whitespace-normalized typed value the synopsis records for
-    ``node`` (attribute value, or an element's *direct* text)."""
-    if node.kind == NodeKind.ATTRIBUTE:
-        return " ".join(node.value.split())
-    direct_text = "".join(child.value for child in node.children
-                          if child.kind == NodeKind.TEXT)
-    return " ".join(direct_text.split())
+
+def _castable(value: str) -> bool:
+    """Whether a normalized value casts to DOUBLE -- the predicate the
+    synopsis's ``numeric_count`` applies (the empty value never casts)."""
+    if not value:
+        return False
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+class _ValueProjection:
+    """One path's postings re-ordered by value (lazy, snapshot-memoized).
+
+    ``sorder`` permutes the path's postings by the node's normalized
+    *typed* value -- the value the legacy comparison path
+    (``executor._compare_node``) reads -- with ties in document order;
+    ``svalues`` holds the sorted keys, so an EQ/range predicate over a
+    string literal is two ``bisect`` calls returning a contiguous run of
+    pre positions.  ``norder``/``nvalues`` are the same for the
+    DOUBLE-castable subset under numeric order (non-castable nodes never
+    satisfy a numeric comparison, not even ``!=``); NaN-valued nodes
+    live in ``nanorder`` (they would break the sort order, and satisfy
+    only ``!=``).
+    """
+
+    __slots__ = ("sorder", "svalues", "norder", "nvalues", "nanorder")
+
+    def __init__(self, sorder: array, svalues: List[str], norder: array,
+                 nvalues: array, nanorder: array) -> None:
+        self.sorder = sorder
+        self.svalues = svalues
+        self.norder = norder
+        self.nvalues = nvalues
+        self.nanorder = nanorder
+
+    def shifted(self, at: int, delta: int) -> "_ValueProjection":
+        """The projection after every position ``>= at`` slides by
+        ``delta`` (a monotone remap: values and tie order are untouched,
+        so the key lists are structurally shared)."""
+        def remap(arr: array) -> array:
+            return array("q", (p + delta if p >= at else p for p in arr))
+        return _ValueProjection(remap(self.sorder), self.svalues,
+                                remap(self.norder), self.nvalues,
+                                remap(self.nanorder))
+
+
+def _build_projection(nodes: List[XmlNode], postings: array) -> _ValueProjection:
+    """Sort one path's postings by value (stable over the ascending
+    postings, so equal values stay in document order)."""
+    sorder = array("q", sorted(postings, key=lambda p: nodes[p].typed_value()))
+    svalues = [nodes[p].typed_value() for p in sorder]
+    numeric: List[Tuple[float, int]] = []
+    nans: List[int] = []
+    for position in postings:
+        value = nodes[position].double_value()
+        if value is None:
+            continue
+        if value != value:  # NaN: totally unordered, keep apart
+            nans.append(position)
+        else:
+            numeric.append((value, position))
+    numeric.sort(key=lambda pair: pair[0])
+    norder = array("q", (position for _, position in numeric))
+    nvalues = array("d", (value for value, _ in numeric))
+    return _ValueProjection(sorder, svalues, norder, nvalues, array("q", nans))
 
 
 def _delta_document_node(document: "DocumentDelta") -> Optional[DocumentNode]:
@@ -102,11 +203,14 @@ def _delta_document_node(document: "DocumentDelta") -> Optional[DocumentNode]:
                              "_with_document_added", "_with_document_removed"),
                    mutators=("add_document", "_encode_document", "_intern_path"),
                    memo_attrs=("_pattern_paths", "_pattern_paths_strict",
-                               "_label_positions"))
+                               "_label_positions", "_projections",
+                               "_doc_starts"))
 @cache_contract(memos={
     "_pattern_paths": {"policy": "object-keyed"},
     "_pattern_paths_strict": {"policy": "object-keyed"},
     "_label_positions": {"policy": "object-keyed"},
+    "_projections": {"policy": "object-keyed"},
+    "_doc_starts": {"policy": "object-keyed"},
 })
 class ColumnarStore:
     """Parallel pre/post columns over one collection's documents.
@@ -147,6 +251,15 @@ class ColumnarStore:
         self._pattern_paths_strict: Dict[PathPattern, Tuple[int, ...]] = {}
         #: Memo: label -> ascending positions carrying it (axis engine).
         self._label_positions: Dict[str, array] = {}
+        #: Memo: path id -> lazily built value projection (the path's
+        #: postings re-sorted by value; see :class:`_ValueProjection`).
+        #: Keyed to this immutable snapshot; apply_delta carries entries
+        #: structurally for untouched paths and rebuilds only touched
+        #: ones.
+        self._projections: Dict[int, _ValueProjection] = {}
+        #: Memo: ascending slab start offsets (position -> doc key is
+        #: one bisect); derived from ``_doc_bounds`` on demand.
+        self._doc_starts: Optional[array] = None
 
     # ------------------------------------------------------------------
     # Building
@@ -165,6 +278,8 @@ class ColumnarStore:
                 f"{len(self._doc_bounds)}, got {doc_key}); use apply_delta "
                 f"to splice")
         self._label_positions.clear()
+        self._projections.clear()
+        self._doc_starts = None
         self._encode_document(document)
 
     def _encode_document(self, document: Optional[DocumentNode]) -> None:
@@ -296,6 +411,9 @@ class ColumnarStore:
             if merged is None and cut == len(arr):
                 if pid < len(self._paths):
                     fresh._postings[pid] = arr  # untouched: share
+                    projection = self._projections.get(pid)
+                    if projection is not None:
+                        fresh._projections[pid] = projection
                 else:
                     fresh._postings[pid] = array("q")
                 continue
@@ -304,6 +422,12 @@ class ColumnarStore:
                 spliced += merged
             spliced += array("q", (p + length for p in arr[cut:]))
             fresh._postings[pid] = spliced
+            if merged is None:
+                # The path gained no postings; its projection only
+                # slides (monotone remap keeps values and tie order).
+                projection = self._projections.get(pid)
+                if projection is not None:
+                    fresh._projections[pid] = projection.shifted(start, length)
         fresh._doc_bounds = (self._doc_bounds[:key]
                              + [(start, start + length)]
                              + [(s + length, e + length)
@@ -343,11 +467,20 @@ class ColumnarStore:
             cut = bisect_left(arr, start)
             if cut == len(arr):
                 fresh._postings[pid] = arr  # entirely before the slab: share
+                projection = self._projections.get(pid)
+                if projection is not None:
+                    fresh._projections[pid] = projection
                 continue
             tail = bisect_left(arr, end)
             fresh._postings[pid] = (arr[:cut]
                                     + array("q", (p - length
                                                   for p in arr[tail:])))
+            if cut == tail:
+                # No posting of this path was retracted; the projection
+                # only slides (monotone remap keeps values and ties).
+                projection = self._projections.get(pid)
+                if projection is not None:
+                    fresh._projections[pid] = projection.shifted(end, -length)
         fresh._doc_bounds = (self._doc_bounds[:key]
                              + [(s - length, e - length)
                                 for s, e in self._doc_bounds[key + 1:]])
@@ -375,12 +508,18 @@ class ColumnarStore:
 
     @property
     def nbytes(self) -> float:
-        """The encoding's byte footprint: columns + postings + values.
+        """The encoding's byte footprint: columns + postings + values +
+        value projections.
 
         Deterministically equal to ``DatabaseStatistics.columnar_bytes``
         for the same data -- Sigma(len) over the postings is exactly the
-        node count, and the values column stores the same normalized
-        values the synopsis charges ``total_value_bytes`` for.
+        node count, the values column stores the same normalized values
+        the synopsis charges ``total_value_bytes`` for, and the
+        projection charge is an accounting *model* independent of which
+        projections are currently built: one permutation slot per node
+        (the value-sorted order) plus one DOUBLE slot per castable entry
+        of the values column (the synopsis's ``numeric_count``
+        predicate), so lazy builds never make the reported size drift.
         """
         column_bytes = sum(column.itemsize * len(column) for column in
                            (self.pre, self.post, self.parent, self.kind,
@@ -388,7 +527,12 @@ class ColumnarStore:
         posting_bytes = sum(arr.itemsize * len(arr)
                             for arr in self._postings.values())
         value_bytes = sum(len(value) for value in self.values)
-        return float(column_bytes + posting_bytes + value_bytes)
+        projection_bytes = (array("q").itemsize * len(self.pre)
+                            + NUMERIC_PROJECTION_ENTRY_BYTES
+                            * sum(1 for value in self.values
+                                  if _castable(value)))
+        return float(column_bytes + posting_bytes + value_bytes
+                     + projection_bytes)
 
     def node_at(self, position: int) -> XmlNode:
         return self._nodes[position]
@@ -504,6 +648,169 @@ class ColumnarStore:
                 while position >= bounds[doc][1]:
                     doc += 1
                 yield doc, self._nodes[position]
+
+    # ------------------------------------------------------------------
+    # Vectorized value predicates (the set-at-a-time engine)
+    # ------------------------------------------------------------------
+    def _projection_for(self, pid: int) -> _ValueProjection:
+        projection = self._projections.get(pid)
+        if projection is None:
+            projection = _build_projection(self._nodes, self._postings[pid])
+            self._projections[pid] = projection
+        return projection
+
+    def _matched_segments(self, pid: int, op: Optional[BinaryOp],
+                          value: Optional[Union[str, float]]
+                          ) -> Iterator[Sequence[int]]:
+        """Position runs on path ``pid`` whose node satisfies
+        ``op value`` -- two bisects over the value-sorted projection.
+
+        The comparison semantics replicate the legacy per-node path
+        (``executor._compare_node``) exactly: a float literal compares
+        against the DOUBLE cast (non-castable nodes fail every operator,
+        ``!=`` included), a string literal compares lexicographically
+        against the normalized typed value.
+        """
+        if op is None or value is None:
+            yield self._postings[pid]  # pure existence test
+            return
+        projection = self._projection_for(pid)
+        if isinstance(value, float):
+            order: Sequence[int] = projection.norder
+            keys: Sequence = projection.nvalues
+            if value != value:  # NaN literal: only != holds, castables only
+                if op is BinaryOp.NE:
+                    yield order
+                    yield projection.nanorder
+                return
+        else:
+            order = projection.sorder
+            keys = projection.svalues
+        if op is BinaryOp.EQ:
+            yield order[bisect_left(keys, value):bisect_right(keys, value)]
+        elif op is BinaryOp.NE:
+            yield order[:bisect_left(keys, value)]
+            yield order[bisect_right(keys, value):]
+            if isinstance(value, float):
+                yield projection.nanorder  # NaN != anything
+        elif op is BinaryOp.LT:
+            yield order[:bisect_left(keys, value)]
+        elif op is BinaryOp.LE:
+            yield order[:bisect_right(keys, value)]
+        elif op is BinaryOp.GT:
+            yield order[bisect_right(keys, value):]
+        elif op is BinaryOp.GE:
+            yield order[bisect_left(keys, value):]
+
+    def _doc_start_index(self) -> array:
+        starts = self._doc_starts
+        if starts is None:
+            starts = array("q", (start for start, _ in self._doc_bounds))
+            self._doc_starts = starts
+        return starts
+
+    def match_positions(self, pattern: PathPattern, op: Optional[BinaryOp] = None,
+                        value: Optional[Union[str, float]] = None,
+                        doc_id: Optional[int] = None) -> List[int]:
+        """Ascending pre positions whose node matches ``pattern`` (under
+        the interpreter's exact descendant-or-self semantics) *and*
+        satisfies the comparison ``op value`` -- no node objects are
+        touched; only the sorted projections and two bisects per path.
+        """
+        bounds = self._doc_slice(doc_id)
+        if bounds is None:
+            return []
+        lo, hi = bounds
+        if lo == hi:
+            return []
+        unrestricted = lo == 0 and hi == len(self.pre)
+        positions: List[int] = []
+        for pid in self._paths_for(pattern, strict=False):
+            for segment in self._matched_segments(pid, op, value):
+                if unrestricted:
+                    positions.extend(segment)
+                else:
+                    positions.extend(p for p in segment if lo <= p < hi)
+        positions.sort()
+        return positions
+
+    def matching_documents(self, pattern: PathPattern,
+                           op: Optional[BinaryOp] = None,
+                           value: Optional[Union[str, float]] = None
+                           ) -> Set[int]:
+        """Doc keys of every document holding at least one node that
+        matches ``pattern`` and satisfies ``op value``.
+
+        O(matching postings): each matched position maps to its document
+        by one bisect over the slab starts.  This is the executor's
+        set-at-a-time scan primitive -- one call per predicate per
+        collection, intersected across predicates.
+        """
+        docs: Set[int] = set()
+        starts = self._doc_start_index()
+        for pid in self._paths_for(pattern, strict=False):
+            for segment in self._matched_segments(pid, op, value):
+                for position in segment:
+                    docs.add(bisect_right(starts, position) - 1)
+        return docs
+
+    def documents_with_match(self, pattern: PathPattern) -> Set[int]:
+        """Doc keys of the documents where ``pattern`` matches at all
+        (the navigation-only counterpart of :meth:`matching_documents`).
+
+        Skip-scans each path's postings document by document -- after
+        the first hit in a document the walk bisects straight past the
+        rest of its slab -- so the cost is O(matching documents x log
+        postings), not O(postings).
+        """
+        docs: Set[int] = set()
+        starts = self._doc_start_index()
+        bounds = self._doc_bounds
+        for pid in self._paths_for(pattern, strict=False):
+            arr = self._postings[pid]
+            index = 0
+            total = len(arr)
+            while index < total:
+                doc = bisect_right(starts, arr[index]) - 1
+                docs.add(doc)
+                index = bisect_left(arr, bounds[doc][1], index + 1)
+        return docs
+
+    def values_for_pattern(self, pattern: PathPattern,
+                           doc_id: Optional[int] = None,
+                           ordered: bool = False) -> List[str]:
+        """The values-column entries of the nodes ``pattern`` matches --
+        the same nodes :meth:`nodes_for_pattern` returns, in the same
+        order, but served straight from the flat column (zero node-object
+        hops).  Value-only consumers (``ExecutionResult
+        .extracted_values``) read this; each entry is byte-identical to
+        ``normalized_node_value()`` of the corresponding node by
+        construction.
+        """
+        ids = self._paths_for(pattern, strict=False)
+        if not ids:
+            return _NO_VALUES
+        bounds = self._doc_slice(doc_id)
+        if bounds is None:
+            return _NO_VALUES
+        lo, hi = bounds
+        if lo == hi:
+            return _NO_VALUES
+        values = self.values
+        if len(ids) == 1:
+            return [values[p] for p in self._positions_in(ids[0], lo, hi)]
+        if ordered:
+            positions: List[int] = []
+            for pid in ids:
+                positions.extend(self._positions_in(pid, lo, hi))
+            positions.sort()
+            return [values[p] for p in positions]
+        merged: List[str] = []
+        for pid in ids:
+            segment = self._positions_in(pid, lo, hi)
+            if segment:
+                merged.extend(values[p] for p in segment)
+        return merged
 
     # ------------------------------------------------------------------
     # The axis engine

@@ -47,7 +47,12 @@ from typing import (
 
 from repro.contracts import builder, cache_contract, snapshot_contract
 from repro.storage.path_summary import PathSummary, build_path_summary
-from repro.xmldb.nodes import DocumentNode, NodeKind, XmlNode
+from repro.xmldb.nodes import (
+    DocumentNode,
+    NodeKind,
+    XmlNode,
+    normalized_node_value,
+)
 from repro.xpath.ast import BinaryOp
 from repro.xpath.patterns import PathPattern
 
@@ -288,17 +293,27 @@ class DatabaseStatistics:
         Derived from the synopsis alone: every stored node (element or
         attribute; document nodes are virtual in the columnar plane)
         costs :data:`~repro.storage.columnar.COLUMNAR_NODE_BYTES` of
-        column/postings storage plus its normalized typed-value text.
-        By construction this equals ``ColumnarStore.nbytes`` of the
-        same data -- the advisor's size estimates and the tuning
-        controller's ``build_budget_bytes`` consult it so the encoding's
-        real footprint is accounted for.
+        column/postings/value-projection storage plus its normalized
+        typed-value text, and every numeric value additionally charges
+        :data:`~repro.storage.columnar.NUMERIC_PROJECTION_ENTRY_BYTES`
+        for its slot in the path's parsed DOUBLE column (the synopsis's
+        ``numeric_count`` counts castable normalized values exactly as
+        the values column does).  By construction this equals
+        ``ColumnarStore.nbytes`` of the same data -- the advisor's size
+        estimates and the tuning controller's ``build_budget_bytes``
+        consult it so the encoding's real footprint is accounted for.
         """
-        from repro.storage.columnar import COLUMNAR_NODE_BYTES
+        from repro.storage.columnar import (
+            COLUMNAR_NODE_BYTES,
+            NUMERIC_PROJECTION_ENTRY_BYTES,
+        )
         stored_nodes = self.total_node_count - self.document_count
         value_bytes = sum(stat.total_value_bytes
                           for stat in self.path_stats.values())
-        return stored_nodes * COLUMNAR_NODE_BYTES + value_bytes
+        numeric_values = sum(stat.numeric_count
+                             for stat in self.path_stats.values())
+        return (stored_nodes * COLUMNAR_NODE_BYTES + value_bytes
+                + numeric_values * NUMERIC_PROJECTION_ENTRY_BYTES)
 
     # ------------------------------------------------------------------
     # Per-collection routing views
@@ -396,14 +411,19 @@ def collect_statistics_from_summary(summary: PathSummary) -> DatabaseStatistics:
 
 
 def _node_record_value(node: XmlNode) -> Tuple[str, int]:
-    """The value a node contributes to the synopsis plus its text-byte
-    charge (attribute bytes are counted unstripped, element direct text
-    stripped -- matching the original collection pass exactly)."""
+    """The normalized value a node contributes to the synopsis plus its
+    text-byte charge (attribute bytes are counted unstripped, element
+    direct text stripped -- matching the original collection pass
+    exactly).  The value itself comes from the one shared
+    :func:`~repro.xmldb.nodes.normalized_node_value` definition, so the
+    synopsis and the columnar values column always agree byte-for-byte.
+    """
+    value = normalized_node_value(node)
     if node.kind == NodeKind.ATTRIBUTE:
-        return node.value.strip(), len(node.value)
+        return value, len(node.value)
     direct_text = "".join(child.value for child in node.children
-                          if child.kind == NodeKind.TEXT).strip()
-    return direct_text, len(direct_text)
+                          if child.kind == NodeKind.TEXT)
+    return value, len(direct_text.strip())
 
 
 class _PathAccumulator:
@@ -428,10 +448,9 @@ class _PathAccumulator:
         self.max_value: Optional[float] = None
 
     def add_node(self, node: XmlNode) -> int:
-        value, text_bytes = _node_record_value(node)
+        normalized, text_bytes = _node_record_value(node)
         self.node_count += 1
-        if value:
-            normalized = " ".join(value.split())
+        if normalized:
             self.values[normalized] += 1
             self.total_value_bytes += len(normalized)
             number = _as_float(normalized)
@@ -445,10 +464,9 @@ class _PathAccumulator:
         return text_bytes
 
     def remove_node(self, node: XmlNode) -> int:
-        value, text_bytes = _node_record_value(node)
+        normalized, text_bytes = _node_record_value(node)
         self.node_count -= 1
-        if value:
-            normalized = " ".join(value.split())
+        if normalized:
             remaining = self.values[normalized] - 1
             if remaining:
                 self.values[normalized] = remaining

@@ -109,8 +109,13 @@ def compare_columnar_modes(scale: float = 0.25, seed: int = 42,
     collection = database.collection("xmark")
     queries = descendant_workload()
 
-    columnar = QueryExecutor(database, use_columnar=True)
-    interpretive = QueryExecutor(database, use_columnar=False)
+    # Vectorized predicates are pinned off on both sides so the ratio
+    # keeps isolating the *axis engine* (postings bisects vs pointer
+    # chasing); the E14 comparison owns the set-at-a-time engine.
+    columnar = QueryExecutor(database, use_columnar=True,
+                             use_vectorized_predicates=False)
+    interpretive = QueryExecutor(database, use_columnar=False,
+                                 use_vectorized_predicates=False)
     # Publish the lazy snapshots (summary + columnar store) outside the
     # timed region: both modes measure steady-state scans, not builds.
     store = collection.columnar_store

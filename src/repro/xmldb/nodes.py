@@ -28,6 +28,10 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.xmldb.errors import XmlNodeError
 
+#: Sentinel marking an unparsed DOUBLE cast (``None`` is a valid cached
+#: result: it means "does not cast").
+_DOUBLE_UNSET: object = object()
+
 
 class NodeKind(enum.Enum):
     """Kinds of nodes in the XML data model subset we support."""
@@ -64,6 +68,7 @@ class XmlNode:
         "node_id",
         "_simple_path",
         "_typed_value",
+        "_double_value",
     )
 
     def __init__(self, kind: NodeKind, name: str = "", value: str = "") -> None:
@@ -76,6 +81,7 @@ class XmlNode:
         self.node_id: int = -1
         self._simple_path: Optional[str] = None
         self._typed_value: Optional[str] = None
+        self._double_value: object = _DOUBLE_UNSET
 
     # ------------------------------------------------------------------
     # Tree construction
@@ -101,6 +107,7 @@ class XmlNode:
         node: Optional[XmlNode] = self
         while node is not None:
             node._typed_value = None
+            node._double_value = _DOUBLE_UNSET
             node = node.parent
 
     def set_attribute(self, name: str, value: str) -> "AttributeNode":
@@ -109,6 +116,7 @@ class XmlNode:
             if existing.name == name:
                 existing.value = value
                 existing._typed_value = None
+                existing._double_value = _DOUBLE_UNSET
                 return existing
         attr = AttributeNode(name, value)
         attr.parent = self
@@ -202,14 +210,24 @@ class XmlNode:
 
         This mirrors DB2's behaviour for ``AS SQL DOUBLE`` pattern
         indexes: nodes whose value does not cast are simply not indexed.
+        Cached alongside :meth:`typed_value` (same invalidation points):
+        predicate scans and index builds cast the same nodes repeatedly,
+        and ``None`` -- "does not cast" -- is itself a valid cached
+        answer, hence the private sentinel.
         """
+        cached = self._double_value
+        if cached is not _DOUBLE_UNSET:
+            return cached  # type: ignore[return-value]
         text = self.typed_value()
         if not text:
-            return None
-        try:
-            return float(text)
-        except ValueError:
-            return None
+            result: Optional[float] = None
+        else:
+            try:
+                result = float(text)
+            except ValueError:
+                result = None
+        self._double_value = result
+        return result
 
     def simple_path(self) -> str:
         """Return the rooted simple path of this node, e.g. ``/site/regions/africa/item``.
@@ -360,6 +378,23 @@ class ProcessingInstructionNode(XmlNode):
 
     def __init__(self, target: str, value: str) -> None:
         super().__init__(NodeKind.PROCESSING_INSTRUCTION, name=target, value=value)
+
+
+def normalized_node_value(node: XmlNode) -> str:
+    """The whitespace-normalized *direct* value of a node: an attribute's
+    value, or an element's direct text children (descendant text is not
+    concatenated -- only direct text counts as the element's indexable
+    value).
+
+    This is the single definition of "a node's recorded value" shared by
+    the columnar store's values column and the statistics synopsis, so
+    the two can never disagree on a value's bytes.
+    """
+    if node.kind == NodeKind.ATTRIBUTE:
+        return " ".join(node.value.split())
+    direct_text = "".join(child.value for child in node.children
+                          if child.kind == NodeKind.TEXT)
+    return " ".join(direct_text.split())
 
 
 def build_document(root_name: str, uri: str = "") -> "tuple[DocumentNode, ElementNode]":

@@ -40,6 +40,12 @@ Sizes are capped by environment variables:
     asserts >= 5x at its larger scale).  The exactness half of the
     check is deterministic: byte-identical results and zero
     interpretive spine fallbacks on the columnar side.
+``REPRO_SMOKE_MIN_VECTORIZED_RATIO``
+    Minimum accepted vectorized-over-object-hop scan ratio on the
+    predicate-heavy XMark+TPoX workload (default ``2``; the E14
+    benchmark asserts >= 5x at its larger scale).  The exactness half
+    of the check is deterministic: byte-identical results and zero
+    ``XmlNode`` materializations on the vectorized side.
 ``REPRO_SMOKE_MIN_ONLINE_COMPRESSION``
     Minimum accepted captured-templates-per-compressed-cluster ratio in
     the online tuning loop's flood phase at 10x volume (default ``2``;
@@ -82,6 +88,7 @@ MIN_MAINT_RATIO = _env_float("REPRO_SMOKE_MIN_MAINT_RATIO", 2.0)
 MIN_ROUTING_RATIO = _env_float("REPRO_SMOKE_MIN_ROUTING_RATIO", 2.0)
 MIN_ONLINE_COMPRESSION = _env_float("REPRO_SMOKE_MIN_ONLINE_COMPRESSION", 2.0)
 MIN_COLUMNAR_RATIO = _env_float("REPRO_SMOKE_MIN_COLUMNAR_RATIO", 2.0)
+MIN_VECTORIZED_RATIO = _env_float("REPRO_SMOKE_MIN_VECTORIZED_RATIO", 2.0)
 
 
 @pytest.fixture(scope="module")
@@ -207,6 +214,32 @@ def test_smoke_columnar_scan_faster_and_exact():
     assert best_scan_ratio >= MIN_COLUMNAR_RATIO, (
         f"columnar scan speedup regressed: best-of-3 "
         f"{best_scan_ratio:.2f}x < {MIN_COLUMNAR_RATIO:.1f}x "
+        f"at scale {SMOKE_SCALE}")
+
+
+def test_smoke_vectorized_faster_and_exact():
+    """The set-at-a-time predicate engine must beat the object-hop
+    escape hatch on the predicate-heavy XMark+TPoX workload while
+    keeping results and extracted values byte-identical and recording
+    zero ``XmlNode`` materializations on the vectorized side (E14 at
+    smoke scale)."""
+    from repro.tools.vectorized_compare import compare_vectorized_modes
+
+    best_scan_ratio = 0.0
+    for _ in range(3):  # best-of-3 damps scheduler noise on tiny runs
+        comparison = compare_vectorized_modes(scale=SMOKE_SCALE)
+        assert comparison.identical_results, (
+            "vectorized evaluation changed predicate-query results")
+        assert comparison.sizing_consistent, (
+            "ColumnarStore.nbytes diverged from statistics.columnar_bytes")
+        assert comparison.vectorized_materializations == 0, (
+            "the vectorized scan path materialized XmlNode lists")
+        assert comparison.hatch_materializations > 0, (
+            "the escape hatch did not exercise the object hop")
+        best_scan_ratio = max(best_scan_ratio, comparison.scan_ratio)
+    assert best_scan_ratio >= MIN_VECTORIZED_RATIO, (
+        f"vectorized scan speedup regressed: best-of-3 "
+        f"{best_scan_ratio:.2f}x < {MIN_VECTORIZED_RATIO:.1f}x "
         f"at scale {SMOKE_SCALE}")
 
 

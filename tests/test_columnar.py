@@ -230,7 +230,9 @@ class TestSizing:
             total += store.nbytes
         assert merged.columnar_bytes == total
         assert merged.columnar_bytes > 0
-        assert COLUMNAR_NODE_BYTES == 49
+        # 5 x 8-byte columns + 1-byte kind + postings slot + the value
+        # projection's permutation slot.
+        assert COLUMNAR_NODE_BYTES == 57
 
     def test_recommendation_reports_base_footprint(self):
         database = build_varied_database(documents=20, name="col-size")

@@ -143,6 +143,7 @@ class TestLiveTree:
             "use_incremental", "use_incremental_maintenance",
             "use_collection_costing", "use_path_summary",
             "use_collection_routing", "use_columnar",
+            "use_vectorized_predicates",
         }
         assert "repro.tuning" in context.deterministic_packages
         assert "index.build" in context.sites

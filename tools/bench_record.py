@@ -25,6 +25,11 @@ the numbers to ``BENCH_advisor.json`` (override with ``--output``):
   descendant-heavy ``//`` workload: wall time per mode, the speedup,
   result byte-identity, the interpretive-fallback counters (columnar
   side must be zero), and the nbytes-vs-statistics sizing flag.
+* **E14 (vectorized)** -- the set-at-a-time value-predicate engine vs
+  the object-hop escape hatch (``use_vectorized_predicates=False``) on
+  the predicate-heavy XMark+TPoX workload: wall time per mode, the
+  speedup, result/value byte-identity, the node-materialization
+  counters (vectorized side must be zero), and the sizing flag.
 * **E10 (online tuning)** -- the autonomous loop vs the offline
   advisor: stationary byte-identity, drift detection + re-convergence
   after an injected workload shift, and the bounded-compression counts
@@ -43,7 +48,9 @@ equivalence, the maintenance speedup fell below
 ``REPRO_SMOKE_MIN_MAINT_RATIO`` (default ``2``), the routing ratios
 fell below ``REPRO_SMOKE_MIN_ROUTING_RATIO`` (default ``2``), the columnar
 comparison lost equivalence/exactness or its scan ratio fell below
-``REPRO_SMOKE_MIN_COLUMNAR_RATIO`` (default ``2``), the
+``REPRO_SMOKE_MIN_COLUMNAR_RATIO`` (default ``2``), the vectorized
+comparison lost equivalence/exactness or its scan ratio fell below
+``REPRO_SMOKE_MIN_VECTORIZED_RATIO`` (default ``2``), the
 online loop lost convergence/boundedness, its compression ratio
 fell below ``REPRO_SMOKE_MIN_ONLINE_COMPRESSION`` (default ``2``), the
 recovery run lost convergence/result identity, or its overhead ratio
@@ -208,6 +215,35 @@ def record_e13_columnar(scale: float) -> dict:
     }
 
 
+def record_e14_vectorized(scale: float) -> dict:
+    """Vectorized vs object-hop predicate scans (best of 3 for the
+    timed half; materialization counters and flags are deterministic)."""
+    from repro.tools.vectorized_compare import compare_vectorized_modes
+
+    best = None
+    for _ in range(3):
+        comparison = compare_vectorized_modes(scale=scale)
+        exact = (comparison.identical_results and comparison.sizing_consistent
+                 and comparison.vectorized_materializations == 0
+                 and comparison.hatch_materializations > 0)
+        if not exact:
+            best = comparison
+            break
+        if best is None or comparison.scan_ratio > best.scan_ratio:
+            best = comparison
+    return {
+        "documents": best.documents,
+        "vectorized_seconds": round(best.vectorized_seconds, 4),
+        "hatch_seconds": round(best.hatch_seconds, 4),
+        "scan_speedup": round(best.scan_ratio, 2),
+        "vectorized_materializations": best.vectorized_materializations,
+        "hatch_materializations": best.hatch_materializations,
+        "result_rows": best.result_rows,
+        "identical_results": best.identical_results,
+        "sizing_consistent": best.sizing_consistent,
+    }
+
+
 def record_e10_online(scale: float) -> dict:
     """Online loop vs offline advisor (every flag/count deterministic:
     logical steps and template counts, no wall clock)."""
@@ -317,6 +353,7 @@ def main() -> int:
         "e6_maintenance": record_e6_maintenance(scale),
         "e7_routing": record_e7_routing(scale),
         "e13_columnar": record_e13_columnar(scale),
+        "e14_vectorized": record_e14_vectorized(scale),
         "e10_online": record_e10_online(scale),
         "e12_recovery": record_e12_recovery(scale),
     }
@@ -331,6 +368,7 @@ def main() -> int:
     e6, e7 = entry["e6_maintenance"], entry["e7_routing"]
     e10, e12 = entry["e10_online"], entry["e12_recovery"]
     e13 = entry["e13_columnar"]
+    e14 = entry["e14_vectorized"]
     print(f"wrote {args.output} (xmark scale {scale})")
     print(f"  E3: identical={e3['identical_configurations']} "
           f"costings {e3['legacy']['query_costings']}"
@@ -354,6 +392,12 @@ def main() -> int:
           f"{e13['columnar_seconds']}s ({e13['scan_speedup']}x), "
           f"fallbacks {e13['interpretive_fallbacks']}"
           f"->{e13['columnar_fallbacks']}")
+    print(f"  E14: identical={e14['identical_results']} "
+          f"sizing={e14['sizing_consistent']} "
+          f"predicate scan {e14['hatch_seconds']}s -> vectorized "
+          f"{e14['vectorized_seconds']}s ({e14['scan_speedup']}x), "
+          f"materializations {e14['hatch_materializations']}"
+          f"->{e14['vectorized_materializations']}")
     print(f"  E10: stationary={e10['stationary_identical']} "
           f"stable={e10['stationary_stable']} "
           f"drift={e10['drift_detected']} "
@@ -397,6 +441,16 @@ def main() -> int:
     if e13["scan_speedup"] < min_columnar_ratio:
         print(f"  FAIL: columnar scan speedup {e13['scan_speedup']}x below "
               f"the floor {min_columnar_ratio}x")
+        return 1
+    min_vectorized_ratio = _env_float("REPRO_SMOKE_MIN_VECTORIZED_RATIO", 2.0)
+    if not (e14["identical_results"] and e14["sizing_consistent"]) \
+            or e14["vectorized_materializations"] \
+            or not e14["hatch_materializations"]:
+        print("  FAIL: vectorized comparison lost equivalence/exactness")
+        return 1
+    if e14["scan_speedup"] < min_vectorized_ratio:
+        print(f"  FAIL: vectorized scan speedup {e14['scan_speedup']}x below "
+              f"the floor {min_vectorized_ratio}x")
         return 1
     if not e10["converged"]:
         print("  FAIL: online tuning loop lost convergence/boundedness")

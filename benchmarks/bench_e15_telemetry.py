@@ -1,0 +1,71 @@
+"""E15 (telemetry): tracing overhead and observe-only equivalence on
+the predicate-heavy XMark+TPoX workload.
+
+PR 10 attached a telemetry plane to the executor: every execution
+records registry metrics (counters are never optional), and a *traced*
+execution additionally builds the per-query span tree (parse ->
+compile -> plan -> route -> scan/index-probe -> residual -> extract)
+and pairs the plan's predicted cost with the measured wall time.  The
+plane is observe-only by contract, so the benchmark pins two facts:
+
+* **equivalence** -- per-query result counts, documents examined and
+  extracted value streams byte-identical between a traced and an
+  untraced executor sharing the database (tracing must never change
+  what a query returns);
+* **overhead** -- traced wall-clock over untraced wall-clock, best of
+  ``repeats`` per mode, gated at 1.15x (the same ceiling CI's
+  ``REPRO_SMOKE_MAX_TELEMETRY_OVERHEAD`` enforces): span trees are a
+  handful of small objects per query, not a second execution.
+
+Shape: ``repro.tools.telemetry_compare.compare_telemetry_modes``
+(shared with the perf recorder's E15 series), run at the benchmark
+scale.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SMOKE, XMARK_SCALE, print_section
+
+from repro.tools.report import render_table
+from repro.tools.telemetry_compare import compare_telemetry_modes
+
+#: Maximum accepted traced-over-untraced wall-clock ratio.  Smoke mode
+#: runs tiny timed regions where the fixed per-query tracing cost is a
+#: larger fraction of noisy sub-millisecond totals, so it gets slack.
+MAX_TELEMETRY_OVERHEAD = 1.35 if BENCH_SMOKE else 1.15
+
+
+def test_e15_telemetry_overhead_and_equivalence(benchmark):
+    comparison = benchmark.pedantic(
+        compare_telemetry_modes,
+        kwargs={"scale": XMARK_SCALE, "repeats": 5},
+        rounds=1, iterations=1)
+
+    table = render_table(
+        ["docs", "untraced s", "traced s", "overhead",
+         "spans", "cost samples", "rows"],
+        [[comparison.documents,
+          f"{comparison.untraced_seconds:.4f}",
+          f"{comparison.traced_seconds:.4f}",
+          f"{comparison.overhead_ratio:.2f}x",
+          comparison.spans_recorded,
+          comparison.cost_samples,
+          comparison.result_rows]])
+    print_section(
+        "E15 telemetry - traced vs untraced execution "
+        f"(XMark scale {XMARK_SCALE})", table)
+
+    assert comparison.identical_results, (
+        "tracing changed query results; the telemetry plane must be "
+        "observe-only")
+    # Every query produced a span tree and every planned query paired
+    # its predicted cost with a measurement.  The traced executor runs
+    # the workload once to warm up and once per repeat, and its cost
+    # accounting accumulates, so the sample count is a whole multiple
+    # of the workload size.
+    assert comparison.spans_recorded >= comparison.queries_total
+    assert comparison.cost_samples >= comparison.queries_total
+    assert comparison.cost_samples % comparison.queries_total == 0
+    assert comparison.overhead_ratio <= MAX_TELEMETRY_OVERHEAD, (
+        f"tracing overhead regressed: {comparison.overhead_ratio:.2f}x "
+        f"> {MAX_TELEMETRY_OVERHEAD:.2f}x at scale {XMARK_SCALE}")

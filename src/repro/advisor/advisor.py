@@ -10,7 +10,6 @@ analysis tooling, the CLI, and the benchmarks consume.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -24,6 +23,7 @@ from repro.faults import guarded_fault_point
 from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.optimizer.optimizer import Optimizer
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import MetricsRegistry, global_registry, wall_clock
 from repro.xquery.model import NormalizedQuery, Workload
 from repro.xquery.normalizer import normalize_workload
 
@@ -109,16 +109,23 @@ class XmlIndexAdvisor:
     """
 
     def __init__(self, database: XmlDatabase,
-                 parameters: Optional[AdvisorParameters] = None) -> None:
+                 parameters: Optional[AdvisorParameters] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.database = database
         self.parameters = parameters or AdvisorParameters()
         self.parameters.validate()
+        #: Session-level metrics; the optimizer and every evaluator this
+        #: advisor builds chain their registries here, so one snapshot
+        #: covers the whole pipeline.
+        self.metrics = MetricsRegistry(
+            parent=registry if registry is not None else global_registry())
         self.optimizer = Optimizer(
             database, self.parameters.cost_parameters,
             enable_plan_cache=self.parameters.enable_plan_cache,
             enable_fine_grained_invalidation=(
                 self.parameters.use_incremental_maintenance),
-            use_collection_costing=self.parameters.use_collection_costing)
+            use_collection_costing=self.parameters.use_collection_costing,
+            registry=self.metrics)
 
     # ------------------------------------------------------------------
     # Pipeline steps (exposed individually for the demo/benchmarks)
@@ -162,7 +169,7 @@ class XmlIndexAdvisor:
     def build_evaluator(self, queries: Sequence[NormalizedQuery]) -> ConfigurationEvaluator:
         """The Evaluate Indexes-backed benefit evaluator for ``queries``."""
         return ConfigurationEvaluator(self.database, queries, self.parameters,
-                                      self.optimizer)
+                                      self.optimizer, registry=self.metrics)
 
     def search(self, candidates: CandidateSet, dag: GeneralizationDag,
                evaluator: ConfigurationEvaluator,
@@ -194,15 +201,15 @@ class XmlIndexAdvisor:
         """
         phase_seconds: Dict[str, float] = {}
 
-        start = time.perf_counter()
+        start = wall_clock()
         queries = self.normalize(workload)
-        phase_seconds["normalize"] = time.perf_counter() - start
+        phase_seconds["normalize"] = wall_clock() - start
 
-        start = time.perf_counter()
+        start = wall_clock()
         basic = self.enumerate_candidates(queries)
-        phase_seconds["enumerate"] = time.perf_counter() - start
+        phase_seconds["enumerate"] = wall_clock() - start
 
-        start = time.perf_counter()
+        start = wall_clock()
         generalization = self.generalize(basic)
         candidates = generalization.candidates
         dag = generalization.dag
@@ -210,12 +217,12 @@ class XmlIndexAdvisor:
             candidates = CandidateSet(c for c in candidates
                                       if c.key not in excluded_keys)
             dag = GeneralizationDag(candidates)
-        phase_seconds["generalize"] = time.perf_counter() - start
+        phase_seconds["generalize"] = wall_clock() - start
 
-        start = time.perf_counter()
+        start = wall_clock()
         evaluator = self.build_evaluator(queries)
         search_result = self.search(candidates, dag, evaluator, algorithm)
-        phase_seconds["search"] = time.perf_counter() - start
+        phase_seconds["search"] = wall_clock() - start
 
         return Recommendation(
             configuration=search_result.configuration,

@@ -76,6 +76,7 @@ from repro.optimizer.explain import evaluate_indexes
 from repro.optimizer.optimizer import Optimizer
 from repro.storage.document_store import XmlDatabase
 from repro.storage.maintenance import DataChangeTracker
+from repro.telemetry import MetricsRegistry, global_registry
 from repro.xpath.patterns import pattern_contains
 from repro.xquery.model import NormalizedQuery, ValueType
 
@@ -142,7 +143,8 @@ class ConfigurationEvaluator:
 
     def __init__(self, database: XmlDatabase, queries: Sequence[NormalizedQuery],
                  parameters: Optional[AdvisorParameters] = None,
-                 optimizer: Optional[Optimizer] = None) -> None:
+                 optimizer: Optional[Optimizer] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.database = database
         self.queries = list(queries)
         self.parameters = parameters or AdvisorParameters()
@@ -150,11 +152,16 @@ class ConfigurationEvaluator:
         self.use_incremental_maintenance = \
             self.parameters.use_incremental_maintenance
         self.use_collection_costing = self.parameters.use_collection_costing
+        #: Per-evaluator metrics; recordings also roll up into
+        #: ``registry`` (or the process-global registry).
+        self.metrics = MetricsRegistry(
+            parent=registry if registry is not None else global_registry())
         self.optimizer = optimizer or Optimizer(
             database, self.parameters.cost_parameters,
             enable_plan_cache=self.parameters.enable_plan_cache,
             enable_fine_grained_invalidation=self.use_incremental_maintenance,
-            use_collection_costing=self.use_collection_costing)
+            use_collection_costing=self.use_collection_costing,
+            registry=self.metrics)
         if optimizer is not None:
             # Staleness decisions must mirror the model that priced the
             # cached rows, so follow an injected optimizer's flag.
@@ -175,18 +182,68 @@ class ConfigurationEvaluator:
         #: means "all of them" (aggregates moved, or legacy mode).
         self._last_stale: Optional[FrozenSet[str]] = None
         #: Full-workload evaluations performed (legacy path + evaluate()).
-        self.full_evaluations = 0
+        self._m_full_evaluations = self.metrics.counter(
+            "evaluator.whatif.full_evaluations")
         #: Delta evaluations performed (incremental update()/extend()).
-        self.delta_evaluations = 0
+        self._m_delta_evaluations = self.metrics.counter(
+            "evaluator.whatif.delta_evaluations")
         #: Per-query what-if cost requests issued (before the per-query
         #: memo): the unit of work the delta engine saves.  A full
         #: evaluation issues one per workload query; a delta evaluation
         #: one per affected query.
-        self.query_costings = 0
+        self._m_query_costings = self.metrics.counter(
+            "evaluator.whatif.costings")
         #: Baseline/query-memo rows preserved across data changes by the
         #: fine-grained invalidation path (for the tests/benchmarks).
-        self.rows_preserved_on_refresh = 0
+        self._m_rows_preserved = self.metrics.counter(
+            "evaluator.whatif.rows_preserved")
+        #: Per-query memo outcomes (`_query_cache` lookups).
+        self._m_memo_hits = self.metrics.counter("evaluator.memo.hits")
+        self._m_memo_misses = self.metrics.counter("evaluator.memo.misses")
         self._compute_baseline()
+
+    # ------------------------------------------------------------------
+    # Legacy counter attributes -- byte-equal views of registry metrics
+    # ------------------------------------------------------------------
+    @property
+    def full_evaluations(self) -> int:
+        return self._m_full_evaluations.value
+
+    @full_evaluations.setter
+    def full_evaluations(self, value: int) -> None:
+        self._m_full_evaluations.reset(value)
+
+    @property
+    def delta_evaluations(self) -> int:
+        return self._m_delta_evaluations.value
+
+    @delta_evaluations.setter
+    def delta_evaluations(self, value: int) -> None:
+        self._m_delta_evaluations.reset(value)
+
+    @property
+    def query_costings(self) -> int:
+        return self._m_query_costings.value
+
+    @query_costings.setter
+    def query_costings(self, value: int) -> None:
+        self._m_query_costings.reset(value)
+
+    @property
+    def rows_preserved_on_refresh(self) -> int:
+        return self._m_rows_preserved.value
+
+    @rows_preserved_on_refresh.setter
+    def rows_preserved_on_refresh(self, value: int) -> None:
+        self._m_rows_preserved.reset(value)
+
+    @property
+    def memo_hits(self) -> int:
+        return self._m_memo_hits.value
+
+    @property
+    def memo_misses(self) -> int:
+        return self._m_memo_misses.value
 
     # ------------------------------------------------------------------
     # Staleness / invalidation
@@ -236,7 +293,7 @@ class ConfigurationEvaluator:
                                      for index_key in key[1]))]
                 for key in evict:
                     del self._query_cache[key]
-                self.rows_preserved_on_refresh += len(self._query_cache)
+                self._m_rows_preserved.inc(len(self._query_cache))
                 # Baselines are no-index costs: only the query's own
                 # patterns (and, with collection costing, its routing
                 # set) matter.
@@ -390,7 +447,7 @@ class ConfigurationEvaluator:
         self.refresh()
         if not isinstance(configuration, IndexConfiguration):
             configuration = IndexConfiguration(configuration)
-        self.full_evaluations += 1
+        self._m_full_evaluations.inc()
         return self._evaluate_now(configuration)
 
     def _evaluate_now(self, configuration: IndexConfiguration) -> ConfigurationBenefit:
@@ -453,7 +510,7 @@ class ConfigurationEvaluator:
             if configuration.add(definition):
                 changed.append(definition)
         if not self.use_incremental:
-            self.full_evaluations += 1
+            self._m_full_evaluations.inc()
             return self._evaluate_now(configuration)
         stale_rows: FrozenSet[str]
         if base.evaluator_epoch == self._epoch:
@@ -462,9 +519,9 @@ class ConfigurationEvaluator:
                 and self._last_stale is not None):
             stale_rows = self._last_stale
         else:
-            self.full_evaluations += 1
+            self._m_full_evaluations.inc()
             return self._evaluate_now(configuration)
-        self.delta_evaluations += 1
+        self._m_delta_evaluations.inc()
         affected: set = set(stale_rows)
         for definition in changed:
             affected.update(self.relevant_queries(definition))
@@ -502,12 +559,14 @@ class ConfigurationEvaluator:
     def _evaluate_query(self, query: NormalizedQuery,
                         configuration: IndexConfiguration
                         ) -> Tuple[float, Tuple[Tuple[str, str], ...]]:
-        self.query_costings += 1
+        self._m_query_costings.inc()
         relevant = self._relevant_indexes(query, configuration)
         cache_key = (query.query_id, frozenset(index.key for index in relevant))
         cached = self._query_cache.get(cache_key)
         if cached is not None:
+            self._m_memo_hits.inc()
             return cached
+        self._m_memo_misses.inc()
         if query.is_update:
             if self.parameters.account_for_updates:
                 plan = self.optimizer.plan_update(query, candidate_indexes=relevant)

@@ -1,4 +1,4 @@
-"""The five contract checkers.
+"""The six contract checkers.
 
 Each checker exposes ``name`` plus ``check_file(parsed, context)`` and
 ``check_project(context)`` iterators of
@@ -11,6 +11,7 @@ from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.faults import FaultCoverageChecker
 from repro.analysis.checkers.hatches import EscapeHatchChecker
 from repro.analysis.checkers.snapshots import SnapshotImmutabilityChecker
+from repro.analysis.checkers.telemetry import TelemetryChecker
 
 #: Checker registry, in reporting-priority order.
 ALL_CHECKERS = (
@@ -19,6 +20,7 @@ ALL_CHECKERS = (
     EscapeHatchChecker(),
     DeterminismChecker(),
     FaultCoverageChecker(),
+    TelemetryChecker(),
 )
 
 __all__ = [
@@ -28,4 +30,5 @@ __all__ = [
     "EscapeHatchChecker",
     "FaultCoverageChecker",
     "SnapshotImmutabilityChecker",
+    "TelemetryChecker",
 ]

@@ -21,6 +21,15 @@ insertion-ordered, and the subsystem's stores are deterministic-order
 dicts by construction.  Set-typedness is inferred locally (literals,
 ``set()`` / ``frozenset()`` calls, set operators, ``Set``-annotated
 names and ``self`` attributes).
+
+The checker also enforces **wall-clock confinement** (PR 10): when the
+tree declares a ``wall_clock_module(...)`` -- the audited
+:mod:`repro.telemetry.clock` -- every other module under the same
+top-level package is forbidden from reading ``time.*`` clocks or
+``datetime`` factories directly; wall-clock reads must route through
+the audited module's ``wall_clock()``.  Deterministic packages stay
+stricter (no clocks at all, audited or not) and are exempted from the
+confinement pass only to avoid double-reporting the same call.
 """
 
 from __future__ import annotations
@@ -42,6 +51,18 @@ _SEEDED_RANDOM = frozenset({"Random", "SystemRandom"})
 _SET_ANNOTATIONS = frozenset({"Set", "FrozenSet", "MutableSet",
                               "set", "frozenset", "AbstractSet"})
 _SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _dotted(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
 
 
 def _is_set_annotation(node: Optional[ast.expr]) -> bool:
@@ -177,16 +198,6 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     # -- clock / randomness checks ------------------------------------
-    def _dotted(self, node: ast.expr) -> Optional[Tuple[str, ...]]:
-        parts: List[str] = []
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if isinstance(node, ast.Name):
-            parts.append(node.id)
-            return tuple(reversed(parts))
-        return None
-
     def visit_Call(self, node: ast.Call) -> None:
         self._check_call(node)
         self._check_materialization(node)
@@ -202,7 +213,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
                                    f"(inject a seeded random.Random "
                                    f"instead)")
             return
-        dotted = self._dotted(func)
+        dotted = _dotted(func)
         if not dotted or len(dotted) < 2:
             return
         root_module = self.modules.get(dotted[0])
@@ -257,15 +268,70 @@ class _DeterminismVisitor(ast.NodeVisitor):
             self._check_iteration(node.args[0], f"{name}()")
 
 
+class _WallClockVisitor(ast.NodeVisitor):
+    """Confinement pass: direct clock reads outside the audited module."""
+
+    def __init__(self, parsed: ParsedFile, out: List[Diagnostic],
+                 audited: List[str]) -> None:
+        self.parsed = parsed
+        self.out = out
+        self.audited = audited
+        self.modules: Dict[str, str] = {}
+        self.datetime_names: Set[str] = set()
+
+    def _report(self, node: ast.AST, call: str) -> None:
+        routes = " or ".join(sorted(self.audited))
+        self.out.append(Diagnostic(
+            checker="determinism", path=str(self.parsed.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=f"wall clock: {call}() called outside the audited "
+                    f"wall-clock module ({routes}); route the read "
+                    f"through its wall_clock()"))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name.split(".")[0]] = \
+                alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date", "time"):
+                    self.datetime_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted and len(dotted) >= 2:
+            root_module = self.modules.get(dotted[0])
+            if root_module == "time" and dotted[-1] in _CLOCK_FUNCS:
+                self._report(node, ".".join(dotted))
+            elif root_module == "datetime" and len(dotted) >= 3 and \
+                    dotted[1] in ("datetime", "date") and \
+                    dotted[-1] in _DATETIME_FACTORIES:
+                self._report(node, ".".join(dotted))
+            elif dotted[0] in self.datetime_names and \
+                    dotted[-1] in _DATETIME_FACTORIES:
+                self._report(node, ".".join(dotted))
+        self.generic_visit(node)
+
+
 class DeterminismChecker:
     name = "determinism"
 
     def check_file(self, parsed: ParsedFile,
                    context: AnalysisContext) -> Iterator[Diagnostic]:
-        if not context.in_deterministic_scope(parsed.module):
-            return iter(())
         out: List[Diagnostic] = []
-        _DeterminismVisitor(parsed, out).visit(parsed.tree)
+        if context.in_deterministic_scope(parsed.module):
+            # Deterministic packages forbid clocks outright; running the
+            # confinement pass too would double-report every call.
+            _DeterminismVisitor(parsed, out).visit(parsed.tree)
+        elif context.wall_clock_modules and \
+                context.in_wall_clock_confined_scope(parsed.module):
+            _WallClockVisitor(parsed, out,
+                              context.wall_clock_modules).visit(parsed.tree)
         return iter(out)
 
     def check_project(self, context: AnalysisContext) \

@@ -1,0 +1,270 @@
+"""Checker 6: telemetry (the observe-only contract).
+
+``observe_only_package("repro.telemetry")`` declares that the telemetry
+plane records what the system did but never governs it.  Three rules
+make the promise checkable without importing anything:
+
+1. **Import direction.**  A module under an observe-only package may
+   import the standard library, its own package, and the tree's
+   ``contracts`` module -- nothing else from the same top-level tree.
+   Telemetry that imports the optimizer could consult it; telemetry
+   that cannot name governed code cannot mutate it.
+2. **Fixed histogram bounds.**  Every ``*.histogram(name, bounds)``
+   call anywhere in the tree must pass bucket bounds that are literal
+   (inline, or a module-level constant assigned a literal in the same
+   file).  Data-dependent bucketing would make the metric layout -- and
+   hence the deterministic JSON export -- depend on the run.
+3. **No governed mutations inside instrumentation.**  At a recording
+   call site (``...metrics.<counter>.inc(...)``, ``...observe(...)``,
+   ``span(...)`` and friends) the argument expressions may not call a
+   declared snapshot mutator/builder or cache revalidator/refresher:
+   ``metrics.counter("x").inc(len(self.refresh()))`` would smuggle a
+   governed mutation into a line that reads as pure observation, and
+   would silently change behaviour when telemetry is stripped.
+   Likewise, outside the observe-only package no attribute *reached
+   through* a ``metrics``/``telemetry`` attribute may be assigned --
+   instrumented components read their registries, they do not reshape
+   them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.analysis.core import AnalysisContext, Diagnostic, ParsedFile
+
+__all__ = ["TelemetryChecker"]
+
+#: Method names that record into a metric, span or accounting stream.
+_RECORDING_METHODS = frozenset({"inc", "observe", "set", "record", "annotate"})
+#: Receiver-chain names marking a telemetry object.
+_TELEMETRY_CHAIN = frozenset({"metrics", "_metrics", "telemetry", "_telemetry",
+                              "cost_accounting", "span", "trace"})
+#: Factory method names whose result is a metric (``m.counter(...)``).
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+
+def _attr_chain(node: ast.expr) -> List[str]:
+    """Every attribute/name identifier along a receiver expression."""
+    names: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            names.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            names.append(node.id)
+            return names
+        else:
+            return names
+
+
+def _is_number_sequence(value: object) -> bool:
+    return isinstance(value, (list, tuple)) and bool(value) and all(
+        isinstance(item, (int, float)) and not isinstance(item, bool)
+        for item in value)
+
+
+class _ModuleConstants(ast.NodeVisitor):
+    """Names assigned a literal number-sequence at module level."""
+
+    def __init__(self) -> None:
+        self.literal_bound_names: Set[str] = set()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            try:
+                literal = ast.literal_eval(value)
+            except (ValueError, SyntaxError):
+                continue
+            if _is_number_sequence(literal):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.literal_bound_names.add(target.id)
+
+
+class _TelemetryVisitor(ast.NodeVisitor):
+    def __init__(self, parsed: ParsedFile, context: AnalysisContext,
+                 out: List[Diagnostic]) -> None:
+        self.parsed = parsed
+        self.context = context
+        self.out = out
+        self.observe_scope = context.observe_only_scope(parsed.module)
+        constants = _ModuleConstants()
+        constants.visit(parsed.tree)
+        self.literal_bound_names = constants.literal_bound_names
+        #: Names of declared governed mutators: snapshot mutators and
+        #: builders plus cache revalidators/refreshers.  Matching is by
+        #: terminal name -- conservative, but these names are chosen to
+        #: be distinctive (``_revalidate_plan_cache``, ``refresh``, ...).
+        governed: Set[str] = set()
+        for decl in context.snapshots.values():
+            governed.update(decl.mutators)
+            governed.update(decl.builders)
+        for cache in context.caches:
+            for policy in cache.memos.values():
+                for key in ("revalidators", "refreshers"):
+                    names = policy.get(key, ())
+                    if isinstance(names, (list, tuple)):
+                        governed.update(str(name) for name in names)
+        self.governed_mutators = governed
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        self.out.append(Diagnostic(
+            checker="telemetry", path=str(self.parsed.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), message=message))
+
+    # -- rule 1: import direction inside observe-only packages ---------
+    def _check_import_target(self, node: ast.AST, target: str) -> None:
+        assert self.observe_scope is not None
+        top = self.observe_scope.split(".")[0]
+        if target != top and not target.startswith(top + "."):
+            return  # stdlib / third-party: out of scope
+        if target == self.observe_scope or \
+                target.startswith(self.observe_scope + "."):
+            return  # package-internal
+        if target == f"{top}.contracts":
+            return  # the declarations themselves are observe-safe
+        self._report(node, f"observe-only package {self.observe_scope} "
+                           f"imports governed module {target}; telemetry "
+                           f"may import only itself and {top}.contracts")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.observe_scope is not None:
+            for alias in node.names:
+                self._check_import_target(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.observe_scope is not None and node.level == 0 and \
+                node.module is not None:
+            top = self.observe_scope.split(".")[0]
+            if node.module == top:
+                # ``from repro import contracts`` is the allowed form;
+                # anything else pulled off the root package is governed.
+                for alias in node.names:
+                    self._check_import_target(
+                        node, f"{node.module}.{alias.name}")
+            else:
+                self._check_import_target(node, node.module)
+        self.generic_visit(node)
+
+    # -- rule 2: fixed histogram bounds --------------------------------
+    def _check_histogram(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "histogram"):
+            return
+        bounds: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            bounds = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "bounds":
+                    bounds = keyword.value
+        if bounds is None:
+            return  # registry raises at runtime; not a contract matter
+        if isinstance(bounds, ast.Name):
+            if bounds.id in self.literal_bound_names:
+                return
+        else:
+            try:
+                literal = ast.literal_eval(bounds)
+            except (ValueError, SyntaxError):
+                literal = None
+            if _is_number_sequence(literal):
+                return
+        self._report(node, "histogram bucket bounds must be a literal "
+                           "number sequence (inline or a module-level "
+                           "constant); data-dependent bucketing breaks "
+                           "deterministic exports")
+
+    # -- rule 3: no governed mutations inside instrumentation ----------
+    def _is_recording_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "span"
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr not in _RECORDING_METHODS:
+            return False
+        chain = _attr_chain(func.value)
+        # ``self._m_foo.inc()`` is the migrated-counter idiom: any
+        # ``_m_``-prefixed attribute in the receiver marks a metric.
+        return bool(_TELEMETRY_CHAIN.intersection(chain)) or \
+            bool(_METRIC_FACTORIES.intersection(chain)) or \
+            any(name.startswith("_m_") for name in chain)
+
+    def _check_recording_args(self, node: ast.Call) -> None:
+        if not self._is_recording_call(node):
+            return
+        arg_nodes = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in arg_nodes:
+            for sub in ast.walk(arg):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None)
+                if name in self.governed_mutators:
+                    self._report(sub, f"governed mutator {name}() called "
+                                      f"inside a telemetry recording "
+                                      f"argument; instrumentation must "
+                                      f"observe, never mutate")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_histogram(node)
+        self._check_recording_args(node)
+        self.generic_visit(node)
+
+    # -- rule 3b: no writes reached through a telemetry attribute ------
+    def _check_write_target(self, target: ast.expr, node: ast.AST) -> None:
+        if self.observe_scope is not None:
+            return  # the plane may manage its own internals
+        if not isinstance(target, ast.Attribute):
+            return
+        # Only *pass-through* writes are governed: the chain below the
+        # assigned attribute containing a telemetry name means someone
+        # is reshaping a registry/span from outside the plane.  Plain
+        # ``self.metrics = ...`` (chain head) is component wiring.
+        chain = _attr_chain(target.value)
+        if _TELEMETRY_CHAIN.intersection(chain):
+            self._report(node, "attribute assignment through a telemetry "
+                               "object outside the observe-only package; "
+                               "record through inc()/observe()/set() "
+                               "instead of reshaping telemetry state")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_write_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write_target(node.target, node)
+        self.generic_visit(node)
+
+
+class TelemetryChecker:
+    name = "telemetry"
+
+    def check_file(self, parsed: ParsedFile,
+                   context: AnalysisContext) -> Iterator[Diagnostic]:
+        if not context.observe_only_packages:
+            return iter(())
+        out: List[Diagnostic] = []
+        _TelemetryVisitor(parsed, context, out).visit(parsed.tree)
+        return iter(out)
+
+    def check_project(self, context: AnalysisContext) \
+            -> Iterable[Diagnostic]:
+        return ()

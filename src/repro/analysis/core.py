@@ -137,6 +137,12 @@ class AnalysisContext:
     #: fault-injection site name -> declaration.
     sites: Dict[str, SiteDecl] = field(default_factory=dict)
     deterministic_packages: List[str] = field(default_factory=list)
+    #: ``observe_only_package("...")`` declarations (non-governing
+    #: telemetry scopes, checked by the telemetry checker).
+    observe_only_packages: List[str] = field(default_factory=list)
+    #: ``wall_clock_module("...")`` declarations: the only modules in
+    #: their top-level trees allowed to read ``time.*`` clocks.
+    wall_clock_modules: List[str] = field(default_factory=list)
     tests_dir: Optional[Path] = None
     #: Filled in by the runner: final, sorted, suppression-filtered.
     diagnostics: List[Diagnostic] = field(default_factory=list)
@@ -144,6 +150,21 @@ class AnalysisContext:
     def in_deterministic_scope(self, module: str) -> bool:
         return any(module == pkg or module.startswith(pkg + ".")
                    for pkg in self.deterministic_packages)
+
+    def observe_only_scope(self, module: str) -> Optional[str]:
+        """The observe-only package containing ``module``, if any."""
+        for pkg in self.observe_only_packages:
+            if module == pkg or module.startswith(pkg + "."):
+                return pkg
+        return None
+
+    def in_wall_clock_confined_scope(self, module: str) -> bool:
+        """True when ``module`` shares a top-level package with a
+        declared wall-clock module but is not itself one of them."""
+        if module in self.wall_clock_modules:
+            return False
+        tops = {decl.split(".")[0] for decl in self.wall_clock_modules}
+        return module.split(".")[0] in tops
 
 
 def module_name_for(path: Path) -> str:
@@ -282,7 +303,8 @@ class _RegistrationCollector(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         name = call_name(node)
         if name in ("escape_hatch", "deterministic_package",
-                    "injection_site") and node.args:
+                    "injection_site", "observe_only_package",
+                    "wall_clock_module") and node.args:
             first = node.args[0]
             if isinstance(first, ast.Constant) and isinstance(first.value, str):
                 if name == "escape_hatch":
@@ -297,6 +319,12 @@ class _RegistrationCollector(ast.NodeVisitor):
                         module=self.parsed.module,
                         path=str(self.parsed.path),
                         line=node.lineno))
+                elif name == "observe_only_package":
+                    if first.value not in self.context.observe_only_packages:
+                        self.context.observe_only_packages.append(first.value)
+                elif name == "wall_clock_module":
+                    if first.value not in self.context.wall_clock_modules:
+                        self.context.wall_clock_modules.append(first.value)
                 elif first.value not in self.context.deterministic_packages:
                     self.context.deterministic_packages.append(first.value)
         self.generic_visit(node)

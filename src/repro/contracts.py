@@ -25,6 +25,16 @@ invariants into *declarations that live next to the code they govern*:
   fault-coverage checker requires every catalog-mutating seam to
   consult a registered site, and every registered site to be consulted
   somewhere in the tree.
+* :func:`observe_only_package` -- declares a non-governing telemetry
+  package: it may record what the system did but may not import (and
+  therefore cannot mutate) the governed packages of its tree, and
+  instrumentation sites in governed code may not smuggle governed
+  mutations into its recording calls.  Enforced by the telemetry
+  checker.
+* :func:`wall_clock_module` -- declares the single audited module
+  allowed to read ``time.*`` clocks; the determinism checker flags any
+  other direct clock read anywhere under the declaring tree's
+  top-level package.
 
 The declarations are consumed twice:
 
@@ -66,6 +76,8 @@ __all__ = [
     "escape_hatch",
     "deterministic_package",
     "injection_site",
+    "observe_only_package",
+    "wall_clock_module",
     "building",
 ]
 
@@ -109,6 +121,8 @@ class ContractRegistry:
     escape_hatches: Dict[str, str] = field(default_factory=dict)
     deterministic_packages: Tuple[str, ...] = ()
     injection_sites: Dict[str, str] = field(default_factory=dict)
+    observe_only_packages: Dict[str, str] = field(default_factory=dict)
+    wall_clock_modules: Tuple[str, ...] = ()
 
 
 #: The process-wide registry (populated as governed modules import).
@@ -295,6 +309,38 @@ def deterministic_package(name: str) -> str:
     if name not in REGISTRY.deterministic_packages:
         REGISTRY.deterministic_packages = \
             REGISTRY.deterministic_packages + (name,)
+    return name
+
+
+def observe_only_package(name: str, description: str = "") -> str:
+    """Declare a package that observes but never governs.
+
+    Modules under ``name`` may record what the system did -- counters,
+    spans, cost samples -- but may not import (and therefore cannot
+    call or mutate) the governed packages of the same top-level tree,
+    other than the contract declarations themselves.  The telemetry
+    checker enforces the import direction statically, requires fixed
+    literal histogram bucket bounds (no data-dependent bucketing), and
+    verifies instrumentation sites in governed code never pass a
+    governed mutation into a recording call.  Returns ``name`` so the
+    call can double as a constant definition.
+    """
+    REGISTRY.observe_only_packages[name] = description
+    return name
+
+
+def wall_clock_module(name: str) -> str:
+    """Declare an audited wall-clock module.
+
+    Every direct ``time.*`` clock read in the tree must live in a
+    module declared here; the determinism checker flags any other
+    ``time.time``-style call in any module under the declaring tree's
+    top-level package.  Deterministic packages remain stricter: no
+    wall clocks at all, not even through the audited module.  Returns
+    ``name`` so the call can double as a constant definition.
+    """
+    if name not in REGISTRY.wall_clock_modules:
+        REGISTRY.wall_clock_modules = REGISTRY.wall_clock_modules + (name,)
     return name
 
 

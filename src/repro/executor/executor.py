@@ -59,7 +59,6 @@ vectorized path, positive on every legacy path.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -82,6 +81,15 @@ from repro.optimizer.plans import IndexScan, QueryPlan
 from repro.storage.columnar import ColumnarStore
 from repro.storage.document_store import XmlDatabase
 from repro.storage.path_summary import PathSummary
+from repro.telemetry import (
+    CostAccounting,
+    MetricsRegistry,
+    Span,
+    global_registry,
+    span,
+    tracing_armed,
+    wall_clock,
+)
 from repro.xmldb.nodes import DocumentNode, XmlNode, normalized_node_value
 from repro.xpath.compiler import compile_pattern
 from repro.xpath.evaluator import XPathEvaluator
@@ -107,6 +115,21 @@ escape_hatch("use_vectorized_predicates",
              "XmlNode objects instead of the columnar store's set-at-a-time "
              "value projections")
 
+#: Fixed bucket bounds (seconds) for the per-query wall-clock latency
+#: histogram -- literal by the telemetry contract (no data-dependent
+#: bucketing), so bucket layout never varies run to run.
+_QUERY_SECONDS_BOUNDS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
+                         0.1, 0.5, 1.0, 5.0)
+#: Fixed bucket bounds for the per-query documents-examined histogram.
+_DOCS_EXAMINED_BOUNDS = (1, 10, 100, 1000, 10000, 100000)
+
+
+def _plan_shape(plan: QueryPlan) -> str:
+    """Cost-accounting key: one bucket per structural plan kind."""
+    if not plan.uses_indexes:
+        return "document-scan"
+    return f"index-plan[{len(plan.used_indexes)}]"
+
 
 @dataclass
 class ExecutionResult:
@@ -128,6 +151,12 @@ class ExecutionResult:
     #: come straight from the columnar values column -- byte-identical
     #: to ``normalized_node_value`` over the extracted nodes.
     extracted_values: Optional[List[str]] = None
+    #: Span tree recorded by ``execute(trace=True)`` (or with tracing
+    #: armed executor/process-wide): parse/compile/plan/route/scan or
+    #: index-probe/residual/extract, with plan shape, routing set,
+    #: plan-cache attribution and wall/logical timings.  Observe-only
+    #: data; ``None`` when tracing is off.
+    trace: Optional[Span] = None
 
     @property
     def extracted_count(self) -> int:
@@ -201,9 +230,11 @@ class QueryExecutor:
                  use_collection_routing: bool = True,
                  use_columnar: Optional[bool] = None,
                  use_vectorized_predicates: Optional[bool] = None,
-                 monitor: Optional["WorkloadMonitor"] = None) -> None:
+                 monitor: Optional["WorkloadMonitor"] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 trace: Optional[bool] = None) -> None:
         self.database = database
-        self.optimizer = optimizer or Optimizer(database)
+        self.optimizer = optimizer or Optimizer(database, registry=registry)
         #: Online-tuning capture hook: when attached, every executed
         #: query (and its measured work) is recorded into the monitor's
         #: decayed frequency store (see :mod:`repro.tuning.monitor`).
@@ -254,31 +285,128 @@ class QueryExecutor:
         self._summaries: Dict[str, PathSummary] = {}
         self._columnars: Dict[str, ColumnarStore] = {}
         self._subscribed: set = set()
-        #: Indexes rebuilt from scratch / maintained via deltas since
-        #: construction (observability for tests and benchmarks).
-        self.index_rebuilds = 0
-        self.index_delta_maintenances = 0
-        #: Documents skipped by structural routing (scan path and
-        #: index-plan residual checks), for the benchmarks/tests.
-        self.documents_routed_out = 0
-        #: Degraded-mode observability: queries answered by a fallback
-        #: scan after an index failure, unusable indexes repaired, and a
-        #: human-readable trail of every containment event.
-        self.scan_fallbacks = 0
-        self.index_repairs = 0
+        #: Instance-scoped metrics registry (the telemetry plane).  The
+        #: legacy ad-hoc counters live here now as registry metrics --
+        #: instance values keep their old per-executor semantics
+        #: byte-for-byte (read them through the properties below) while
+        #: every recording also aggregates into ``registry`` (the
+        #: process-global registry by default).
+        self.metrics = MetricsRegistry(
+            parent=registry if registry is not None else global_registry())
+        self._m_index_rebuilds = self.metrics.counter(
+            "executor.index.rebuilds")
+        self._m_index_delta_maintenances = self.metrics.counter(
+            "executor.index.delta_maintenances")
+        self._m_index_repairs = self.metrics.counter(
+            "executor.index.repairs")
+        self._m_documents_routed_out = self.metrics.counter(
+            "executor.scan.documents_routed_out")
+        self._m_scan_fallbacks = self.metrics.counter(
+            "executor.scan.fallbacks")
+        self._m_interpretive_spine_fallbacks = self.metrics.counter(
+            "executor.scan.interpretive_spine_fallbacks")
+        self._m_scan_node_materializations = self.metrics.counter(
+            "executor.scan.node_materializations")
+        self._m_queries_executed = self.metrics.counter(
+            "executor.queries.executed")
+        self._m_queries_traced = self.metrics.counter(
+            "executor.queries.traced")
+        self._m_query_seconds = self.metrics.histogram(
+            "executor.query.seconds", _QUERY_SECONDS_BOUNDS, wall=True)
+        self._m_documents_examined = self.metrics.histogram(
+            "executor.query.documents_examined", _DOCS_EXAMINED_BOUNDS)
+        #: Human-readable trail of every degraded-mode containment event.
         self.fallback_events: List[str] = []
-        #: Path spines answered by the interpretive evaluator because
-        #: neither the columnar store nor the summary could back them
-        #: (observability: the E13 benchmark asserts this stays zero on
-        #: the columnar path).
-        self.interpretive_spine_fallbacks = 0
-        #: XmlNode list materializations performed while matching or
-        #: extracting (every ``select_nodes`` call on a legacy path).
-        #: The E14 benchmark and the vectorized equivalence tests assert
-        #: this stays zero on the vectorized scan path -- the proof that
-        #: predicates and value extraction never left the columns.
-        self.scan_node_materializations = 0
+        #: Default tracing state for :meth:`execute` calls that do not
+        #: pass ``trace=``; seeded from the ``REPRO_TRACE`` environment
+        #: switch when the constructor argument is ``None``.
+        self.trace_by_default = tracing_armed() if trace is None else trace
+        #: Predicted-vs-actual cost accounting over traced queries: each
+        #: traced execution pairs the chosen plan's ``CostModel``
+        #: estimate with the measured wall-clock time, per plan shape.
+        self.cost_accounting = CostAccounting()
         self._refresh_document_lookup()
+
+    # ------------------------------------------------------------------
+    # Legacy counter attributes -- byte-equal views of registry metrics
+    # ------------------------------------------------------------------
+    # Each property reads the instance metric the old ad-hoc counter
+    # migrated onto; the setters keep the historical reset idiom
+    # (``executor.scan_node_materializations = 0``) working by resetting
+    # the *instance* value only -- parent aggregates keep their totals.
+
+    @property
+    def index_rebuilds(self) -> int:
+        """Indexes rebuilt from scratch since construction
+        (observability for tests and benchmarks)."""
+        return self._m_index_rebuilds.value
+
+    @index_rebuilds.setter
+    def index_rebuilds(self, value: int) -> None:
+        self._m_index_rebuilds.reset(value)
+
+    @property
+    def index_delta_maintenances(self) -> int:
+        """Indexes caught up via delta journals since construction."""
+        return self._m_index_delta_maintenances.value
+
+    @index_delta_maintenances.setter
+    def index_delta_maintenances(self, value: int) -> None:
+        self._m_index_delta_maintenances.reset(value)
+
+    @property
+    def index_repairs(self) -> int:
+        """Unusable indexes successfully rebuilt by :meth:`repair_indexes`."""
+        return self._m_index_repairs.value
+
+    @index_repairs.setter
+    def index_repairs(self, value: int) -> None:
+        self._m_index_repairs.reset(value)
+
+    @property
+    def documents_routed_out(self) -> int:
+        """Documents skipped by structural routing (scan path and
+        index-plan residual checks), for the benchmarks/tests."""
+        return self._m_documents_routed_out.value
+
+    @documents_routed_out.setter
+    def documents_routed_out(self, value: int) -> None:
+        self._m_documents_routed_out.reset(value)
+
+    @property
+    def scan_fallbacks(self) -> int:
+        """Queries answered by a fallback scan after an index or
+        planner failure (degraded-mode observability)."""
+        return self._m_scan_fallbacks.value
+
+    @scan_fallbacks.setter
+    def scan_fallbacks(self, value: int) -> None:
+        self._m_scan_fallbacks.reset(value)
+
+    @property
+    def interpretive_spine_fallbacks(self) -> int:
+        """Path spines answered by the interpretive evaluator because
+        neither the columnar store nor the summary could back them
+        (the E13 benchmark asserts this stays zero on the columnar
+        path)."""
+        return self._m_interpretive_spine_fallbacks.value
+
+    @interpretive_spine_fallbacks.setter
+    def interpretive_spine_fallbacks(self, value: int) -> None:
+        self._m_interpretive_spine_fallbacks.reset(value)
+
+    @property
+    def scan_node_materializations(self) -> int:
+        """XmlNode list materializations performed while matching or
+        extracting (every ``select_nodes`` call on a legacy path).  The
+        E14 benchmark and the vectorized equivalence tests assert this
+        stays zero on the vectorized scan path -- the proof that
+        predicates and value extraction never left the columns."""
+        return self._m_scan_node_materializations.value
+
+    @scan_node_materializations.setter
+    def scan_node_materializations(self, value: int) -> None:
+        self._m_scan_node_materializations.reset(value)
 
     # ------------------------------------------------------------------
     # Index materialization
@@ -383,7 +511,7 @@ class QueryExecutor:
             except Exception:  # noqa: BLE001 -- containment: stay degraded
                 continue
             self.install_index(definition, structure)
-            self.index_repairs += 1
+            self._m_index_repairs.inc()
             self._note_fallback(f"index {name!r} repaired (rebuilt)")
             repaired.append(name)
         return repaired
@@ -418,7 +546,7 @@ class QueryExecutor:
                                     f"rebuild failed: {exc}")
                 continue
             self._indexes[key] = rebuilt
-            self.index_rebuilds += 1
+            self._m_index_rebuilds.inc()
             self._mark_maintained(physical.definition.name, signature)
 
     def _mark_maintained(self, name: str,
@@ -485,9 +613,9 @@ class QueryExecutor:
                         name, "rebuild after failed delta maintenance "
                               f"failed: {rebuild_exc}")
                     continue
-                self.index_rebuilds += 1
+                self._m_index_rebuilds.inc()
             else:
-                self.index_delta_maintenances += 1
+                self._m_index_delta_maintenances.inc()
             self._mark_maintained(name, signature)
 
     def drop_indexes(self, names: Iterable[str]) -> List[str]:
@@ -528,7 +656,8 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     def execute(self, query: Union[NormalizedQuery, str],
                 extract: bool = False,
-                extract_values: bool = False) -> ExecutionResult:
+                extract_values: bool = False,
+                trace: Optional[bool] = None) -> ExecutionResult:
         """Execute a query (normalized or raw statement text).
 
         With ``extract=True``, the result additionally carries the nodes
@@ -538,38 +667,80 @@ class QueryExecutor:
         string values instead (``ExecutionResult.extracted_values``) --
         on the vectorized path served straight from the columnar values
         column, with no node materialization at all.
+
+        With ``trace=True`` (or tracing armed executor/process-wide,
+        see ``REPRO_TRACE``), the result carries a span tree on
+        ``ExecutionResult.trace`` and the execution feeds the
+        predicted-vs-actual :attr:`cost_accounting` stream.  Tracing is
+        observe-only: results are byte-identical either way.
         """
+        traced = self.trace_by_default if trace is None else trace
+        root: Optional[Span] = None
         if isinstance(query, str):
+            parse_start = wall_clock()
+            statement_chars = len(query)
             query = normalize_statement(query)
+            if traced:
+                root = Span("query", query_id=query.query_id)
+                parse_span = root.child("parse",
+                                        statement_chars=statement_chars)
+                parse_span.elapsed_seconds = wall_clock() - parse_start
+        elif traced:
+            root = Span("query", query_id=query.query_id)
         if query.is_update:
             raise ValueError(
                 "the executor runs read queries; updates are costed by the optimizer")
-        start = time.perf_counter()
+        if root is not None:
+            # Pattern compilation is memoized and interleaved with
+            # matching, so the compile span carries the logical shape
+            # only (no separable wall time).
+            root.child("compile", predicates=len(query.predicates),
+                       extraction_paths=len(query.extraction_paths))
+        start = wall_clock()
         if self._lookup_signature != self.database.data_signature():
             # Documents were added/removed since the executor's derived
             # state was built: refresh the document lookup and catch the
             # materialized indexes up (via the delta journals, or by
             # rebuilding), so index plans neither miss new documents nor
             # return entries with reassigned document ids.
-            self._maintain_derived_state()
+            with span(root, "maintain"):
+                self._maintain_derived_state()
+        plan: Optional[QueryPlan] = None
         while True:
+            cache_hits_before = self.optimizer.plan_cache_hits
             try:
-                plan = self.optimizer.optimize(
-                    query,
-                    candidate_indexes=self.database.catalog.usable_physical_indexes)
+                with span(root, "plan") as plan_span:
+                    plan = self.optimizer.optimize(
+                        query,
+                        candidate_indexes=self.database.catalog.usable_physical_indexes)
+                    if plan_span is not None:
+                        plan_span.annotate(
+                            plan_cache=("hit" if self.optimizer.plan_cache_hits
+                                        > cache_hits_before else "miss"),
+                            plan_shape=_plan_shape(plan),
+                            predicted_cost=plan.total_cost,
+                            routing=(sorted(plan.routing)
+                                     if plan.routing is not None else None),
+                            indexes=[index.name
+                                     for index in plan.used_indexes])
             except FaultError as exc:
                 # Infrastructure failure while planning (statistics or
                 # synopsis publish): degrade to an unrouted document
                 # scan -- results unchanged, just slower.
+                plan = None
                 self._note_fallback(
                     f"optimizer unavailable ({exc}); full document scan")
-                self.scan_fallbacks += 1
-                result = self._execute_scan(query, extract, None, extract_values)
+                self._m_scan_fallbacks.inc()
+                if root is not None:
+                    root.annotate(planner_fallback=True)
+                result = self._execute_scan(query, extract, None,
+                                            extract_values, trace=root)
                 break
             if plan.uses_indexes and self._plan_indexes_materialized(plan):
                 try:
                     result = self._execute_index_plan(query, plan, extract,
-                                                      extract_values)
+                                                      extract_values,
+                                                      trace=root)
                     break
                 except _IndexProbeError as failure:
                     # Degraded mode: a raising index must not fail the
@@ -577,12 +748,34 @@ class QueryExecutor:
                     # each pass removes one index, so this terminates.
                     self._degrade_index(failure.name,
                                         f"probe raised: {failure.error}")
-                    self.scan_fallbacks += 1
+                    self._m_scan_fallbacks.inc()
                     continue
             result = self._execute_scan(query, extract, plan.routing,
-                                        extract_values)
+                                        extract_values, trace=root)
             break
-        result.elapsed_seconds = time.perf_counter() - start
+        elapsed = wall_clock() - start
+        result.elapsed_seconds = elapsed
+        self._m_queries_executed.inc()
+        self._m_query_seconds.observe(elapsed)
+        self._m_documents_examined.observe(result.documents_examined)
+        if root is not None:
+            self._m_queries_traced.inc()
+            root.elapsed_seconds = elapsed
+            root.annotate(result_count=result.result_count,
+                          documents_examined=result.documents_examined,
+                          index_entries_scanned=result.index_entries_scanned,
+                          used_index_plan=result.used_index_plan)
+            result.trace = root
+            if plan is not None:
+                # Planner-fallback scans have no prediction to pair with,
+                # so only planned executions feed the accounting stream.
+                self.cost_accounting.record(
+                    query_id=query.query_id,
+                    plan_shape=_plan_shape(plan),
+                    predicted_cost=plan.total_cost,
+                    measured_seconds=elapsed,
+                    documents_examined=result.documents_examined,
+                    index_entries_scanned=result.index_entries_scanned)
         if self.monitor is not None:
             # Online-tuning capture: the monitor aggregates by query
             # template, so repeated executions of one statement fold
@@ -603,12 +796,14 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     def _execute_scan(self, query: NormalizedQuery, extract: bool = False,
                       routing: Optional[Tuple[str, ...]] = None,
-                      extract_values: bool = False) -> ExecutionResult:
+                      extract_values: bool = False,
+                      trace: Optional[Span] = None) -> ExecutionResult:
         matching_docs = 0
         examined = 0
         extracted: Optional[List[XmlNode]] = [] if extract else None
         values: Optional[List[str]] = [] if extract_values else None
         collections = self.database.collections
+        routed_out = 0
         if self.use_collection_routing and routing is not None:
             # Structural pruning: a collection outside the plan's
             # routing set provably contains no matching document (its
@@ -616,9 +811,22 @@ class QueryExecutor:
             # scan does not visit it at all.
             routed = frozenset(routing)
             pruned = [c for c in collections if c.name in routed]
-            self.documents_routed_out += sum(
+            routed_out = sum(
                 len(c) for c in collections if c.name not in routed)
+            self._m_documents_routed_out.inc(routed_out)
             collections = pruned
+        if trace is not None:
+            trace.child("route",
+                        routing=(sorted(routing)
+                                 if routing is not None else None),
+                        collections=len(collections),
+                        documents_routed_out=routed_out)
+        scan_span: Optional[Span] = None
+        scan_start = 0.0
+        if trace is not None:
+            scan_span = trace.child(
+                "scan", vectorized=self.use_vectorized_predicates)
+            scan_start = wall_clock()
         for collection in collections:
             summary = self._summary_for(collection.name)
             columnar = self._columnar_for(collection.name)
@@ -656,6 +864,15 @@ class QueryExecutor:
                     if values is not None:
                         values.extend(self._extract_values(
                             document, query, summary, columnar))
+        if scan_span is not None:
+            scan_span.elapsed_seconds = wall_clock() - scan_start
+            scan_span.annotate(documents_examined=examined,
+                               matching_documents=matching_docs)
+        if trace is not None and (extract or extract_values):
+            trace.child(
+                "extract",
+                extracted_nodes=len(extracted) if extracted is not None else 0,
+                extracted_values=len(values) if values is not None else 0)
         return ExecutionResult(query_id=query.query_id, result_count=matching_docs,
                                documents_examined=examined, index_entries_scanned=0,
                                used_index_plan=False, extracted_nodes=extracted,
@@ -699,23 +916,30 @@ class QueryExecutor:
 
     def _execute_index_plan(self, query: NormalizedQuery, plan: QueryPlan,
                             extract: bool = False,
-                            extract_values: bool = False) -> ExecutionResult:
+                            extract_values: bool = False,
+                            trace: Optional[Span] = None) -> ExecutionResult:
         candidate_docs: Optional[Set[Tuple[str, int]]] = None
         entries_scanned = 0
         used_names: List[str] = []
-        for operator in self._index_scans(plan):
-            index = self._indexes[operator.index.key]
-            used_names.append(operator.index.name)
-            try:
-                entries = self._probe(index, operator.predicate)
-            except Exception as exc:  # noqa: BLE001 -- attributed, contained by execute()
-                raise _IndexProbeError(operator.index.name, exc) from exc
-            entries_scanned += len(entries)
-            docs = {(entry.collection, entry.doc_id) for entry in entries}
-            candidate_docs = docs if candidate_docs is None else candidate_docs & docs
-            if not candidate_docs:
-                break
-        candidate_docs = candidate_docs or set()
+        with span(trace, "index-probe") as probe_span:
+            for operator in self._index_scans(plan):
+                index = self._indexes[operator.index.key]
+                used_names.append(operator.index.name)
+                try:
+                    entries = self._probe(index, operator.predicate)
+                except Exception as exc:  # noqa: BLE001 -- attributed, contained by execute()
+                    raise _IndexProbeError(operator.index.name, exc) from exc
+                entries_scanned += len(entries)
+                docs = {(entry.collection, entry.doc_id) for entry in entries}
+                candidate_docs = docs if candidate_docs is None else candidate_docs & docs
+                if not candidate_docs:
+                    break
+            candidate_docs = candidate_docs or set()
+            if probe_span is not None:
+                probe_span.annotate(indexes=list(used_names),
+                                    entries_scanned=entries_scanned,
+                                    candidate_documents=len(candidate_docs))
+        routed_out = 0
         if self.use_collection_routing and plan.routing is not None:
             # The index may be more general than the query's patterns
             # and return entries from collections the query cannot
@@ -724,7 +948,13 @@ class QueryExecutor:
             before = len(candidate_docs)
             candidate_docs = {key for key in candidate_docs
                               if key[0] in routed}
-            self.documents_routed_out += before - len(candidate_docs)
+            routed_out = before - len(candidate_docs)
+            self._m_documents_routed_out.inc(routed_out)
+        if trace is not None:
+            trace.child("route",
+                        routing=(sorted(plan.routing)
+                                 if plan.routing is not None else None),
+                        documents_routed_out=routed_out)
         matching = 0
         examined = 0
         extracted: Optional[List[XmlNode]] = [] if extract else None
@@ -746,6 +976,12 @@ class QueryExecutor:
         # bisect sets the scan path uses) and each candidate becomes a
         # set-membership probe instead of a per-document node walk.
         vectorized_keys: Dict[str, Set[int]] = {}
+        residual_span: Optional[Span] = None
+        residual_start = 0.0
+        if trace is not None:
+            residual_span = trace.child(
+                "residual", vectorized=self.use_vectorized_predicates)
+            residual_start = wall_clock()
         for key in ordered_docs:
             document = self._doc_lookup.get(key)
             if document is None:
@@ -776,6 +1012,15 @@ class QueryExecutor:
                     else:
                         values.extend(self._extract_values(
                             document, query, summary, columnar))
+        if residual_span is not None:
+            residual_span.elapsed_seconds = wall_clock() - residual_start
+            residual_span.annotate(documents_examined=examined,
+                                   matching_documents=matching)
+        if trace is not None and (extract or extract_values):
+            trace.child(
+                "extract",
+                extracted_nodes=len(extracted) if extracted is not None else 0,
+                extracted_values=len(values) if values is not None else 0)
         return ExecutionResult(query_id=query.query_id, result_count=matching,
                                documents_examined=examined,
                                index_entries_scanned=entries_scanned,
@@ -827,10 +1072,10 @@ class QueryExecutor:
             backed = ((columnar is not None and compiled.is_columnar_backed)
                       or (summary is not None and compiled.is_summary_backed))
             if not backed:
-                self.interpretive_spine_fallbacks += 1
+                self._m_interpretive_spine_fallbacks.inc()
                 if evaluator is None:
                     evaluator = XPathEvaluator(document)
-            self.scan_node_materializations += 1
+            self._m_scan_node_materializations.inc()
             return compiled.select_nodes(summary, document, evaluator,
                                          columnar=columnar)
 
@@ -849,7 +1094,7 @@ class QueryExecutor:
                           or (summary is not None
                               and compiled.is_summary_backed))
                 if not backed:
-                    self.interpretive_spine_fallbacks += 1
+                    self._m_interpretive_spine_fallbacks.inc()
                     if evaluator is None:
                         evaluator = XPathEvaluator(document)
                 if compiled.has_match(summary, document, evaluator,
@@ -880,10 +1125,10 @@ class QueryExecutor:
             backed = ((columnar is not None and compiled.is_columnar_backed)
                       or (summary is not None and compiled.is_summary_backed))
             if not backed:
-                self.interpretive_spine_fallbacks += 1
+                self._m_interpretive_spine_fallbacks.inc()
                 if evaluator is None:
                     evaluator = XPathEvaluator(document)
-            self.scan_node_materializations += 1
+            self._m_scan_node_materializations.inc()
             nodes.extend(compiled.select_nodes(summary, document, evaluator,
                                                ordered=True, columnar=columnar))
         return nodes

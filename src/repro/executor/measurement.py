@@ -8,13 +8,13 @@ can be reproduced as a table.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.executor.executor import ExecutionResult, QueryExecutor
 from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import wall_clock
 from repro.xquery.model import NormalizedQuery, Workload
 from repro.xquery.normalizer import normalize_workload
 
@@ -44,9 +44,9 @@ class WorkloadMeasurement:
 
 def _run(executor: QueryExecutor, queries: Sequence[NormalizedQuery],
          label: str) -> WorkloadMeasurement:
-    start = time.perf_counter()
+    start = wall_clock()
     results = executor.execute_workload(queries)
-    elapsed = time.perf_counter() - start
+    elapsed = wall_clock() - start
     return WorkloadMeasurement(
         label=label,
         total_seconds=elapsed,

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.contracts import deterministic_package, injection_site
+from repro.telemetry import global_registry
 
 deterministic_package("repro.faults")
 
@@ -214,12 +215,14 @@ class FaultInjector:
                 record = InjectedFault(site=site, hit=count,
                                        transient=rule.transient)
                 self.injected.append(record)
+                global_registry().counter("faults.injected").inc()
                 error = TransientFaultError if rule.transient else FaultError
                 raise error(rule.message
                             or f"injected fault: {record.describe()}")
 
     def note_absorbed(self, site: str) -> None:
         self.absorbed[site] = self.absorbed.get(site, 0) + 1
+        global_registry().counter("faults.absorbed").inc()
 
     def summary(self) -> Tuple[str, ...]:
         return tuple(record.describe() for record in self.injected)

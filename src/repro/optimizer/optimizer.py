@@ -34,6 +34,7 @@ from repro.optimizer.plans import (
     UpdatePlan,
 )
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import MetricsRegistry, global_registry
 from repro.storage.maintenance import DataChange, DataChangeTracker
 from repro.xquery.model import NormalizedQuery, PathPredicate
 
@@ -108,7 +109,8 @@ class Optimizer:
                  parameters: Optional[CostParameters] = None,
                  enable_plan_cache: bool = True,
                  enable_fine_grained_invalidation: bool = True,
-                 use_collection_costing: bool = True) -> None:
+                 use_collection_costing: bool = True,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.database = database
         self.parameters = parameters
         self.enable_plan_cache = enable_plan_cache
@@ -122,18 +124,75 @@ class Optimizer:
         self.use_collection_costing = use_collection_costing
         self._cost_model: Optional[CostModel] = None
         self._statistics_token: Optional[int] = None
-        #: Number of plans actually computed (query + update plans).
-        self.plan_calls = 0
-        #: Number of planning calls served from the what-if plan cache.
-        self.plan_cache_hits = 0
-        #: Cached plans selectively evicted on data change (fine-grained
-        #: path) and wholesale cache drops, for the benchmarks/tests.
-        self.plan_cache_evictions = 0
-        self.plan_cache_flushes = 0
+        #: Instance-scoped metrics registry (telemetry plane); the
+        #: legacy planning counters live here as registry metrics and
+        #: are read back through the properties below.
+        self.metrics = MetricsRegistry(
+            parent=registry if registry is not None else global_registry())
+        self._m_plan_calls = self.metrics.counter("optimizer.plan.calls")
+        self._m_plan_cache_hits = self.metrics.counter(
+            "optimizer.plan_cache.hits")
+        self._m_plan_cache_misses = self.metrics.counter(
+            "optimizer.plan_cache.misses")
+        self._m_plan_cache_evictions = self.metrics.counter(
+            "optimizer.plan_cache.evictions")
+        self._m_plan_cache_flushes = self.metrics.counter(
+            "optimizer.plan_cache.flushes")
         self._plan_cache: Dict[_PlanKey, QueryPlan] = {}
         self._update_plan_cache: Dict[_PlanKey, UpdatePlan] = {}
         self._plan_cache_signature: Optional[Tuple[Tuple[str, int], ...]] = None
         self._tracker: Optional[DataChangeTracker] = None
+
+    # ------------------------------------------------------------------
+    # Legacy counter attributes -- byte-equal views of registry metrics
+    # ------------------------------------------------------------------
+    @property
+    def plan_calls(self) -> int:
+        """Number of plans actually computed (query + update plans)."""
+        return self._m_plan_calls.value
+
+    @plan_calls.setter
+    def plan_calls(self, value: int) -> None:
+        self._m_plan_calls.reset(value)
+
+    @property
+    def plan_cache_hits(self) -> int:
+        """Planning calls served from the what-if plan cache."""
+        return self._m_plan_cache_hits.value
+
+    @plan_cache_hits.setter
+    def plan_cache_hits(self, value: int) -> None:
+        self._m_plan_cache_hits.reset(value)
+
+    @property
+    def plan_cache_misses(self) -> int:
+        """Cacheable planning calls that missed the plan cache (new in
+        the telemetry plane: hits/misses together give the ratio the
+        tuning controller surfaces per cycle)."""
+        return self._m_plan_cache_misses.value
+
+    @plan_cache_misses.setter
+    def plan_cache_misses(self, value: int) -> None:
+        self._m_plan_cache_misses.reset(value)
+
+    @property
+    def plan_cache_evictions(self) -> int:
+        """Cached plans selectively evicted on data change (fine-grained
+        path), for the benchmarks/tests."""
+        return self._m_plan_cache_evictions.value
+
+    @plan_cache_evictions.setter
+    def plan_cache_evictions(self, value: int) -> None:
+        self._m_plan_cache_evictions.reset(value)
+
+    @property
+    def plan_cache_flushes(self) -> int:
+        """Wholesale plan-cache drops, for the benchmarks/tests."""
+        return self._m_plan_cache_flushes.value
+
+    @plan_cache_flushes.setter
+    def plan_cache_flushes(self, value: int) -> None:
+        self._m_plan_cache_flushes.reset(value)
 
     # ------------------------------------------------------------------
     # Plan cache plumbing
@@ -167,7 +226,7 @@ class Optimizer:
             self._evict_affected_plans(change)
         else:
             if self._plan_cache or self._update_plan_cache:
-                self.plan_cache_flushes += 1
+                self._m_plan_cache_flushes.inc()
             self._plan_cache.clear()
             self._update_plan_cache.clear()
         if self.enable_fine_grained_invalidation and self._tracker is None:
@@ -210,7 +269,7 @@ class Optimizer:
                     stale.append(key)
             for key in stale:
                 del cache[key]
-            self.plan_cache_evictions += len(stale)
+            self._m_plan_cache_evictions.inc(len(stale))
 
     def clear_plan_cache(self) -> None:
         """Drop all cached plans (statistics-signature checks do this
@@ -259,9 +318,10 @@ class Optimizer:
         if key is not None:
             cached = self._plan_cache.get(key)
             if cached is not None:
-                self.plan_cache_hits += 1
+                self._m_plan_cache_hits.inc()
                 return cached
-        self.plan_calls += 1
+            self._m_plan_cache_misses.inc()
+        self._m_plan_calls.inc()
         model, routing = self.cost_model.for_query(query)
         scan_plan = self._document_scan_plan(query, model, routing)
         index_plan = self._index_plan(query, indexes, model, routing)
@@ -283,9 +343,10 @@ class Optimizer:
         if key is not None:
             cached_update = self._update_plan_cache.get(key)
             if cached_update is not None:
-                self.plan_cache_hits += 1
+                self._m_plan_cache_hits.inc()
                 return cached_update
-        self.plan_calls += 1
+            self._m_plan_cache_misses.inc()
+        self._m_plan_calls.inc()
         model, routing = self.cost_model.for_query(query)
         maintenance: List[IndexMaintenance] = []
         for index in indexes:

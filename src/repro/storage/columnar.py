@@ -72,6 +72,7 @@ from typing import (
 )
 
 from repro.contracts import builder, cache_contract, snapshot_contract
+from repro.telemetry import global_registry
 from repro.xmldb.nodes import (
     DocumentNode,
     NodeKind,
@@ -657,6 +658,7 @@ class ColumnarStore:
         if projection is None:
             projection = _build_projection(self._nodes, self._postings[pid])
             self._projections[pid] = projection
+            global_registry().counter("columnar.projection.builds").inc()
         return projection
 
     def _matched_segments(self, pid: int, op: Optional[BinaryOp],

@@ -1,0 +1,63 @@
+"""repro.telemetry -- the unified, observe-only telemetry plane.
+
+Three coordinated pieces (PR 10):
+
+* :mod:`repro.telemetry.registry` -- process-local metrics registry
+  (counters, gauges, fixed-bound histograms) that every legacy ad-hoc
+  counter migrated onto, chained instance -> component -> global so
+  per-component values stay byte-identical to their old semantics.
+* :mod:`repro.telemetry.trace` -- per-query span trees recorded by
+  executor/optimizer hooks, surfaced as ``ExecutionResult.trace`` and
+  ``xml-index-advisor explain --trace``.
+* :mod:`repro.telemetry.accounting` -- the predicted-vs-actual cost
+  stream pairing ``CostModel`` estimates with measured times per plan
+  shape.
+
+The package is **non-governing by contract**: declared observe-only
+below, it may not import the governed packages (statically enforced by
+the telemetry checker), wall-clock reads are confined to the audited
+:mod:`repro.telemetry.clock`, and default exports exclude wall-derived
+metrics so snapshots under logical time are deterministic.
+"""
+
+from repro.contracts import observe_only_package
+
+observe_only_package(
+    "repro.telemetry",
+    "metrics/traces/cost accounting; records, never governs",
+)
+
+from repro.telemetry.accounting import CostAccounting, CostSample  # noqa: E402
+from repro.telemetry.clock import wall_clock  # noqa: E402
+from repro.telemetry.registry import (  # noqa: E402
+    CacheStatistics,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+from repro.telemetry.trace import (  # noqa: E402
+    TRACE_ENV_VAR,
+    Span,
+    span,
+    tracing_armed,
+)
+
+__all__ = [
+    "CacheStatistics",
+    "CostAccounting",
+    "CostSample",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_ENV_VAR",
+    "global_registry",
+    "reset_global_registry",
+    "span",
+    "tracing_armed",
+    "wall_clock",
+]

@@ -1,0 +1,127 @@
+"""Predicted-vs-actual cost accounting over traced queries.
+
+Every traced execution pairs the optimizer's predicted ``CostModel``
+estimate for the chosen plan with the measured wall-clock time, keyed
+by *plan shape* (``document-scan`` vs ``index-plan[n]``).  The stream
+accumulates into per-shape aggregates and an error series -- the direct
+input the ROADMAP's self-calibrating cost model item needs: regress
+measured seconds against predicted cost per shape and the calibration
+constants fall out.
+
+Observe-only: samples are copies of numbers already computed by the
+executor and optimizer; recording one can never influence a plan.
+Predicted costs and logical counts are deterministic; measured seconds
+are wall-clock and therefore excluded from deterministic exports
+(:meth:`CostAccounting.snapshot` drops them unless asked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["CostSample", "CostAccounting"]
+
+
+@dataclass(frozen=True)
+class CostSample:
+    """One traced query's predicted estimate next to its measurement."""
+
+    query_id: str
+    plan_shape: str
+    predicted_cost: float
+    measured_seconds: float
+    documents_examined: int
+    index_entries_scanned: int
+
+
+class CostAccounting:
+    """Bounded in-memory stream of :class:`CostSample` records."""
+
+    __slots__ = ("capacity", "_samples", "dropped")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._samples: List[CostSample] = []
+        #: Samples discarded after ``capacity`` was reached (oldest kept:
+        #: calibration wants the steady-state prefix, not a moving window).
+        self.dropped: int = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Tuple[CostSample, ...]:
+        return tuple(self._samples)
+
+    def record(self, *, query_id: str, plan_shape: str, predicted_cost: float,
+               measured_seconds: float, documents_examined: int,
+               index_entries_scanned: int) -> None:
+        if len(self._samples) >= self.capacity:
+            self.dropped += 1
+            return
+        self._samples.append(CostSample(
+            query_id=query_id,
+            plan_shape=plan_shape,
+            predicted_cost=float(predicted_cost),
+            measured_seconds=float(measured_seconds),
+            documents_examined=int(documents_examined),
+            index_entries_scanned=int(index_entries_scanned),
+        ))
+
+    def error_series(self) -> List[Tuple[str, str, float, float]]:
+        """Per-sample ``(query_id, plan_shape, predicted, measured)``.
+
+        The "error" is the pair itself: with the cost model's abstract
+        units, only the per-shape *ratio* between the columns is
+        meaningful, and the regression consuming this series owns that.
+        """
+        return [(s.query_id, s.plan_shape, s.predicted_cost,
+                 s.measured_seconds) for s in self._samples]
+
+    def by_plan_shape(self) -> Dict[str, Dict[str, float]]:
+        """Shape-keyed aggregates: sample count, cost and time totals,
+        and seconds-per-cost-unit (the calibration constant estimate)."""
+        shapes: Dict[str, Dict[str, float]] = {}
+        for sample in self._samples:
+            agg = shapes.setdefault(sample.plan_shape, {
+                "samples": 0,
+                "predicted_cost_total": 0.0,
+                "measured_seconds_total": 0.0,
+            })
+            agg["samples"] += 1
+            agg["predicted_cost_total"] += sample.predicted_cost
+            agg["measured_seconds_total"] += sample.measured_seconds
+        for agg in shapes.values():
+            cost = agg["predicted_cost_total"]
+            agg["seconds_per_cost_unit"] = (
+                agg["measured_seconds_total"] / cost if cost > 0 else 0.0)
+        return shapes
+
+    def snapshot(self, *, include_wall: bool = False) -> Dict[str, object]:
+        """Deterministic summary (measured wall times dropped by default)."""
+        shapes = {}
+        for shape, agg in sorted(self.by_plan_shape().items()):
+            entry: Dict[str, object] = {
+                "samples": int(agg["samples"]),
+                "predicted_cost_total": agg["predicted_cost_total"],
+            }
+            if include_wall:
+                entry["measured_seconds_total"] = agg["measured_seconds_total"]
+                entry["seconds_per_cost_unit"] = agg["seconds_per_cost_unit"]
+            shapes[shape] = entry
+        return {"samples": len(self._samples), "dropped": self.dropped,
+                "by_plan_shape": shapes}
+
+    def describe(self) -> str:
+        lines = [f"cost accounting: {len(self._samples)} samples"
+                 + (f" ({self.dropped} dropped at capacity)" if self.dropped else "")]
+        for shape, agg in sorted(self.by_plan_shape().items()):
+            lines.append(
+                f"  {shape}: {int(agg['samples'])} samples, "
+                f"predicted {agg['predicted_cost_total']:.1f} cost units, "
+                f"measured {agg['measured_seconds_total'] * 1000.0:.3f}ms, "
+                f"{agg['seconds_per_cost_unit']:.3e} s/cost-unit")
+        return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""The single audited wall-clock module.
+
+Every wall-clock read in the library goes through :func:`wall_clock`;
+this is the only module in the ``repro`` tree allowed to touch
+``time.*`` directly.  The confinement is machine-checked: the module is
+declared via :func:`repro.contracts.wall_clock_module`, and the
+determinism checker flags a direct ``time.perf_counter()`` (or any
+other clock read) anywhere else under ``repro``.
+
+Keeping the clock behind one seam is what lets the rest of the
+telemetry plane promise deterministic exports: every metric derived
+from :func:`wall_clock` is tagged ``wall=True`` at creation and
+excluded from deterministic snapshots by default.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.contracts import wall_clock_module
+
+wall_clock_module("repro.telemetry.clock")
+
+__all__ = ["wall_clock"]
+
+
+#: Monotonic wall-clock read in fractional seconds.  A direct alias for
+#: ``time.perf_counter`` (no wrapper frame -- the read sits on query
+#: hot paths): same epoch-free monotonic guarantees, usable only for
+#: durations, never for timestamps.
+wall_clock = time.perf_counter

@@ -1,0 +1,337 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+One registry is a flat namespace of hierarchically *named* metrics
+(``executor.scan.fallbacks``, ``optimizer.plan_cache.hits``, ...).
+Registries chain: a component creates its own instance registry with
+the process-global registry (or a caller-supplied one) as *parent*, and
+every recording on an instance metric propagates to the same-named
+metric on the parent chain.  The instance value keeps the legacy
+per-component counter semantics byte-for-byte, while the parent
+aggregates across components -- which is how the old ad-hoc counters
+migrate onto the registry "without changing their current public
+values".
+
+Determinism contract: histograms take *fixed literal* bucket bounds at
+creation (the telemetry checker rejects data-dependent bounds), and
+metrics whose samples come from the wall clock are tagged ``wall=True``
+so :meth:`MetricsRegistry.snapshot` can exclude them -- the default
+JSON export under logical time is therefore byte-stable across runs.
+
+The whole module is observe-only by contract
+(:func:`repro.contracts.observe_only_package`): it imports nothing from
+the governed packages and never mutates state outside itself.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CacheStatistics",
+    "global_registry",
+    "reset_global_registry",
+]
+
+Number = Union[int, float]
+
+
+def _validate_name(name: str) -> str:
+    if not name or any(
+        not part or not all(ch.isalnum() or ch == "_" for ch in part)
+        for part in name.split(".")
+    ):
+        raise ValueError(
+            f"metric names are dotted words like 'executor.scan.fallbacks', got {name!r}"
+        )
+    return name
+
+
+class Counter:
+    """Monotonic counter.  ``inc`` propagates up the registry chain."""
+
+    __slots__ = ("name", "wall", "value", "_parent")
+
+    def __init__(self, name: str, *, wall: bool = False,
+                 parent: Optional["Counter"] = None) -> None:
+        self.name = name
+        self.wall = wall
+        self.value: int = 0
+        self._parent = parent
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        self.value += amount
+        if self._parent is not None:
+            self._parent.inc(amount)
+
+    def reset(self, value: int = 0) -> None:
+        """Reset the *local* value (legacy ``executor.counter = 0`` idiom).
+
+        Parent aggregates keep their totals: a component zeroing its own
+        window must not erase process-wide history.
+        """
+        self.value = value
+
+    def export(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins value.  ``set`` propagates up the registry chain."""
+
+    __slots__ = ("name", "wall", "value", "_parent")
+
+    def __init__(self, name: str, *, wall: bool = False,
+                 parent: Optional["Gauge"] = None) -> None:
+        self.name = name
+        self.wall = wall
+        self.value: float = 0.0
+        self._parent = parent
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+        if self._parent is not None:
+            self._parent.set(value)
+
+    def export(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bound histogram: per-bucket counts plus count and sum.
+
+    ``bounds`` are the inclusive upper edges of the first
+    ``len(bounds)`` buckets; one overflow bucket catches the rest.
+    Bounds are fixed at creation -- by contract they must be literal in
+    the declaring source (no data-dependent bucketing), which keeps
+    bucket layout, and hence the export, deterministic.
+    """
+
+    __slots__ = ("name", "wall", "bounds", "bucket_counts", "count", "total",
+                 "_parent")
+
+    def __init__(self, name: str, bounds: Sequence[Number], *,
+                 wall: bool = False,
+                 parent: Optional["Histogram"] = None) -> None:
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly increasing: {edges}"
+            )
+        self.name = name
+        self.wall = wall
+        self.bounds: Tuple[float, ...] = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.count: int = 0
+        self.total: float = 0.0
+        self._parent = parent
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        # bisect_left keeps upper edges inclusive (Prometheus `le`
+        # semantics): observe(bound) lands in the bucket whose edge it
+        # names, not the next one.
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self._parent is not None:
+            self._parent.observe(value)
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named set of metrics, optionally chained to a parent registry.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the same
+    name always returns the same metric object, and asking for an
+    existing name with a different type (or different histogram bounds)
+    is an error -- names are a process-wide schema, not ad-hoc keys.
+    """
+
+    __slots__ = ("parent", "_metrics")
+
+    def __init__(self, parent: Optional["MetricsRegistry"] = None) -> None:
+        self.parent = parent
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str, *, wall: bool = False) -> Counter:
+        return self._get_or_create(Counter, name, wall=wall)
+
+    def gauge(self, name: str, *, wall: bool = False) -> Gauge:
+        return self._get_or_create(Gauge, name, wall=wall)
+
+    def histogram(self, name: str, bounds: Sequence[Number], *,
+                  wall: bool = False) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__.lower()}, not histogram")
+            if existing.bounds != tuple(float(b) for b in bounds):
+                raise ValueError(
+                    f"histogram {name!r} re-registered with different bounds")
+            return existing
+        # Parent propagation forwards the caller's (already literal)
+        # bounds; the fixed-bounds rule is enforced at the declaring
+        # call site, not at this structural pass-through.
+        parent_metric = (self.parent.histogram(name, bounds, wall=wall)  # contract: allow[telemetry]
+                         if self.parent is not None else None)
+        metric = Histogram(_validate_name(name), bounds, wall=wall,
+                           parent=parent_metric)
+        self._metrics[name] = metric
+        return metric
+
+    def _get_or_create(self, cls, name: str, *, wall: bool):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__.lower()}, not {cls.__name__.lower()}")
+            return existing
+        parent_metric = None
+        if self.parent is not None:
+            parent_metric = self.parent._get_or_create(cls, name, wall=wall)
+        metric = cls(_validate_name(name), wall=wall, parent=parent_metric)
+        self._metrics[name] = metric
+        return metric
+
+    # -- introspection and export ----------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def value(self, name: str) -> Number:
+        """Scalar value of a counter/gauge, 0 if never registered."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        if isinstance(metric, Histogram):
+            raise ValueError(f"{name!r} is a histogram; read .export() instead")
+        return metric.value
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self, *, include_wall: bool = False) -> Dict[str, Dict[str, object]]:
+        """Name-sorted export of every metric.
+
+        Wall-clock-derived metrics are excluded unless asked for, so the
+        default snapshot is deterministic under logical time.
+        """
+        return {
+            name: metric.export()
+            for name, metric in sorted(self._metrics.items())
+            if include_wall or not metric.wall
+        }
+
+    def to_json(self, *, include_wall: bool = False, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(include_wall=include_wall),
+                          indent=indent, sort_keys=True)
+
+    def to_prometheus(self, *, include_wall: bool = False) -> str:
+        """Prometheus text exposition (dots flattened to underscores)."""
+        lines: List[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.wall and not include_wall:
+                continue
+            flat = name.replace(".", "_")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {flat} counter")
+                lines.append(f"{flat} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {flat} gauge")
+                lines.append(f"{flat} {metric.value}")
+            else:
+                lines.append(f"# TYPE {flat} histogram")
+                cumulative = 0
+                for bound, bucket in zip(metric.bounds, metric.bucket_counts):
+                    cumulative += bucket
+                    lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
+                cumulative += metric.bucket_counts[-1]
+                lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{flat}_sum {metric.total}")
+                lines.append(f"{flat}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+@dataclass(frozen=True)
+class CacheStatistics:
+    """Plan-cache and evaluator-memo hit/miss totals at a point in time.
+
+    Carried on ``TuningEvent`` records and printed by the ``tune`` CLI
+    so cache behaviour stops being silent.  Pure data -- building one
+    reads counters, never touches the caches themselves.
+    """
+
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    @staticmethod
+    def _ratio(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def plan_cache_ratio(self) -> float:
+        return self._ratio(self.plan_cache_hits, self.plan_cache_misses)
+
+    @property
+    def memo_ratio(self) -> float:
+        return self._ratio(self.memo_hits, self.memo_misses)
+
+    def describe(self) -> str:
+        return (
+            f"plan cache {self.plan_cache_hits}/"
+            f"{self.plan_cache_hits + self.plan_cache_misses} hits "
+            f"({self.plan_cache_ratio:.1%}), evaluator memo "
+            f"{self.memo_hits}/{self.memo_hits + self.memo_misses} hits "
+            f"({self.memo_ratio:.1%})"
+        )
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-global aggregate registry (root of every chain)."""
+    return _GLOBAL_REGISTRY
+
+
+def reset_global_registry() -> None:
+    """Drop every process-global metric (test isolation helper).
+
+    Parent links are resolved at metric creation, so components built
+    *before* the reset keep propagating into orphaned metric objects --
+    reset first, then build the components under test.
+    """
+    _GLOBAL_REGISTRY.clear()

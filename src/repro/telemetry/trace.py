@@ -1,0 +1,129 @@
+"""Per-query execution traces: a span tree recorded by executor hooks.
+
+A trace is a tree of :class:`Span` nodes -- ``query`` at the root, with
+children like ``parse``, ``plan``, ``route``, ``scan`` /
+``index-probe`` / ``residual`` and ``extract`` -- each carrying a flat
+attribute dict (plan shape, routing set, cache hit/miss attribution,
+logical counts) plus an optional wall-clock duration.  Instrumented
+code never builds spans directly; it calls :func:`span` with the
+current parent, which is a no-op context manager when the parent is
+``None`` (tracing off), so the disabled path costs one ``if``.
+
+Tracing is armed per call (``execute(trace=True)``), per executor
+(``QueryExecutor(trace=...)``), or process-wide via ``REPRO_TRACE=1``.
+Spans are observe-only: they describe what the executor did and are
+attached to ``ExecutionResult.trace``, never consulted by planning.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.telemetry.clock import wall_clock
+
+__all__ = ["TRACE_ENV_VAR", "Span", "span", "tracing_armed"]
+
+#: Environment switch arming tracing process-wide (any value but ""/"0").
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+def tracing_armed() -> bool:
+    """True when ``REPRO_TRACE`` arms tracing for every executor."""
+    return os.environ.get(TRACE_ENV_VAR, "0") not in ("", "0")
+
+
+class Span:
+    """One node of an execution trace.
+
+    Mutable on purpose -- instrumentation annotates a span as facts
+    become known -- but plain data: no behaviour, no references into
+    governed state, safe to hold on a result object indefinitely.
+    ``elapsed_seconds`` stays 0.0 for spans that carry only logical
+    attributes (separable wall timing would need per-item clock reads).
+    """
+
+    __slots__ = ("name", "attrs", "children", "elapsed_seconds")
+
+    def __init__(self, name: str, **attrs: object) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs)
+        self.children: List["Span"] = []
+        self.elapsed_seconds: float = 0.0
+
+    def child(self, name: str, **attrs: object) -> "Span":
+        node = Span(name, **attrs)
+        self.children.append(node)
+        return node
+
+    def annotate(self, **attrs: object) -> None:
+        self.attrs.update(attrs)
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in depth-first order, else None."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [node for node in self.walk() if node.name == name]
+
+    def to_dict(self, *, include_wall: bool = True) -> Dict[str, object]:
+        node: Dict[str, object] = {"name": self.name}
+        if include_wall:
+            node["elapsed_seconds"] = self.elapsed_seconds
+        if self.attrs:
+            node["attrs"] = {key: self.attrs[key] for key in sorted(self.attrs)}
+        if self.children:
+            node["children"] = [
+                child.to_dict(include_wall=include_wall)
+                for child in self.children
+            ]
+        return node
+
+    def render(self, *, include_wall: bool = True) -> str:
+        """Indented one-line-per-span tree for ``explain --trace``."""
+        lines: List[str] = []
+        self._render_into(lines, 0, include_wall)
+        return "\n".join(lines)
+
+    def _render_into(self, lines: List[str], depth: int,
+                     include_wall: bool) -> None:
+        parts = [("  " * depth) + self.name]
+        if include_wall and self.elapsed_seconds:
+            parts.append(f"{self.elapsed_seconds * 1000.0:.3f}ms")
+        for key in sorted(self.attrs):
+            parts.append(f"{key}={self.attrs[key]!r}")
+        lines.append("  ".join(parts))
+        for child in self.children:
+            child._render_into(lines, depth + 1, include_wall)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, children={len(self.children)})"
+
+
+@contextmanager
+def span(parent: Optional[Span], name: str, **attrs: object):
+    """Open a timed child span under ``parent``; no-op when parent is None.
+
+    Yields the child span (annotate it inside the block) or ``None``
+    when tracing is off, so call sites write ``with span(trace, "plan")
+    as s: ...`` unconditionally.  The duration is recorded even when the
+    body raises -- a replanned fault still shows up in the tree.
+    """
+    if parent is None:
+        yield None
+        return
+    node = parent.child(name, **attrs)
+    start = wall_clock()
+    try:
+        yield node
+    finally:
+        node.elapsed_seconds = wall_clock() - start

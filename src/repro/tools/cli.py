@@ -14,10 +14,17 @@ Sub-commands mirror the demonstration's flow:
   workload, and apply (or just print, with ``--dry-run``) the migration
   plan.  ``--shift`` additionally replays the held-out XMark queries
   afterwards to demonstrate drift detection and re-convergence;
+* ``explain`` -- print the optimizer's chosen plan for each statement,
+  and with ``--trace`` execute it and print the per-query span tree
+  (parse -> compile -> plan -> route -> scan/index-probe -> residual ->
+  extract) with timings;
+* ``metrics`` -- run a scenario workload against an instrumented
+  executor and export the metrics registry as deterministic JSON or
+  Prometheus text;
 * ``lint`` -- run the contract analyzer (see :mod:`repro.analysis`) over
   the source tree: snapshot immutability, cache invalidation, escape
-  hatch parity and determinism.  Exits non-zero on violations (the CI
-  gate).
+  hatch parity, determinism, fault coverage and the observe-only
+  telemetry contract.  Exits non-zero on violations (the CI gate).
 
 Example::
 
@@ -81,7 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="XML Index Advisor (SIGMOD 2008 reproduction)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("scenarios", help="list built-in scenarios")
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list built-in scenarios")
+    scenarios_parser.add_argument("--json", action="store_true",
+                                  help="emit the scenario names as a JSON "
+                                       "array instead of one per line")
 
     enum_parser = subparsers.add_parser(
         "enumerate", help="show basic candidate indexes (Enumerate Indexes mode)")
@@ -145,6 +156,31 @@ def build_parser() -> argparse.ArgumentParser:
                                   "build failure) and show the rollback, "
                                   "retry and recovery machinery at work")
 
+    explain_parser = subparsers.add_parser(
+        "explain", help="print the chosen plan for each statement "
+                        "(--trace adds the execution span tree)")
+    _add_scenario_argument(explain_parser)
+    explain_parser.add_argument("--query", default=None,
+                                help="a single XQuery/SQL-XML statement "
+                                     "instead of the scenario workload")
+    explain_parser.add_argument("--trace", action="store_true",
+                                help="execute each statement and print the "
+                                     "per-query span tree")
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="run a scenario workload and export the telemetry "
+                        "registry")
+    _add_scenario_argument(metrics_parser)
+    metrics_parser.add_argument("--rounds", type=int, default=1,
+                                help="times to run the workload before "
+                                     "exporting")
+    metrics_parser.add_argument("--format", choices=("json", "prometheus"),
+                                default="json", dest="output_format",
+                                help="export format")
+    metrics_parser.add_argument("--wall", action="store_true",
+                                help="include wall-clock metrics (makes the "
+                                     "output nondeterministic)")
+
     lint_parser = subparsers.add_parser(
         "lint", help="statically check the contract annotations "
                      "(snapshot immutability, cache invalidation, "
@@ -167,9 +203,55 @@ def _budget_bytes(budget_kb: float) -> Optional[float]:
     return budget_kb * 1024.0
 
 
-def _command_scenarios(_: argparse.Namespace) -> int:
-    for name in list_scenarios():
-        print(name)
+def _command_scenarios(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(list(list_scenarios()), indent=2))
+    else:
+        for name in list_scenarios():
+            print(name)
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    from repro.executor.executor import QueryExecutor
+
+    scenario = build_scenario(args.scenario)
+    if args.query:
+        queries = [normalize_statement(args.query, query_id="cli-q1")]
+    else:
+        workload = _scenario_workload(args, scenario)
+        queries = [q for q in normalize_workload(workload) if not q.is_update]
+    executor = QueryExecutor(scenario.database)
+    for query in queries:
+        print(f"-- {query.query_id} --")
+        plan = executor.optimizer.optimize(query)
+        print(plan.render())
+        if args.trace:
+            result = executor.execute(query, trace=True)
+            print()
+            print(result.trace.render())
+        print()
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    from repro.executor.executor import QueryExecutor
+    from repro.telemetry import MetricsRegistry
+
+    scenario = build_scenario(args.scenario)
+    registry = MetricsRegistry()
+    executor = QueryExecutor(scenario.database, registry=registry)
+    workload = _scenario_workload(args, scenario)
+    queries = [q for q in normalize_workload(workload) if not q.is_update]
+    for _ in range(max(1, args.rounds)):
+        for query in queries:
+            executor.execute(query)
+    if args.output_format == "prometheus":
+        print(registry.to_prometheus(include_wall=args.wall), end="")
+    else:
+        print(registry.to_json(include_wall=args.wall))
     return 0
 
 
@@ -331,6 +413,8 @@ _COMMANDS = {
     "enumerate": _command_enumerate,
     "recommend": _command_recommend,
     "execute": _command_execute,
+    "explain": _command_explain,
+    "metrics": _command_metrics,
     "tune": _command_tune,
     "lint": _command_lint,
 }

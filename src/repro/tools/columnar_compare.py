@@ -30,12 +30,12 @@ statistics-derived ``DatabaseStatistics.columnar_bytes``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.executor.executor import QueryExecutor
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import wall_clock
 from repro.workloads.xmark import XMarkConfig, generate_xmark_database
 from repro.xquery.model import NormalizedQuery
 from repro.xquery.normalizer import normalize_statement
@@ -124,13 +124,13 @@ def compare_columnar_modes(scale: float = 0.25, seed: int = 42,
 
     columnar_best = interpretive_best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = wall_clock()
         columnar_results = _run_queries(columnar, queries)
-        columnar_best = min(columnar_best, time.perf_counter() - start)
-        start = time.perf_counter()
+        columnar_best = min(columnar_best, wall_clock() - start)
+        start = wall_clock()
         interpretive_results = _run_queries(interpretive, queries)
         interpretive_best = min(interpretive_best,
-                                time.perf_counter() - start)
+                                wall_clock() - start)
 
     identical = (_result_signature(columnar_results)
                  == _result_signature(interpretive_results))

@@ -29,13 +29,13 @@ correctness half of the acceptance criterion.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.index.definition import IndexDefinition
 from repro.index.physical import PhysicalPathIndex, build_physical_index
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import wall_clock
 from repro.workloads.xmark import XMarkConfig, generate_xmark_database
 from repro.xquery.model import ValueType
 
@@ -119,20 +119,20 @@ def compare_maintenance_modes(
     incremental_seconds = 0.0
     for document in streams[0][:added]:
         version = incremental_collection.version
-        start = time.perf_counter()
+        start = wall_clock()
         incremental_collection.add_document(document)
         _touch_derived(incremental_db)
         for delta in incremental_collection.deltas_since(version):
             incremental_index.apply_collection_delta(delta)
-        incremental_seconds += time.perf_counter() - start
+        incremental_seconds += wall_clock() - start
 
     rebuild_seconds = 0.0
     for document in streams[1][:added]:
-        start = time.perf_counter()
+        start = wall_clock()
         rebuild_db.collection("xmark").add_document(document)
         _touch_derived(rebuild_db)
         rebuild_index = build_physical_index(definition, rebuild_db)
-        rebuild_seconds += time.perf_counter() - start
+        rebuild_seconds += wall_clock() - start
 
     identical = (
         incremental_collection.path_summary.canonical_state()

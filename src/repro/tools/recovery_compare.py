@@ -30,13 +30,13 @@ injected fault -- gated in CI by ``REPRO_SMOKE_MAX_RECOVERY_OVERHEAD``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Tuple
 
 from repro.executor.executor import QueryExecutor
 from repro.faults import INDEX_BUILD, FaultPlan, FaultRule, inject
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import wall_clock
 from repro.tuning.controller import TuningController, TuningPolicy
 from repro.workloads.xmark import (
     XMarkConfig,
@@ -109,7 +109,7 @@ def _tune_to_convergence(controller: TuningController,
     """Observe + cycle until the advised configuration stands (nothing
     pending); returns (tuning wall seconds, cycles run)."""
     catalog = controller.database.catalog
-    start = time.perf_counter()
+    start = wall_clock()
     controller.observe(queries, rounds=TRAIN_ROUNDS)
     cycles = 0
     for _ in range(MAX_RECOVERY_CYCLES):
@@ -119,7 +119,7 @@ def _tune_to_convergence(controller: TuningController,
                 and not catalog.unusable_indexes:
             break
         controller.observe(queries, rounds=1)
-    return time.perf_counter() - start, cycles
+    return wall_clock() - start, cycles
 
 
 def _result_counts(executor: QueryExecutor,

@@ -45,7 +45,6 @@ equivalence suite asserts.)
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -56,6 +55,7 @@ from repro.executor.executor import QueryExecutor
 from repro.index.definition import IndexConfiguration, IndexDefinition
 from repro.optimizer.optimizer import Optimizer
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import wall_clock
 from repro.workloads.tpox import (
     TpoxConfig,
     generate_tpox_database,
@@ -191,12 +191,12 @@ def _measure_scans(database: XmlDatabase, queries: Sequence[NormalizedQuery],
     routed_docs = unrouted_docs = 0
     identical = True
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = wall_clock()
         routed_results = [routed.execute(query) for query in queries]
-        routed_best = min(routed_best, time.perf_counter() - start)
-        start = time.perf_counter()
+        routed_best = min(routed_best, wall_clock() - start)
+        start = wall_clock()
         unrouted_results = [unrouted.execute(query) for query in queries]
-        unrouted_best = min(unrouted_best, time.perf_counter() - start)
+        unrouted_best = min(unrouted_best, wall_clock() - start)
         routed_docs = sum(r.documents_examined for r in routed_results)
         unrouted_docs = sum(r.documents_examined for r in unrouted_results)
         identical = identical and all(

@@ -36,12 +36,12 @@ equals the statistics-derived ``columnar_bytes`` per collection.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.executor.executor import QueryExecutor
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import wall_clock
 from repro.tools.routing_compare import build_coresident_database
 from repro.xquery.model import NormalizedQuery
 from repro.xquery.normalizer import normalize_statement
@@ -154,12 +154,12 @@ def compare_vectorized_modes(scale: float = 0.25, seed: int = 42,
 
     vectorized_best = hatch_best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = wall_clock()
         vectorized_results = _run_queries(vectorized, queries)
-        vectorized_best = min(vectorized_best, time.perf_counter() - start)
-        start = time.perf_counter()
+        vectorized_best = min(vectorized_best, wall_clock() - start)
+        start = wall_clock()
         hatch_results = _run_queries(hatch, queries)
-        hatch_best = min(hatch_best, time.perf_counter() - start)
+        hatch_best = min(hatch_best, wall_clock() - start)
 
     identical = (_result_signature(vectorized_results)
                  == _result_signature(hatch_results))

@@ -11,7 +11,6 @@ silently diverge between the guard, the bench and the recorded numbers.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple, Union
 
@@ -19,6 +18,7 @@ from repro.advisor.advisor import XmlIndexAdvisor
 from repro.advisor.benefit import ConfigurationEvaluator
 from repro.advisor.config import AdvisorParameters, SearchAlgorithm
 from repro.advisor.enumeration import create_search
+from repro.telemetry import wall_clock
 from repro.xquery.model import Workload
 
 #: The default E3 budget sweep, as fractions of the overtrained
@@ -107,10 +107,10 @@ def compare_search_modes(database,
                                                enable_plan_cache=incremental)
                 evaluator = ConfigurationEvaluator(database, queries, parameters)
                 search = create_search(algorithm, evaluator, parameters)
-                start = time.perf_counter()
+                start = wall_clock()
                 search_result = search.search(generalization.candidates,
                                               generalization.dag)
-                elapsed = time.perf_counter() - start
+                elapsed = wall_clock() - start
                 mode = "incremental" if incremental else "legacy"
                 totals = result.totals[mode]
                 totals["costings"] += evaluator.query_costings

@@ -38,6 +38,7 @@ from repro.storage.catalog import (
     PendingBuild,
 )
 from repro.storage.document_store import XmlDatabase
+from repro.telemetry import CacheStatistics, MetricsRegistry, global_registry
 from repro.tuning.compressor import (
     DEFAULT_CLUSTER_CAP,
     CompressedWorkload,
@@ -218,6 +219,8 @@ class TuningEvent:
     error: Optional[str] = None
     #: Containment activity visible at the end of this cycle.
     robustness: Optional[RobustnessReport] = None
+    #: Plan-cache / evaluator-memo hit ratios when the cycle ended.
+    cache_stats: Optional[CacheStatistics] = None
 
     def describe(self) -> str:
         lines = [f"cycle {self.cycle} @step {self.step}: {self.action}"]
@@ -234,6 +237,8 @@ class TuningEvent:
         if self.robustness is not None and not self.robustness.is_clean:
             lines.extend("  " + line
                          for line in self.robustness.describe().splitlines())
+        if self.cache_stats is not None:
+            lines.append("  " + self.cache_stats.describe())
         return "\n".join(lines)
 
 
@@ -261,19 +266,31 @@ class TuningController:
                  executor: Optional[QueryExecutor] = None,
                  policy: Optional[TuningPolicy] = None,
                  advisor_parameters: Optional[AdvisorParameters] = None,
-                 monitor: Optional[WorkloadMonitor] = None) -> None:
+                 monitor: Optional[WorkloadMonitor] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.database = database
         self.policy = policy or TuningPolicy()
         self.policy.validate()
-        self.executor = executor or QueryExecutor(database)
+        #: Loop-level metrics; the advisor (and an executor the
+        #: controller creates itself) chain their registries here.
+        self.metrics = MetricsRegistry(
+            parent=registry if registry is not None else global_registry())
+        self._m_migrations_applied = self.metrics.counter(
+            "tuning.migration.applied")
+        self._m_migrations_rolled_back = self.metrics.counter(
+            "tuning.migration.rolled_back")
+        self.executor = executor or QueryExecutor(database,
+                                                  registry=self.metrics)
         self.monitor = monitor or self.executor.monitor or WorkloadMonitor(
-            capacity=self.policy.monitor_capacity, decay=self.policy.decay)
+            capacity=self.policy.monitor_capacity, decay=self.policy.decay,
+            registry=self.metrics)
         self.executor.attach_monitor(self.monitor)
         parameters = replace(advisor_parameters) \
             if advisor_parameters is not None else AdvisorParameters()
         if self.policy.disk_budget_bytes is not None:
             parameters.disk_budget_bytes = self.policy.disk_budget_bytes
-        self.advisor = XmlIndexAdvisor(database, parameters)
+        self.advisor = XmlIndexAdvisor(database, parameters,
+                                       registry=self.metrics)
         # The drift knobs live on the policy only; the detector is handed
         # them per assessment (see _assess) so a runtime policy change
         # takes effect immediately.
@@ -465,6 +482,7 @@ class TuningController:
             except Exception as exc:  # noqa: BLE001 -- containment: rollback
                 self.build_failures += 1
                 self.rollbacks += 1
+                self._m_migrations_rolled_back.inc()
                 quarantined = self._note_build_failure(step, exc, now)
                 self._park_pending(plan)
                 return MigrationOutcome(
@@ -485,6 +503,7 @@ class TuningController:
             for record in reversed(removed):
                 self.executor.restore_index(record)
             self.rollbacks += 1
+            self._m_migrations_rolled_back.inc()
             self._park_pending(plan)
             return MigrationOutcome(committed=False, rolled_back=True,
                                     error=f"migration commit failed: {exc}")
@@ -505,6 +524,8 @@ class TuningController:
                     advised_step=snapshot.step,
                     workload_snapshot=snapshot))
             self.detector.rebase()
+        if not plan.is_empty:
+            self._m_migrations_applied.inc()
         return MigrationOutcome(
             committed=True,
             built=tuple(step.definition.name for step, _ in staged),
@@ -624,7 +645,8 @@ class TuningController:
         except Exception as exc:  # noqa: BLE001 -- the loop must survive
             event = TuningEvent(cycle=self.cycles, step=self.monitor.step,
                                 action="aborted", error=str(exc),
-                                robustness=self.robustness_report())
+                                robustness=self.robustness_report(),
+                                cache_stats=self.cache_statistics())
             self.events.append(event)
             return event
 
@@ -641,7 +663,8 @@ class TuningController:
                     action="resumed" if outcome.committed else "rolled-back",
                     plan=pending, applied=outcome.committed,
                     error=outcome.error,
-                    robustness=self.robustness_report())
+                    robustness=self.robustness_report(),
+                    cache_stats=self.cache_statistics())
                 self.events.append(event)
                 return event
 
@@ -650,7 +673,8 @@ class TuningController:
         if not report.exceeded \
                 or snapshot.total_weight < self.policy.min_captured_weight:
             event = TuningEvent(cycle=self.cycles, step=snapshot.step,
-                                action="idle", report=report)
+                                action="idle", report=report,
+                                cache_stats=self.cache_statistics())
             self.events.append(event)
             return event
 
@@ -666,7 +690,8 @@ class TuningController:
                                 action="no-change", report=report, plan=plan,
                                 recommendation=recommendation,
                                 compressed=compressed,
-                                applied=not self.policy.dry_run)
+                                applied=not self.policy.dry_run,
+                                cache_stats=self.cache_statistics())
             self.events.append(event)
             return event
 
@@ -674,7 +699,8 @@ class TuningController:
             event = TuningEvent(cycle=self.cycles, step=snapshot.step,
                                 action="planned", report=report, plan=plan,
                                 recommendation=recommendation,
-                                compressed=compressed, applied=False)
+                                compressed=compressed, applied=False,
+                                cache_stats=self.cache_statistics())
             self.events.append(event)
             return event
 
@@ -684,9 +710,36 @@ class TuningController:
             action="migrated" if outcome.committed else "rolled-back",
             report=report, plan=plan, recommendation=recommendation,
             compressed=compressed, applied=outcome.committed,
-            error=outcome.error, robustness=self.robustness_report())
+            error=outcome.error, robustness=self.robustness_report(),
+            cache_stats=self.cache_statistics())
         self.events.append(event)
         return event
+
+    # ------------------------------------------------------------------
+    # Cache observability
+    # ------------------------------------------------------------------
+    def cache_statistics(self) -> CacheStatistics:
+        """Plan-cache and evaluator-memo hit/miss totals right now.
+
+        Plan-cache counters come from both optimizers the loop drives
+        (the executor's and the advisor's -- they are distinct caches);
+        memo counters come from the advisor's registry, where every
+        evaluator the advisor builds rolls its counters up.  Reading
+        them never touches the caches themselves.
+        """
+        executor_opt = self.executor.optimizer
+        advisor_opt = self.advisor.optimizer
+        plan_hits = executor_opt.plan_cache_hits
+        plan_misses = executor_opt.plan_cache_misses
+        if advisor_opt is not executor_opt:
+            plan_hits += advisor_opt.plan_cache_hits
+            plan_misses += advisor_opt.plan_cache_misses
+        return CacheStatistics(
+            plan_cache_hits=plan_hits,
+            plan_cache_misses=plan_misses,
+            memo_hits=int(self.advisor.metrics.value("evaluator.memo.hits")),
+            memo_misses=int(
+                self.advisor.metrics.value("evaluator.memo.misses")))
 
     # ------------------------------------------------------------------
     # Robustness

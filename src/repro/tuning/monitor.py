@@ -33,6 +33,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.contracts import snapshot_contract
+from repro.telemetry import MetricsRegistry, global_registry
 from repro.xquery.model import NormalizedQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
@@ -158,7 +159,8 @@ class WorkloadMonitor:
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 decay: float = DEFAULT_DECAY) -> None:
+                 decay: float = DEFAULT_DECAY,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if capacity < 1:
             raise ValueError("monitor capacity must be at least 1")
         if not 0.0 < decay <= 1.0:
@@ -169,8 +171,23 @@ class WorkloadMonitor:
         self.step = 0
         self._entries: Dict[str, CapturedQuery] = {}
         self._shed_weight = 0.0
+        self.metrics = MetricsRegistry(
+            parent=registry if registry is not None else global_registry())
         #: Total record() calls (observability for tests/benchmarks).
-        self.recorded = 0
+        self._m_recorded = self.metrics.counter("tuning.monitor.recorded")
+        #: Weight lost to capacity evictions, mirrored as a gauge.
+        self._m_shed_weight = self.metrics.gauge("tuning.monitor.shed_weight")
+
+    # ------------------------------------------------------------------
+    # Legacy counter attributes -- byte-equal views of registry metrics
+    # ------------------------------------------------------------------
+    @property
+    def recorded(self) -> int:
+        return self._m_recorded.value
+
+    @recorded.setter
+    def recorded(self, value: int) -> None:
+        self._m_recorded.reset(value)
 
     # ------------------------------------------------------------------
     def tick(self, steps: int = 1) -> int:
@@ -189,7 +206,7 @@ class WorkloadMonitor:
         once records the same mass as executing each statement
         ``frequency`` times.
         """
-        self.recorded += 1
+        self._m_recorded.inc()
         key = template_key(query)
         entry = self._entries.get(key)
         increment = query.frequency if query.frequency > 0 else 1.0
@@ -227,6 +244,7 @@ class WorkloadMonitor:
             (e for e in self._entries.values() if e.key != protect),
             key=lambda e: (e.weight_at(self.step, self.decay), e.key))
         self._shed_weight += victim.weight_at(self.step, self.decay)
+        self._m_shed_weight.set(self._shed_weight)
         del self._entries[victim.key]
 
     # ------------------------------------------------------------------
@@ -272,4 +290,5 @@ class WorkloadMonitor:
         """Forget everything (weights, arrivals, shed accounting)."""
         self._entries.clear()
         self._shed_weight = 0.0
-        self.recorded = 0
+        self._m_shed_weight.set(0.0)
+        self._m_recorded.reset()

@@ -71,3 +71,45 @@ def build_varied_database(documents: int = 120, name: str = "varied") -> XmlData
         doc.assign_node_ids()
         collection.add_document(doc)
     return database
+
+
+#: Legacy counter attribute -> registry metric name, per component.
+#: The PR-10 migration contract: every ad-hoc counter became a
+#: read-through view of an instance registry metric, so the public
+#: attribute and the metric must be byte-equal at any point in time.
+EXECUTOR_COUNTERS = {
+    "index_rebuilds": "executor.index.rebuilds",
+    "index_delta_maintenances": "executor.index.delta_maintenances",
+    "index_repairs": "executor.index.repairs",
+    "documents_routed_out": "executor.scan.documents_routed_out",
+    "scan_fallbacks": "executor.scan.fallbacks",
+    "interpretive_spine_fallbacks": "executor.scan.interpretive_spine_fallbacks",
+    "scan_node_materializations": "executor.scan.node_materializations",
+}
+
+OPTIMIZER_COUNTERS = {
+    "plan_calls": "optimizer.plan.calls",
+    "plan_cache_hits": "optimizer.plan_cache.hits",
+    "plan_cache_misses": "optimizer.plan_cache.misses",
+    "plan_cache_evictions": "optimizer.plan_cache.evictions",
+    "plan_cache_flushes": "optimizer.plan_cache.flushes",
+}
+
+EVALUATOR_COUNTERS = {
+    "full_evaluations": "evaluator.whatif.full_evaluations",
+    "delta_evaluations": "evaluator.whatif.delta_evaluations",
+    "query_costings": "evaluator.whatif.costings",
+    "rows_preserved_on_refresh": "evaluator.whatif.rows_preserved",
+    "memo_hits": "evaluator.memo.hits",
+    "memo_misses": "evaluator.memo.misses",
+}
+
+
+def assert_counter_parity(component, attr_to_metric) -> None:
+    """Assert each legacy counter attribute equals its registry metric."""
+    for attr, metric in attr_to_metric.items():
+        legacy = getattr(component, attr)
+        registered = component.metrics.value(metric)
+        assert legacy == registered, (
+            f"{type(component).__name__}.{attr}={legacy!r} diverged from "
+            f"registry metric {metric!r}={registered!r}")

@@ -1,0 +1,10 @@
+"""Seeded violations for the telemetry checker (a fixture package).
+
+Not collected by pytest (no ``test_`` prefix); analyzed by
+``tests/test_contract_analysis.py`` as a golden input.  The package
+declares its own observe-only plane (``bad_telemetry.plane``) and
+audited wall-clock module (``bad_telemetry.clock``) so the telemetry
+checker and the determinism checker's wall-clock confinement pass
+engage on the fixture alone -- the violations live in ``plane.py``
+(import direction) and ``engine.py`` (everything else).
+"""

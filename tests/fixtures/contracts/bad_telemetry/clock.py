@@ -1,0 +1,15 @@
+"""The fixture's audited wall-clock module -- no violations here.
+
+Declaring ``wall_clock_module`` puts every *other* module under the
+``bad_telemetry`` tree into the wall-clock confinement scope: direct
+``time.*`` reads there are determinism violations (see ``engine.py``),
+while this module may touch ``time`` freely.
+"""
+
+import time
+
+from repro.contracts import wall_clock_module
+
+wall_clock_module("bad_telemetry.clock")
+
+wall_clock = time.perf_counter  # allowed: the declared clock module

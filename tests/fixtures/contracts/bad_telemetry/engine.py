@@ -1,0 +1,56 @@
+"""Governed-side telemetry violations: bounds, recording args, writes.
+
+These rules apply *outside* the observe-only plane too: histogram
+bounds must be literal everywhere, recording arguments may not call
+governed mutators, telemetry state reached through a component may not
+be reassigned, and wall-clock reads must route through the declared
+clock module.
+"""
+
+import time
+
+from repro.contracts import snapshot_contract
+
+STATE = 1
+#: A module-level literal constant -- an allowed histogram bound form.
+LATENCY_BOUNDS = [0.001, 0.01, 0.1]
+
+
+@snapshot_contract(builders=("rebuild",), mutators=("rebuild", "refresh"))
+class CatalogState:
+    def __init__(self) -> None:
+        self.version = 0
+
+    def rebuild(self) -> "CatalogState":
+        self.version += 1  # allowed: declared builder
+        return self
+
+    def refresh(self) -> int:
+        return self.version
+
+
+def bad_bounds(metrics, samples):
+    bounds = sorted(samples)
+    return metrics.histogram("engine.latency", bounds)  # line 34: VIOLATION - data-dependent bounds
+
+
+def bad_recording_arg(metrics, state):
+    metrics.counter("engine.refreshes").inc(state.refresh())  # line 38: VIOLATION - mutator in arg
+
+
+def bad_passthrough_writes(executor):
+    executor.metrics.latency.value = 0  # line 42: VIOLATION - reshaping telemetry state
+    executor.metrics.counter("engine.calls").value += 1  # line 43: VIOLATION - augmented write
+
+
+def bad_wall_clock():
+    return time.perf_counter()  # line 47: VIOLATION - clock read outside the audited module
+
+
+def clean(metrics):
+    metrics.histogram("engine.ticks", [1, 2, 5])  # allowed: inline literal bounds
+    metrics.histogram("engine.waits", LATENCY_BOUNDS)  # allowed: module constant
+    metrics.counter("engine.calls").inc()  # allowed: pure recording
+    metrics.counter("engine.rows").inc(len(STATE * [0]))  # allowed: non-governed arg
+    from bad_telemetry.clock import wall_clock
+    return wall_clock()  # allowed: routed through the audited module

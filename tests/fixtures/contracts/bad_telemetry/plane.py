@@ -1,0 +1,17 @@
+"""The fixture's observe-only telemetry plane: one import violation.
+
+A module inside an observe-only package may import the standard
+library, its own package and ``<top>.contracts`` -- importing any other
+module from the same tree means telemetry can name (and therefore
+consult or mutate) governed code.
+"""
+
+from repro.contracts import observe_only_package
+
+observe_only_package("bad_telemetry.plane")
+
+from bad_telemetry import engine  # line 13: VIOLATION - governed import
+
+
+def snoop() -> int:
+    return engine.STATE

@@ -33,7 +33,11 @@ from pathlib import Path
 
 import pytest
 
-from _support import build_varied_database
+from _support import (
+    EXECUTOR_COUNTERS,
+    assert_counter_parity,
+    build_varied_database,
+)
 from repro.advisor.advisor import XmlIndexAdvisor
 from repro.advisor.config import AdvisorParameters
 from repro.executor.executor import QueryExecutor
@@ -261,6 +265,9 @@ class TestExecutorEquivalence:
         assert columnar.interpretive_spine_fallbacks == 0
         assert legacy.interpretive_spine_fallbacks > 0
         assert columnar.use_columnar and not legacy.use_columnar
+        # PR 10: spine-fallback accounting survives the counter migration.
+        assert_counter_parity(columnar, EXECUTOR_COUNTERS)
+        assert_counter_parity(legacy, EXECUTOR_COUNTERS)
 
     def test_env_switch_controls_default(self, monkeypatch):
         database = build_varied_database(documents=2, name="col-env")

@@ -123,6 +123,51 @@ class TestFaultCoverageChecker:
         assert {d.line for d in diagnostics}.isdisjoint({10, 16, 17})
 
 
+class TestTelemetryChecker:
+    """The fixture is a package: ``bad_telemetry/`` declares its own
+    observe-only plane and audited clock module so both the telemetry
+    checker and the wall-clock confinement pass engage on it alone."""
+
+    def _diagnose_package(self, tests_dir):
+        context = analyze_paths(paths=[FIXTURES / "bad_telemetry"],
+                                tests_dir=tests_dir)
+        return context.diagnostics
+
+    def test_seeded_violations(self, empty_tests_dir):
+        diagnostics = self._diagnose_package(empty_tests_dir)
+        assert _checker_lines(diagnostics) == {
+            ("telemetry", 13),    # plane.py: governed import in the plane
+            ("telemetry", 34),    # engine.py: data-dependent histogram bounds
+            ("telemetry", 38),    # engine.py: governed mutator in recording arg
+            ("telemetry", 42),    # engine.py: pass-through telemetry write
+            ("telemetry", 43),    # engine.py: augmented pass-through write
+            ("determinism", 47),  # engine.py: time.* outside the clock module
+        }
+
+    def test_fixture_registrations_extracted(self, empty_tests_dir):
+        context = analyze_paths(paths=[FIXTURES / "bad_telemetry"],
+                                tests_dir=empty_tests_dir)
+        assert "bad_telemetry.plane" in context.observe_only_packages
+        assert "bad_telemetry.clock" in context.wall_clock_modules
+
+    def test_clean_section_and_clock_module_silent(self, empty_tests_dir):
+        diagnostics = self._diagnose_package(empty_tests_dir)
+        # clean() in engine.py (literal bounds, module-constant bounds,
+        # pure recording args, reads routed through the audited clock)
+        # and the whole declared clock module stay silent.
+        assert all(d.line < 50 for d in diagnostics)
+        assert all(not d.path.endswith("clock.py") for d in diagnostics)
+
+    def test_messages_name_the_contract(self, empty_tests_dir):
+        by_line = {d.line: d.message
+                   for d in self._diagnose_package(empty_tests_dir)}
+        assert "observe-only package bad_telemetry.plane" in by_line[13]
+        assert "literal number sequence" in by_line[34]
+        assert "governed mutator refresh()" in by_line[38]
+        assert "record through inc()/observe()/set()" in by_line[42]
+        assert "wall-clock module" in by_line[47]
+
+
 class TestCleanFixture:
     def test_correct_usage_is_silent(self, empty_tests_dir):
         assert _diagnose("clean", empty_tests_dir) == []
@@ -148,6 +193,8 @@ class TestLiveTree:
         assert "repro.tuning" in context.deterministic_packages
         assert "index.build" in context.sites
         assert "migration.commit" in context.sites
+        assert "repro.telemetry" in context.observe_only_packages
+        assert "repro.telemetry.clock" in context.wall_clock_modules
 
     def test_default_source_root_is_package(self):
         assert default_source_root().name == "repro"
@@ -164,7 +211,8 @@ class TestCli:
         assert code == 1
         out = capsys.readouterr().out
         for checker in ("snapshot-immutability", "cache-invalidation",
-                        "escape-hatch", "determinism", "fault-coverage"):
+                        "escape-hatch", "determinism", "fault-coverage",
+                        "telemetry"):
             assert checker in out
 
     def test_lint_json_format(self, capsys, empty_tests_dir):

@@ -15,7 +15,11 @@ import random
 
 import pytest
 
-from _support import build_varied_database
+from _support import (
+    EXECUTOR_COUNTERS,
+    assert_counter_parity,
+    build_varied_database,
+)
 
 from repro.executor.executor import QueryExecutor
 from repro.faults import (
@@ -469,6 +473,8 @@ class TestDegradedMode:
         assert result.result_count == baseline.result_count
         assert not result.used_index_plan
         assert executor.scan_fallbacks >= 1
+        # PR 10: fallback accounting survives the counter migration.
+        assert_counter_parity(executor, EXECUTOR_COUNTERS)
 
 
 # ----------------------------------------------------------------------

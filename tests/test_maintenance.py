@@ -22,7 +22,12 @@ import random
 
 import pytest
 
-from _support import TINY_SITE_XML, build_varied_database
+from _support import (
+    EXECUTOR_COUNTERS,
+    TINY_SITE_XML,
+    assert_counter_parity,
+    build_varied_database,
+)
 from repro.advisor.benefit import ConfigurationEvaluator
 from repro.advisor.config import AdvisorParameters
 from repro.executor.executor import QueryExecutor
@@ -277,6 +282,9 @@ class TestExecutorMaintenance:
         legacy = QueryExecutor(database, use_incremental_maintenance=False)
         legacy.create_indexes([definition])
         assert legacy.execute(query).result_count == result.result_count
+        # PR 10: maintenance counters are registry-backed views now.
+        assert_counter_parity(executor, EXECUTOR_COUNTERS)
+        assert_counter_parity(legacy, EXECUTOR_COUNTERS)
 
     def test_catalog_tracks_staleness(self):
         database, executor, definition = self._database_with_executor()

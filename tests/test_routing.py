@@ -26,7 +26,12 @@ import random
 
 import pytest
 
-from _support import build_varied_database
+from _support import (
+    EVALUATOR_COUNTERS,
+    EXECUTOR_COUNTERS,
+    assert_counter_parity,
+    build_varied_database,
+)
 from repro.advisor.advisor import XmlIndexAdvisor
 from repro.advisor.benefit import ConfigurationEvaluator
 from repro.advisor.config import AdvisorParameters
@@ -426,3 +431,8 @@ def test_randomized_multi_collection_equivalence(seed):
         assert row.cost_with_configuration == \
             rows[row.query_id].cost_with_configuration
         assert row.used_index_keys == rows[row.query_id].used_index_keys
+    # PR 10: legacy counters stayed byte-equal to their registry
+    # metrics across the randomized interleaved run.
+    assert_counter_parity(routed_executor, EXECUTOR_COUNTERS)
+    assert_counter_parity(unrouted_executor, EXECUTOR_COUNTERS)
+    assert_counter_parity(evaluator, EVALUATOR_COUNTERS)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.advisor.advisor import XmlIndexAdvisor
@@ -136,3 +138,66 @@ class TestCli:
         out = capsys.readouterr().out
         assert "cycle 1" in out and "migrated" in out
         assert "live configuration (0 index(es))" not in out
+
+
+class TestTelemetryCli:
+    def test_scenarios_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert "xmark-small" in payload
+
+    def test_metrics_json_is_deterministic(self, capsys):
+        assert main(["metrics", "--scenario", "xmark-small",
+                     "--rounds", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["metrics", "--scenario", "xmark-small",
+                     "--rounds", "2"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["executor.queries.executed"]["value"] > 0
+        assert payload["optimizer.plan.calls"]["value"] > 0
+        # Wall-derived metrics are excluded from the default export.
+        assert "executor.query.seconds" not in payload
+        assert "executor.query.documents_examined" in payload
+
+    def test_metrics_prometheus_format(self, capsys):
+        assert main(["metrics", "--scenario", "xmark-small",
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE executor_queries_executed counter" in out
+        assert "executor_query_seconds" not in out
+
+    def test_metrics_wall_flag_includes_timings(self, capsys):
+        assert main(["metrics", "--scenario", "xmark-small", "--wall"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "executor.query.seconds" in payload
+
+    def test_explain_renders_plan(self, capsys):
+        code = main(["explain", "--scenario", "xmark-small", "--query",
+                     'for $i in doc("x")/site/regions/africa/item '
+                     'where $i/quantity > 7 return $i/name'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- cli-q1 --" in out
+        assert "query" not in out.splitlines()  # no trace without --trace
+
+    def test_explain_trace_renders_span_tree(self, capsys):
+        code = main(["explain", "--scenario", "xmark-small", "--trace",
+                     "--query",
+                     'for $i in doc("x")/site/regions/africa/item '
+                     'where $i/quantity > 7 return $i/name'])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("compile", "plan", "route", "scan"):
+            assert f"  {name}" in out
+        assert "plan_shape=" in out
+
+    def test_tune_reports_cache_statistics(self, capsys):
+        code = main(["tune", "--scenario", "xmark-small", "--rounds", "1",
+                     "--budget-kb", "96", "--dry-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan cache" in out
+        assert "evaluator memo" in out

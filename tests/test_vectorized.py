@@ -25,7 +25,12 @@ import subprocess
 import sys
 import textwrap
 
-from _support import TINY_SITE_XML, build_varied_database
+from _support import (
+    EXECUTOR_COUNTERS,
+    TINY_SITE_XML,
+    assert_counter_parity,
+    build_varied_database,
+)
 from repro.executor.executor import QueryExecutor
 from repro.storage import XmlDatabase
 from repro.xmldb.nodes import build_document, normalized_node_value
@@ -119,6 +124,10 @@ class TestEquivalence:
             expected = _signature(hatch, statement)
             assert _signature(vectorized, statement) == expected, statement
             assert _signature(interpretive, statement) == expected, statement
+        # PR 10: the legacy counters became registry metrics -- parity
+        # must hold after a randomized workload on every hatch mode.
+        for executor in (vectorized, hatch, interpretive):
+            assert_counter_parity(executor, EXECUTOR_COUNTERS)
 
     def test_navigation_only_queries(self):
         database = _mixed_database(seed=11, name="vec-nav")

@@ -39,6 +39,10 @@ the numbers to ``BENCH_advisor.json`` (override with ``--output``):
   vs fault-free: recovery wall-time overhead, convergence to the same
   configuration, and degraded-mode (summary-scan fallback) result
   identity.
+* **E15 (telemetry)** -- execution with per-query span-tree tracing and
+  cost accounting armed (``trace=True``) vs untraced: wall time per
+  mode, the overhead ratio, span/cost-sample counts, and result
+  byte-identity (the observe-only gate).
 
 Sizes are controlled by ``REPRO_SMOKE_XMARK_SCALE`` (default ``0.1``)
 so CI stays fast; run with a larger scale locally for headline numbers.
@@ -53,8 +57,10 @@ comparison lost equivalence/exactness or its scan ratio fell below
 ``REPRO_SMOKE_MIN_VECTORIZED_RATIO`` (default ``2``), the
 online loop lost convergence/boundedness, its compression ratio
 fell below ``REPRO_SMOKE_MIN_ONLINE_COMPRESSION`` (default ``2``), the
-recovery run lost convergence/result identity, or its overhead ratio
-exceeded ``REPRO_SMOKE_MAX_RECOVERY_OVERHEAD`` (default ``10``).
+recovery run lost convergence/result identity, its overhead ratio
+exceeded ``REPRO_SMOKE_MAX_RECOVERY_OVERHEAD`` (default ``10``), the
+telemetry comparison lost result identity, or its tracing overhead
+exceeded ``REPRO_SMOKE_MAX_TELEMETRY_OVERHEAD`` (default ``1.15``).
 
 Usage::
 
@@ -244,6 +250,32 @@ def record_e14_vectorized(scale: float) -> dict:
     }
 
 
+def record_e15_telemetry(scale: float) -> dict:
+    """Traced vs untraced execution (best of 3 comparisons by overhead
+    ratio; span and cost-sample counts and the identity flag are
+    deterministic)."""
+    from repro.tools.telemetry_compare import compare_telemetry_modes
+
+    best = None
+    for _ in range(3):
+        comparison = compare_telemetry_modes(scale=scale, repeats=5)
+        if not comparison.identical_results:
+            best = comparison
+            break
+        if best is None or comparison.overhead_ratio < best.overhead_ratio:
+            best = comparison
+    return {
+        "documents": best.documents,
+        "untraced_seconds": round(best.untraced_seconds, 4),
+        "traced_seconds": round(best.traced_seconds, 4),
+        "overhead_ratio": round(best.overhead_ratio, 3),
+        "spans_recorded": best.spans_recorded,
+        "cost_samples": best.cost_samples,
+        "result_rows": best.result_rows,
+        "identical_results": best.identical_results,
+    }
+
+
 def record_e10_online(scale: float) -> dict:
     """Online loop vs offline advisor (every flag/count deterministic:
     logical steps and template counts, no wall clock)."""
@@ -354,6 +386,7 @@ def main() -> int:
         "e7_routing": record_e7_routing(scale),
         "e13_columnar": record_e13_columnar(scale),
         "e14_vectorized": record_e14_vectorized(scale),
+        "e15_telemetry": record_e15_telemetry(scale),
         "e10_online": record_e10_online(scale),
         "e12_recovery": record_e12_recovery(scale),
     }
@@ -369,6 +402,7 @@ def main() -> int:
     e10, e12 = entry["e10_online"], entry["e12_recovery"]
     e13 = entry["e13_columnar"]
     e14 = entry["e14_vectorized"]
+    e15 = entry["e15_telemetry"]
     print(f"wrote {args.output} (xmark scale {scale})")
     print(f"  E3: identical={e3['identical_configurations']} "
           f"costings {e3['legacy']['query_costings']}"
@@ -398,6 +432,11 @@ def main() -> int:
           f"{e14['vectorized_seconds']}s ({e14['scan_speedup']}x), "
           f"materializations {e14['hatch_materializations']}"
           f"->{e14['vectorized_materializations']}")
+    print(f"  E15: identical={e15['identical_results']} "
+          f"untraced {e15['untraced_seconds']}s -> traced "
+          f"{e15['traced_seconds']}s ({e15['overhead_ratio']}x), "
+          f"{e15['spans_recorded']} span(s), "
+          f"{e15['cost_samples']} cost sample(s)")
     print(f"  E10: stationary={e10['stationary_identical']} "
           f"stable={e10['stationary_stable']} "
           f"drift={e10['drift_detected']} "
@@ -468,6 +507,15 @@ def main() -> int:
     if e12["overhead_ratio"] > max_recovery_overhead:
         print(f"  FAIL: recovery overhead {e12['overhead_ratio']}x exceeds "
               f"the ceiling {max_recovery_overhead}x")
+        return 1
+    max_telemetry_overhead = _env_float(
+        "REPRO_SMOKE_MAX_TELEMETRY_OVERHEAD", 1.15)
+    if not e15["identical_results"]:
+        print("  FAIL: telemetry comparison lost result identity")
+        return 1
+    if e15["overhead_ratio"] > max_telemetry_overhead:
+        print(f"  FAIL: tracing overhead {e15['overhead_ratio']}x exceeds "
+              f"the ceiling {max_telemetry_overhead}x")
         return 1
     return 0
 
